@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: the stencil register-tile shape search (paper §4.3's
+ * geometric optimization).
+ *
+ * Measures the REAL StencilEngine on this host with the searched tile
+ * shape against pinned 1-row (RY=1, RX=1) and intermediate tiles —
+ * quantifying the value of the basic-block generator's load-reuse
+ * optimization.
+ */
+
+#include "bench/bench_common.hh"
+#include "conv/engine_stencil.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Ablation: stencil register-tile shape (measured on "
+                  "this host)");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    const ConvSpec specs[] = {
+        ConvSpec{28, 28, 1, 20, 5, 5, 1, 1},  // MNIST L0
+        ConvSpec{36, 36, 3, 64, 5, 5, 1, 1},  // CIFAR L0
+        ConvSpec::square(32, 32, 32, 4),      // Table 1 ID 0
+        ConvSpec::square(64, 64, 16, 11),     // Table 1 ID 5
+    };
+
+    TablePrinter table(
+        "Ablation: Stencil FP GFlops/s by register tile — MEASURED, "
+        "1 core (searched = cost-model pick, RYx1 = no x-tiling)",
+        {"spec", "searched", "RY=1", "RY=2", "RY=4", "RY=12",
+         "search gain vs RY=1"});
+
+    ThreadPool pool(1);
+    Rng rng(10);
+    for (const ConvSpec &spec : specs) {
+        std::int64_t batch = 4;
+        Tensor in(Shape{batch, spec.nc, spec.ny, spec.nx});
+        Tensor w(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+        Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        in.fillUniform(rng);
+        w.fillUniform(rng);
+        double flops = batch * static_cast<double>(spec.flops());
+
+        auto gflops = [&](int fixed_ry) {
+            StencilEngine engine(fixed_ry);
+            double t = bestTimeSeconds(3, [&] {
+                engine.forward(spec, in, w, out, pool);
+            });
+            return flops / t / 1e9;
+        };
+
+        double searched = gflops(0);
+        double ry1 = gflops(1);
+        std::vector<std::string> row = {spec.str(),
+                                        TablePrinter::fmt(searched, 1),
+                                        TablePrinter::fmt(ry1, 1),
+                                        TablePrinter::fmt(gflops(2), 1),
+                                        TablePrinter::fmt(gflops(4), 1),
+                                        TablePrinter::fmt(gflops(12), 1)};
+        row.push_back(TablePrinter::fmt(searched / ry1, 2) + "x");
+        table.addRow(row);
+    }
+    emit(cli, table);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension bench: cluster-level impact of spg-CNN (the paper's §6
+ * argument — "our work could improve the throughput of each worker
+ * machine, and therefore help to accelerate the training of large
+ * CNNs").
+ *
+ * Combines the Fig. 9 per-worker throughput of the baseline and
+ * optimized configurations with the data-parallel cluster model:
+ * images/second and parallel efficiency vs worker count for a
+ * CIFAR-10-sized model on 10 GbE.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/net_config.hh"
+#include "data/suites.hh"
+#include "distrib/cluster_model.hh"
+#include "nn/network.hh"
+
+using namespace spg;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Extension: cluster scaling with baseline vs spg-CNN "
+                  "workers (modeled 10 GbE data-parallel cluster)");
+    addCommonFlags(cli);
+    cli.addInt("global-batch", 512, "global minibatch size");
+    cli.parse(argc, argv);
+    std::int64_t global_batch = cli.getInt("global-batch");
+
+    // Per-worker throughput: the Fig. 9 16-core results (baseline
+    // CAFFE vs full spg-CNN).
+    const double baseline_ips = 250;   // Parallel-GEMM (CAFFE) peak
+    const double spg_ips = 2014;       // Stencil FP + Sparse BP @ 16c
+
+    Network net(parseNetConfig(cifar10NetConfigText()), 1);
+    double param_bytes = 4.0 * net.paramCount();
+
+    TablePrinter table(
+        "Extension: modeled cluster throughput (images/s) and "
+        "efficiency, CIFAR-10 model (" +
+            std::to_string(net.paramCount()) +
+            " params), global batch " + std::to_string(global_batch),
+        {"workers", "baseline img/s", "baseline eff", "spg-CNN img/s",
+         "spg-CNN eff", "cluster speedup"});
+
+    ClusterModel base_cluster;
+    base_cluster.worker_images_per_s = baseline_ips;
+    base_cluster.param_bytes = param_bytes;
+    ClusterModel spg_cluster = base_cluster;
+    spg_cluster.worker_images_per_s = spg_ips;
+
+    for (int workers : {1, 2, 4, 8, 16, 32, 64}) {
+        if (global_batch % workers != 0)
+            continue;
+        double b_ips = base_cluster.imagesPerSecond(workers,
+                                                    global_batch);
+        double s_ips = spg_cluster.imagesPerSecond(workers,
+                                                   global_batch);
+        table.addRow({
+            TablePrinter::fmt(static_cast<long long>(workers)),
+            TablePrinter::fmt(b_ips, 0),
+            TablePrinter::fmt(
+                100 * base_cluster.efficiency(workers, global_batch),
+                0) + "%",
+            TablePrinter::fmt(s_ips, 0),
+            TablePrinter::fmt(
+                100 * spg_cluster.efficiency(workers, global_batch),
+                0) + "%",
+            TablePrinter::fmt(s_ips / b_ips, 2) + "x",
+        });
+    }
+    emit(cli, table);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension bench: FFT convolution vs direct/GEMM approaches across
+ * kernel sizes (the "other techniques" direction the paper cites —
+ * Mathieu, Henaff & LeCun).
+ *
+ * MEASURED on this host: FP time of gemm-in-parallel, stencil and the
+ * FFT engine on a fixed plane while the kernel grows. The FFT cost is
+ * kernel-size independent, so it crosses over for large kernels.
+ */
+
+#include "bench/bench_common.hh"
+#include "conv/engines.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Extension: FFT convolution crossover vs kernel size "
+                  "(measured on this host)");
+    addCommonFlags(cli);
+    cli.addInt("n", 64, "input spatial size");
+    cli.addInt("nc", 8, "input channels");
+    cli.addInt("nf", 16, "output features");
+    cli.parse(argc, argv);
+
+    std::int64_t n = cli.getInt("n");
+    std::int64_t nc = cli.getInt("nc");
+    std::int64_t nf = cli.getInt("nf");
+
+    TablePrinter table(
+        "Extension: FP time (ms, batch 4) vs kernel size on a " +
+            std::to_string(n) + "x" + std::to_string(n) + "x" +
+            std::to_string(nc) + " input — MEASURED, 1 core",
+        {"kernel", "gemm-in-parallel", "stencil", "fft",
+         "fft vs best direct"});
+
+    ThreadPool pool(1);
+    Rng rng(14);
+    for (std::int64_t k : {3, 5, 7, 11, 15, 21}) {
+        ConvSpec spec = ConvSpec::square(n, nf, nc, k);
+        std::int64_t batch = 4;
+        Tensor in(Shape{batch, spec.nc, spec.ny, spec.nx});
+        Tensor w(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+        Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        in.fillUniform(rng);
+        w.fillUniform(rng);
+
+        auto time_of = [&](const char *name) {
+            auto engine = makeEngine(name);
+            return bestTimeSeconds(3, [&] {
+                engine->forward(spec, in, w, out, pool);
+            });
+        };
+        double t_gemm = time_of("gemm-in-parallel");
+        double t_stencil = time_of("stencil");
+        double t_fft = time_of("fft");
+        double best_direct = std::min(t_gemm, t_stencil);
+        table.addRow({
+            std::to_string(k) + "x" + std::to_string(k),
+            TablePrinter::fmt(t_gemm * 1e3, 2),
+            TablePrinter::fmt(t_stencil * 1e3, 2),
+            TablePrinter::fmt(t_fft * 1e3, 2),
+            TablePrinter::fmt(best_direct / t_fft, 2) + "x",
+        });
+    }
+    emit(cli, table);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extension bench: forward-propagation speedup from WEIGHT sparsity
+ * (pruned-model inference) using the sparse-weights engine — the
+ * complementary direction the paper's related-work section points at
+ * (Liu et al., "Sparse Convolutional Neural Networks").
+ *
+ * MEASURED on this host: time of gemm-in-parallel (dense, oblivious
+ * to weight zeros) vs the sparse-weights engine across pruning levels.
+ */
+
+#include "bench/bench_common.hh"
+#include "conv/engines.hh"
+#include "data/suites.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Extension: FP speedup from weight sparsity "
+                  "(pruned-model inference, measured on this host)");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    const ConvSpec specs[] = {
+        ConvSpec{36, 36, 3, 64, 5, 5, 1, 1},   // CIFAR L0
+        ConvSpec{28, 28, 1, 20, 5, 5, 1, 1},   // MNIST L0
+        ConvSpec::square(32, 32, 32, 4),       // Table 1 ID 0
+        ConvSpec::square(64, 64, 16, 11),      // Table 1 ID 5
+    };
+    const double pruning[] = {0.0, 0.5, 0.75, 0.9, 0.95};
+
+    TablePrinter table(
+        "Extension: sparse-weights FP speedup over dense "
+        "gemm-in-parallel vs weight pruning — MEASURED, 1 core",
+        {"spec", "p=0", "0.5", "0.75", "0.9", "0.95"});
+
+    ThreadPool pool(1);
+    Rng rng(12);
+    for (const ConvSpec &spec : specs) {
+        std::int64_t batch = 4;
+        Tensor in(Shape{batch, spec.nc, spec.ny, spec.nx});
+        Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        in.fillUniform(rng);
+
+        GemmInParallelEngine dense;
+        SparseWeightsFpEngine sparse;
+        std::vector<std::string> row = {spec.str()};
+        for (double p : pruning) {
+            Tensor w(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+            w.fillUniform(rng);
+            Rng prng(13);
+            w.sparsify(prng, p);
+            double t_dense = bestTimeSeconds(2, [&] {
+                dense.forward(spec, in, w, out, pool);
+            });
+            double t_sparse = bestTimeSeconds(2, [&] {
+                sparse.forward(spec, in, w, out, pool);
+            });
+            row.push_back(TablePrinter::fmt(t_dense / t_sparse, 2));
+        }
+        table.addRow(row);
+    }
+    emit(cli, table);
+    return 0;
+}

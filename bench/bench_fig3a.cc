@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3a: scalability of Parallel-GEMM on up to 16
+ * cores for the Table 1 convolutions.
+ *
+ * As in the paper, each data point times the THREE matrix multiplies
+ * of one training step (FP, error-gradient and delta-weight
+ * calculations) and reports aggregate GFlops per core.
+ *
+ * SIMULATED rows sweep 1..16 cores on the modeled Xeon E5-2650.
+ * The MEASURED column runs the real blas/parallelGemm on this host at
+ * one core — the paper-machine model is calibrated against it.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+#include "blas/gemm.hh"
+#include "data/suites.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+namespace {
+
+/** Simulated GFlops/core of the three training MMs at `cores`. */
+double
+simulatedGflopsPerCore(const MachineModel &machine, const ConvSpec &spec,
+                       int cores)
+{
+    double seconds = 0, flops = 0;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        PhaseMm mm = phaseMm(spec, phase);
+        SimResult r = modelParallelGemmMm(machine, mm.m, mm.n, mm.k,
+                                          cores);
+        seconds += r.seconds;
+        flops += r.total_flops;
+    }
+    return flops / seconds / 1e9 / cores;
+}
+
+/** Measured single-core GFlops of the three training MMs (host). */
+double
+measuredGflopsOneCore(const ConvSpec &spec)
+{
+    ThreadPool pool(1);
+    Rng rng(3);
+    double seconds = 0, flops = 0;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        PhaseMm mm = phaseMm(spec, phase);
+        Tensor a(Shape{mm.m, mm.k});
+        Tensor b(Shape{mm.k, mm.n});
+        Tensor c(Shape{mm.m, mm.n});
+        a.fillUniform(rng);
+        b.fillUniform(rng);
+        Stopwatch sw;
+        parallelGemm(pool, Trans::No, Trans::No, mm.m, mm.n, mm.k,
+                     a.data(), b.data(), 0.0f, c.data());
+        seconds += sw.seconds();
+        flops += 2.0 * mm.m * mm.n * mm.k;
+    }
+    return flops / seconds / 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Reproduce paper Fig. 3a (Parallel-GEMM scalability)");
+    addCommonFlags(cli);
+    cli.addBool("measure", true,
+                "run the real single-core MMs on this host");
+    cli.parse(argc, argv);
+
+    MachineModel machine = MachineModel::xeonE5_2650();
+    TablePrinter table(
+        "Fig. 3a: Parallel-GEMM GFlops per core (3 training MMs) — "
+        "SIMULATED 16-core Xeon E5-2650; MEASURED = this host, 1 core",
+        {"ID", "region", "1", "2", "4", "8", "16",
+         "max drop", "measured 1-core"});
+
+    for (const auto &entry : table1Convolutions()) {
+        std::vector<std::string> row = {
+            TablePrinter::fmt(static_cast<long long>(entry.id)),
+            entry.paper_region};
+        double first = 0, lowest = 1e30;
+        for (int cores : kCoreSweep) {
+            double gfpc = simulatedGflopsPerCore(machine, entry.spec,
+                                                 cores);
+            if (cores == 1)
+                first = gfpc;
+            else
+                lowest = std::min(lowest, gfpc);
+            row.push_back(TablePrinter::fmt(gfpc, 1));
+        }
+        row.push_back(TablePrinter::fmt(100.0 * (1 - lowest / first),
+                                        0) + "%");
+        row.push_back(cli.getBool("measure")
+                          ? TablePrinter::fmt(
+                                measuredGflopsOneCore(entry.spec), 1)
+                          : "-");
+        table.addRow(row);
+    }
+    emit(cli, table);
+    return 0;
+}

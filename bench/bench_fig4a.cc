@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4a: scalability of GEMM-in-Parallel on up to
+ * 16 cores — per-core GFlops of the three training MMs when every
+ * core runs whole single-threaded GEMMs on different images.
+ *
+ * The paper's observation: performance per core stays roughly steady
+ * (<15% average drop), in contrast to Fig. 3a.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+#include "blas/gemm.hh"
+#include "data/suites.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+namespace {
+
+double
+simulatedGflopsPerCore(const MachineModel &machine, const ConvSpec &spec,
+                       std::int64_t batch, int cores)
+{
+    double seconds = 0, flops = 0;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        PhaseMm mm = phaseMm(spec, phase);
+        SimResult r = modelGemmInParallelMm(machine, mm.m, mm.n, mm.k,
+                                            batch, cores);
+        seconds += r.seconds;
+        flops += r.total_flops;
+    }
+    return flops / seconds / 1e9 / cores;
+}
+
+/** Measured single-threaded sgemm GFlops of the three MMs (host). */
+double
+measuredGflopsOneCore(const ConvSpec &spec)
+{
+    Rng rng(4);
+    double seconds = 0, flops = 0;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        PhaseMm mm = phaseMm(spec, phase);
+        Tensor a(Shape{mm.m, mm.k});
+        Tensor b(Shape{mm.k, mm.n});
+        Tensor c(Shape{mm.m, mm.n});
+        a.fillUniform(rng);
+        b.fillUniform(rng);
+        Stopwatch sw;
+        sgemm(Trans::No, Trans::No, mm.m, mm.n, mm.k, a.data(), b.data(),
+              0.0f, c.data());
+        seconds += sw.seconds();
+        flops += 2.0 * mm.m * mm.n * mm.k;
+    }
+    return flops / seconds / 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli(
+        "Reproduce paper Fig. 4a (GEMM-in-Parallel scalability)");
+    addCommonFlags(cli);
+    cli.addBool("measure", true,
+                "run the real single-threaded GEMMs on this host");
+    cli.parse(argc, argv);
+    std::int64_t batch = cli.getInt("batch");
+
+    MachineModel machine = MachineModel::xeonE5_2650();
+    TablePrinter table(
+        "Fig. 4a: GEMM-in-Parallel GFlops per core (3 training MMs, "
+        "batch " + std::to_string(batch) + ") — SIMULATED; MEASURED = "
+        "this host, 1 core",
+        {"ID", "region", "1", "2", "4", "8", "16", "max drop",
+         "measured 1-core"});
+
+    for (const auto &entry : table1Convolutions()) {
+        std::vector<std::string> row = {
+            TablePrinter::fmt(static_cast<long long>(entry.id)),
+            entry.paper_region};
+        double first = 0, lowest = 1e30;
+        for (int cores : kCoreSweep) {
+            double gfpc = simulatedGflopsPerCore(machine, entry.spec,
+                                                 batch, cores);
+            if (cores == 1)
+                first = gfpc;
+            else
+                lowest = std::min(lowest, gfpc);
+            row.push_back(TablePrinter::fmt(gfpc, 1));
+        }
+        row.push_back(TablePrinter::fmt(100.0 * (1 - lowest / first),
+                                        0) + "%");
+        row.push_back(cli.getBool("measure")
+                          ? TablePrinter::fmt(
+                                measuredGflopsOneCore(entry.spec), 1)
+                          : "-");
+        table.addRow(row);
+    }
+    emit(cli, table);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4b: relative speedup of GEMM-in-Parallel over
+ * Parallel-GEMM as the core count grows. The paper's claims: the
+ * speedup grows with more cores, and convolutions with fewer output
+ * features benefit more.
+ */
+
+#include "bench/bench_common.hh"
+#include "data/suites.hh"
+
+using namespace spg;
+
+namespace {
+
+double
+scheduleSeconds(const MachineModel &machine, const ConvSpec &spec,
+                std::int64_t batch, int cores, bool in_parallel)
+{
+    double seconds = 0;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        PhaseMm mm = phaseMm(spec, phase);
+        if (in_parallel) {
+            seconds += modelGemmInParallelMm(machine, mm.m, mm.n, mm.k,
+                                             batch, cores)
+                           .seconds;
+        } else {
+            seconds += modelParallelGemmMm(machine, mm.m, mm.n, mm.k,
+                                           cores)
+                           .seconds *
+                       batch;
+        }
+    }
+    return seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Reproduce paper Fig. 4b (GEMM-in-Parallel speedup "
+                  "over Parallel-GEMM)");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+    std::int64_t batch = cli.getInt("batch");
+
+    MachineModel machine = MachineModel::xeonE5_2650();
+    TablePrinter table(
+        "Fig. 4b: speedup of GEMM-in-Parallel over Parallel-GEMM "
+        "(3 training MMs, batch " + std::to_string(batch) +
+        ") — SIMULATED",
+        {"ID", "Nf", "1", "2", "4", "8", "16"});
+
+    for (const auto &entry : table1Convolutions()) {
+        std::vector<std::string> row = {
+            TablePrinter::fmt(static_cast<long long>(entry.id)),
+            TablePrinter::fmt(static_cast<long long>(entry.spec.nf))};
+        for (int cores : kCoreSweep) {
+            double pg = scheduleSeconds(machine, entry.spec, batch,
+                                        cores, false);
+            double gip = scheduleSeconds(machine, entry.spec, batch,
+                                         cores, true);
+            row.push_back(TablePrinter::fmt(pg / gip, 2));
+        }
+        table.addRow(row);
+    }
+    emit(cli, table);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the six characterization convolutions,
+ * their intrinsic AIT, the AIT achievable after unfolding
+ * (Unfold+GEMM), and the Fig. 1 regions they occupy.
+ *
+ * Everything here is analytic (Eqs. 5-8); the paper-reported values
+ * are printed alongside for comparison. Note the paper's own table
+ * computed |U| with the input spatial size although its formula uses
+ * the output size; the "unfold AIT (paper |U|)" column reproduces the
+ * table's convention, "unfold AIT" the formula's.
+ */
+
+#include "bench/bench_common.hh"
+#include "data/suites.hh"
+#include "perf/region.hh"
+
+using namespace spg;
+
+namespace {
+
+/** Unfold AIT with |U| computed the way the paper's table did. */
+double
+unfoldAitPaperTable(const ConvSpec &spec)
+{
+    double u = static_cast<double>(spec.nx) * spec.ny * spec.nc *
+               spec.fx * spec.fy;
+    double mem = 2 * u + spec.weightElems() + spec.outputElems();
+    return static_cast<double>(spec.flops()) / mem;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Reproduce paper Table 1 (AIT characterization)");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    TablePrinter table(
+        "Table 1: convolutions, intrinsic AIT, Unfold+GEMM AIT, region",
+        {"ID", "Nx,Nf,Nc,Fx,sx", "intrinsic AIT", "paper", "unfold AIT",
+         "unfold AIT (paper |U|)", "paper", "region", "paper region"});
+
+    for (const auto &entry : table1Convolutions()) {
+        table.addRow({
+            TablePrinter::fmt(static_cast<long long>(entry.id)),
+            entry.spec.str(),
+            TablePrinter::fmt(entry.spec.intrinsicAit(), 0),
+            TablePrinter::fmt(entry.paper_intrinsic_ait, 0),
+            TablePrinter::fmt(entry.spec.unfoldAit(), 0),
+            TablePrinter::fmt(unfoldAitPaperTable(entry.spec), 0),
+            TablePrinter::fmt(entry.paper_unfold_ait, 0),
+            regionPair(entry.spec),
+            entry.paper_region,
+        });
+    }
+    emit(cli, table);
+    return 0;
+}

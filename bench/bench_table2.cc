@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the convolution layer specifications of
+ * the four real-world benchmarks, extended with the AIT model and the
+ * Fig. 1 region of each layer (which drives the spg-CNN engine
+ * recommendations exercised by Fig. 8).
+ */
+
+#include "bench/bench_common.hh"
+#include "data/suites.hh"
+#include "perf/region.hh"
+
+using namespace spg;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Reproduce paper Table 2 (benchmark layer specs)");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    TablePrinter table(
+        "Table 2: benchmark convolution layers "
+        "(Nx, Nf, Nc, Fx, sx as in the paper)",
+        {"benchmark", "layer", "Nx,Nf,Nc,Fx,sx", "intrinsic AIT",
+         "unfold AIT", "region", "recommended FP",
+         "recommended BP @85%"});
+
+    for (const auto &entry : table2Layers()) {
+        TechniqueChoice rec = recommendTechniques(entry.spec, 0.85);
+        table.addRow({
+            entry.benchmark,
+            "L" + std::to_string(entry.layer),
+            entry.spec.str(),
+            TablePrinter::fmt(entry.spec.intrinsicAit(), 0),
+            TablePrinter::fmt(entry.spec.unfoldAit(), 0),
+            regionPair(entry.spec),
+            rec.fp,
+            rec.bp,
+        });
+    }
+    emit(cli, table);
+    return 0;
+}

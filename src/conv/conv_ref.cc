@@ -1,0 +1,93 @@
+#include "conv/conv_ref.hh"
+
+#include <cstring>
+
+namespace spg {
+
+void
+convForwardRef(const ConvSpec &spec, const float *in, const float *weights,
+               float *out)
+{
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    for (std::int64_t f = 0; f < spec.nf; ++f) {
+        for (std::int64_t y = 0; y < oy; ++y) {
+            for (std::int64_t x = 0; x < ox; ++x) {
+                double sum = 0.0;
+                for (std::int64_t c = 0; c < spec.nc; ++c) {
+                    const float *plane = in + c * spec.ny * spec.nx;
+                    const float *w = weights +
+                        (f * spec.nc + c) * spec.fy * spec.fx;
+                    for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
+                        const float *row =
+                            plane + (y * spec.sy + ky) * spec.nx +
+                            x * spec.sx;
+                        for (std::int64_t kx = 0; kx < spec.fx; ++kx)
+                            sum += static_cast<double>(row[kx]) *
+                                   w[ky * spec.fx + kx];
+                    }
+                }
+                out[(f * oy + y) * ox + x] = static_cast<float>(sum);
+            }
+        }
+    }
+}
+
+void
+convBackwardDataRef(const ConvSpec &spec, const float *eo,
+                    const float *weights, float *ei)
+{
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::memset(ei, 0, sizeof(float) * spec.nc * spec.ny * spec.nx);
+    // Scatter form: every output error element distributes through the
+    // weights to the input positions that produced it — equivalent to
+    // the gather form of Eq. 3 but simpler to state for strides.
+    for (std::int64_t f = 0; f < spec.nf; ++f) {
+        for (std::int64_t y = 0; y < oy; ++y) {
+            for (std::int64_t x = 0; x < ox; ++x) {
+                float e = eo[(f * oy + y) * ox + x];
+                if (e == 0.0f)
+                    continue;
+                for (std::int64_t c = 0; c < spec.nc; ++c) {
+                    float *plane = ei + c * spec.ny * spec.nx;
+                    const float *w = weights +
+                        (f * spec.nc + c) * spec.fy * spec.fx;
+                    for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
+                        float *row = plane +
+                            (y * spec.sy + ky) * spec.nx + x * spec.sx;
+                        for (std::int64_t kx = 0; kx < spec.fx; ++kx)
+                            row[kx] += e * w[ky * spec.fx + kx];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+convBackwardWeightsRef(const ConvSpec &spec, const float *eo,
+                       const float *in, float *dweights)
+{
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    for (std::int64_t f = 0; f < spec.nf; ++f) {
+        for (std::int64_t y = 0; y < oy; ++y) {
+            for (std::int64_t x = 0; x < ox; ++x) {
+                float e = eo[(f * oy + y) * ox + x];
+                if (e == 0.0f)
+                    continue;
+                for (std::int64_t c = 0; c < spec.nc; ++c) {
+                    const float *plane = in + c * spec.ny * spec.nx;
+                    float *dw = dweights +
+                        (f * spec.nc + c) * spec.fy * spec.fx;
+                    for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
+                        const float *row = plane +
+                            (y * spec.sy + ky) * spec.nx + x * spec.sx;
+                        for (std::int64_t kx = 0; kx < spec.fx; ++kx)
+                            dw[ky * spec.fx + kx] += e * row[kx];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace spg

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reference (naive loop-nest) convolution implementations.
+ *
+ * These implement Eq. 2 (forward), Eq. 3 (error back-propagation) and
+ * Eq. 4 (weight gradient) of the paper directly. They are the
+ * correctness oracle for every optimized engine and are never used on
+ * a hot path.
+ *
+ * Single-image layouts (all row-major):
+ *   input  I  : [Nc][Ny][Nx]
+ *   weights W : [Nf][Nc][Fy][Fx]
+ *   output O  : [Nf][Oy][Ox]
+ */
+
+#ifndef SPG_CONV_CONV_REF_HH
+#define SPG_CONV_CONV_REF_HH
+
+#include "conv/conv_spec.hh"
+
+namespace spg {
+
+/**
+ * Forward propagation, Eq. 2:
+ * O[f,y,x] = sum_{c,ky,kx} I[c, y*sy+ky, x*sx+kx] * W[f,c,ky,kx].
+ * O is overwritten.
+ */
+void convForwardRef(const ConvSpec &spec, const float *in,
+                    const float *weights, float *out);
+
+/**
+ * Backward data, Eq. 3: error gradient w.r.t. the input.
+ * EI[c,y,x] = sum_{f,ky,kx : valid} EO[f,(y-ky)/sy,(x-kx)/sx]
+ *             * W[f,c,ky,kx], summing only terms where the division is
+ * exact and in range. EI is overwritten.
+ */
+void convBackwardDataRef(const ConvSpec &spec, const float *eo,
+                         const float *weights, float *ei);
+
+/**
+ * Backward weights, Eq. 4: weight gradient.
+ * dW[f,c,ky,kx] = sum_{y,x} EO[f,y,x] * I[c, y*sy+ky, x*sx+kx].
+ * dW is ACCUMULATED into (callers zero it before the first image so
+ * multi-image batches can sum their contributions).
+ */
+void convBackwardWeightsRef(const ConvSpec &spec, const float *eo,
+                            const float *in, float *dweights);
+
+} // namespace spg
+
+#endif // SPG_CONV_CONV_REF_HH

@@ -1,0 +1,78 @@
+#include "conv/conv_spec.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+bool
+ConvSpec::valid() const
+{
+    return nx > 0 && ny > 0 && nc > 0 && nf > 0 && fx > 0 && fy > 0 &&
+           sx > 0 && sy > 0 && fx <= nx && fy <= ny;
+}
+
+void
+ConvSpec::validate() const
+{
+    if (!valid())
+        fatal("invalid convolution geometry %s", str().c_str());
+}
+
+double
+ConvSpec::intrinsicAit() const
+{
+    double mem = static_cast<double>(inputElems() + weightElems() +
+                                     outputElems());
+    return static_cast<double>(flops()) / mem;
+}
+
+double
+ConvSpec::unfoldAit() const
+{
+    double mem = static_cast<double>(2 * unfoldedElems() + weightElems() +
+                                     outputElems());
+    return static_cast<double>(flops()) / mem;
+}
+
+double
+ConvSpec::unfoldRatio() const
+{
+    double intrinsic_mem = static_cast<double>(inputElems() +
+                                               weightElems() +
+                                               outputElems());
+    double unfold_mem = static_cast<double>(2 * unfoldedElems() +
+                                            weightElems() +
+                                            outputElems());
+    return intrinsic_mem / unfold_mem;
+}
+
+std::string
+ConvSpec::str() const
+{
+    char buf[160];
+    if (nx == ny && fx == fy && sx == sy) {
+        std::snprintf(buf, sizeof(buf),
+                      "%lld,%lld,%lld,%lld,%lld",
+                      static_cast<long long>(nx),
+                      static_cast<long long>(nf),
+                      static_cast<long long>(nc),
+                      static_cast<long long>(fx),
+                      static_cast<long long>(sx));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%lldx%lld,%lld,%lld,%lldx%lld,%lldx%lld",
+                      static_cast<long long>(nx),
+                      static_cast<long long>(ny),
+                      static_cast<long long>(nf),
+                      static_cast<long long>(nc),
+                      static_cast<long long>(fx),
+                      static_cast<long long>(fy),
+                      static_cast<long long>(sx),
+                      static_cast<long long>(sy));
+    }
+    return buf;
+}
+
+} // namespace spg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Convolution layer specification and its arithmetic-intensity model.
+ *
+ * A convolution is the paper's 5-tuple kernel <Nf, Fy, Fx, sy, sx>
+ * applied to an input of Nc channels of Ny x Nx pixels. This header
+ * also implements the AIT model of paper §3.1 (Eqs. 5-8): the
+ * intrinsic AIT of the convolution, the AIT after unfolding
+ * (Unfold+GEMM), and the maximum achievable fraction r of the
+ * intrinsic AIT that the unfolded form retains.
+ */
+
+#ifndef SPG_CONV_CONV_SPEC_HH
+#define SPG_CONV_CONV_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace spg {
+
+/**
+ * Geometry of one convolutional layer (no padding; padding/cropping is
+ * applied by the data pipeline as in the paper's Table 2 note).
+ */
+struct ConvSpec
+{
+    std::int64_t nx = 0;  ///< input width
+    std::int64_t ny = 0;  ///< input height
+    std::int64_t nc = 0;  ///< input channels (features)
+    std::int64_t nf = 0;  ///< output features
+    std::int64_t fx = 0;  ///< kernel width
+    std::int64_t fy = 0;  ///< kernel height
+    std::int64_t sx = 1;  ///< stride along x
+    std::int64_t sy = 1;  ///< stride along y
+
+    /** Square-geometry convenience constructor (Nx=Ny, Fx=Fy, sx=sy). */
+    static ConvSpec
+    square(std::int64_t n, std::int64_t nf, std::int64_t nc,
+           std::int64_t f, std::int64_t s = 1)
+    {
+        return ConvSpec{n, n, nc, nf, f, f, s, s};
+    }
+
+    /** @return output width (Ox). */
+    std::int64_t outX() const { return (nx - fx) / sx + 1; }
+    /** @return output height (Oy). */
+    std::int64_t outY() const { return (ny - fy) / sy + 1; }
+
+    /** @return true when the geometry is well-formed. */
+    bool valid() const;
+
+    /** Abort via fatal() when the geometry is malformed. */
+    void validate() const;
+
+    /** |I| = Nx * Ny * Nc (Eq. 6). */
+    std::int64_t inputElems() const { return nx * ny * nc; }
+
+    /** |W| = Nf * Fx * Fy * Nc (Eq. 7). */
+    std::int64_t weightElems() const { return nf * fx * fy * nc; }
+
+    /** |O| = Nf * Ox * Oy (Eq. 8). */
+    std::int64_t outputElems() const { return nf * outX() * outY(); }
+
+    /** |A| = 2 * Nf * Ox * Oy * Nc * Fy * Fx (Eq. 5, exact output). */
+    std::int64_t
+    flops() const
+    {
+        return 2 * nf * outX() * outY() * nc * fy * fx;
+    }
+
+    /** |U| = Ox * Oy * Nc * Fx * Fy: elements of the unfolded input. */
+    std::int64_t
+    unfoldedElems() const
+    {
+        return outX() * outY() * nc * fx * fy;
+    }
+
+    /** Intrinsic AIT = |A| / (|I| + |W| + |O|) (paper §3.1). */
+    double intrinsicAit() const;
+
+    /**
+     * AIT of the Unfold+GEMM execution:
+     * |A| / (2|U| + |W| + |O|), counting the unfolded input twice
+     * because it is materialized (stored) and then read by the MM.
+     */
+    double unfoldAit() const;
+
+    /**
+     * r = (|I| + |W| + |O|) / (2|U| + |W| + |O|): the maximum fraction
+     * of the intrinsic AIT that Unfold+GEMM can achieve.
+     */
+    double unfoldRatio() const;
+
+    /** GEMM dimensions of the unfolded FP: M=Nf, N=Oy*Ox, K=Nc*Fy*Fx. */
+    std::int64_t gemmM() const { return nf; }
+    std::int64_t gemmN() const { return outY() * outX(); }
+    std::int64_t gemmK() const { return nc * fy * fx; }
+
+    /** @return "Nx,Nf,Nc,Fx,sx"-style rendering for reports. */
+    std::string str() const;
+
+    bool operator==(const ConvSpec &other) const = default;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_CONV_SPEC_HH

@@ -1,0 +1,120 @@
+#include "conv/engine.hh"
+
+#include "conv/conv_ref.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Forward:
+        return "FP";
+      case Phase::BackwardData:
+        return "BP-data";
+      case Phase::BackwardWeights:
+        return "BP-weights";
+    }
+    return "?";
+}
+
+void
+ConvEngine::forward(const ConvSpec &, const Tensor &, const Tensor &,
+                    Tensor &, ThreadPool &) const
+{
+    panic("engine '%s' does not implement forward()", name().c_str());
+}
+
+void
+ConvEngine::backwardData(const ConvSpec &, const Tensor &, const Tensor &,
+                         Tensor &, ThreadPool &) const
+{
+    panic("engine '%s' does not implement backwardData()", name().c_str());
+}
+
+void
+ConvEngine::backwardWeights(const ConvSpec &, const Tensor &,
+                            const Tensor &, Tensor &, ThreadPool &) const
+{
+    panic("engine '%s' does not implement backwardWeights()",
+          name().c_str());
+}
+
+void
+ConvEngine::checkForwardShapes(const ConvSpec &spec, const Tensor &in,
+                               const Tensor &weights, const Tensor &out)
+{
+    Shape in_want{in.shape()[0], spec.nc, spec.ny, spec.nx};
+    Shape w_want{spec.nf, spec.nc, spec.fy, spec.fx};
+    Shape out_want{in.shape()[0], spec.nf, spec.outY(), spec.outX()};
+    if (in.shape() != in_want || weights.shape() != w_want ||
+        out.shape() != out_want) {
+        panic("forward shape mismatch for conv %s: in=%s w=%s out=%s",
+              spec.str().c_str(), in.shape().str().c_str(),
+              weights.shape().str().c_str(), out.shape().str().c_str());
+    }
+}
+
+void
+ConvEngine::checkBackwardShapes(const ConvSpec &spec, const Tensor &eo,
+                                const Tensor &weights, const Tensor &ei)
+{
+    Shape eo_want{eo.shape()[0], spec.nf, spec.outY(), spec.outX()};
+    Shape w_want{spec.nf, spec.nc, spec.fy, spec.fx};
+    Shape ei_want{eo.shape()[0], spec.nc, spec.ny, spec.nx};
+    if (eo.shape() != eo_want || weights.shape() != w_want ||
+        ei.shape() != ei_want) {
+        panic("backward shape mismatch for conv %s: eo=%s w=%s ei=%s",
+              spec.str().c_str(), eo.shape().str().c_str(),
+              weights.shape().str().c_str(), ei.shape().str().c_str());
+    }
+}
+
+void
+ReferenceEngine::forward(const ConvSpec &spec, const Tensor &in,
+                         const Tensor &weights, Tensor &out,
+                         ThreadPool &) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t in_stride = spec.inputElems();
+    std::int64_t out_stride = spec.outputElems();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        convForwardRef(spec, in.data() + b * in_stride, weights.data(),
+                       out.data() + b * out_stride);
+    }
+}
+
+void
+ReferenceEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
+                              const Tensor &weights, Tensor &ei,
+                              ThreadPool &) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t eo_stride = spec.outputElems();
+    std::int64_t ei_stride = spec.inputElems();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        convBackwardDataRef(spec, eo.data() + b * eo_stride,
+                            weights.data(), ei.data() + b * ei_stride);
+    }
+}
+
+void
+ReferenceEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                                 const Tensor &in, Tensor &dweights,
+                                 ThreadPool &) const
+{
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t eo_stride = spec.outputElems();
+    std::int64_t in_stride = spec.inputElems();
+    dweights.zero();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        convBackwardWeightsRef(spec, eo.data() + b * eo_stride,
+                               in.data() + b * in_stride,
+                               dweights.data());
+    }
+}
+
+} // namespace spg

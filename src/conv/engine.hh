@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The convolution engine interface.
+ *
+ * An engine executes one convolution layer over a minibatch in one of
+ * the three training phases: forward propagation (FP), backward data
+ * (error gradients, Eq. 3) and backward weights (delta weights,
+ * Eq. 4). spg-CNN's scheduler (src/core) measures every applicable
+ * engine per layer/phase and deploys the fastest, re-checking as the
+ * error sparsity evolves across epochs (paper §4.4).
+ *
+ * Batched tensor layouts (row-major):
+ *   input   : [B][Nc][Ny][Nx]
+ *   weights : [Nf][Nc][Fy][Fx]
+ *   output  : [B][Nf][Oy][Ox]
+ */
+
+#ifndef SPG_CONV_ENGINE_HH
+#define SPG_CONV_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conv/conv_spec.hh"
+#include "tensor/tensor.hh"
+#include "threading/thread_pool.hh"
+
+namespace spg {
+
+/** Which training phase an engine call executes. */
+enum class Phase { Forward, BackwardData, BackwardWeights };
+
+/** @return human-readable phase name. */
+const char *phaseName(Phase phase);
+
+/**
+ * Abstract convolution executor. Implementations are stateless with
+ * respect to the minibatch (scratch is per-thread) so one instance can
+ * serve many layers of identical spec.
+ */
+class ConvEngine
+{
+  public:
+    virtual ~ConvEngine() = default;
+
+    /** @return engine name as used in reports ("parallel-gemm", ...). */
+    virtual std::string name() const = 0;
+
+    /** @return true when this engine implements the given phase. */
+    virtual bool supports(Phase phase) const = 0;
+
+    /**
+     * @return true when this engine can execute the given geometry
+     * (default: any). Specialized engines (e.g. Winograd, which needs
+     * 3x3 stride-1 kernels) refine this so the tuner can skip them.
+     */
+    virtual bool supportsGeometry(const ConvSpec &) const { return true; }
+
+    /**
+     * FP: out[b] = conv(in[b], weights) for each image b.
+     *
+     * @param spec Layer geometry.
+     * @param in Input activations [B][Nc][Ny][Nx].
+     * @param weights Weights [Nf][Nc][Fy][Fx].
+     * @param out Output activations [B][Nf][Oy][Ox], overwritten.
+     * @param pool Worker pool carrying the core count.
+     */
+    virtual void forward(const ConvSpec &spec, const Tensor &in,
+                         const Tensor &weights, Tensor &out,
+                         ThreadPool &pool) const;
+
+    /**
+     * BP-data: ei[b] = Eq. 3 applied to eo[b]. ei is overwritten.
+     *
+     * @param spec Layer geometry.
+     * @param eo Output-activation errors [B][Nf][Oy][Ox].
+     * @param weights Weights [Nf][Nc][Fy][Fx].
+     * @param ei Input-activation errors [B][Nc][Ny][Nx], overwritten.
+     * @param pool Worker pool.
+     */
+    virtual void backwardData(const ConvSpec &spec, const Tensor &eo,
+                              const Tensor &weights, Tensor &ei,
+                              ThreadPool &pool) const;
+
+    /**
+     * BP-weights: dweights = sum_b Eq. 4 over the batch. dweights is
+     * overwritten (not accumulated across calls).
+     *
+     * @param spec Layer geometry.
+     * @param eo Output-activation errors [B][Nf][Oy][Ox].
+     * @param in Input activations [B][Nc][Ny][Nx].
+     * @param dweights Weight gradients [Nf][Nc][Fy][Fx], overwritten.
+     * @param pool Worker pool.
+     */
+    virtual void backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                                 const Tensor &in, Tensor &dweights,
+                                 ThreadPool &pool) const;
+
+  protected:
+    /** Validate batched tensor shapes against the spec; panics on
+     *  mismatch (engine call sites are internal). */
+    static void checkForwardShapes(const ConvSpec &spec, const Tensor &in,
+                                   const Tensor &weights,
+                                   const Tensor &out);
+    static void checkBackwardShapes(const ConvSpec &spec, const Tensor &eo,
+                                    const Tensor &weights,
+                                    const Tensor &ei);
+};
+
+/**
+ * Naive reference engine wrapping conv_ref.hh — the oracle used by
+ * tests; sequential over the batch.
+ */
+class ReferenceEngine : public ConvEngine
+{
+  public:
+    std::string name() const override { return "reference"; }
+    bool supports(Phase) const override { return true; }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+    void backwardData(const ConvSpec &spec, const Tensor &eo,
+                      const Tensor &weights, Tensor &ei,
+                      ThreadPool &pool) const override;
+    void backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                         const Tensor &in, Tensor &dweights,
+                         ThreadPool &pool) const override;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_HH

@@ -1,0 +1,94 @@
+#include "conv/engine_fft.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "fft/fft.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+std::int64_t
+FftConvEngine::paddedSize(const ConvSpec &spec)
+{
+    return nextPowerOfTwo(std::max(spec.ny, spec.nx));
+}
+
+void
+FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
+                       const Tensor &weights, Tensor &out,
+                       ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t p = paddedSize(spec);
+    std::int64_t plane = p * p;
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+
+    // Feature block size bounded by the spectra budget: one block
+    // holds `block * nc` kernel spectra.
+    std::int64_t per_plane_bytes = plane * sizeof(Complex);
+    std::int64_t block = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(spectraBudget) /
+               std::max<std::int64_t>(1, spec.nc * per_plane_bytes));
+    block = std::min(block, spec.nf);
+
+    std::vector<Complex> w_spectra(
+        static_cast<std::size_t>(block) * spec.nc * plane);
+
+    for (std::int64_t f0 = 0; f0 < spec.nf; f0 += block) {
+        std::int64_t fcount = std::min(block, spec.nf - f0);
+
+        // Kernel spectra of this feature block, shared by all images.
+        pool.parallelForDynamic(
+            fcount * spec.nc, [&](std::int64_t idx, int) {
+                std::int64_t bf = idx / spec.nc;
+                std::int64_t c = idx % spec.nc;
+                Complex *dst =
+                    w_spectra.data() + (bf * spec.nc + c) * plane;
+                const float *w = weights.data() +
+                                 ((f0 + bf) * spec.nc + c) * spec.fy *
+                                     spec.fx;
+                padRealToComplex(w, spec.fy, spec.fx, p, dst);
+                fft2dInplace(dst, p, p);
+            });
+
+        pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+            // Input spectra for this image (all channels).
+            // Thread-local so concurrent images do not share buffers.
+            thread_local std::vector<Complex> in_spectra;
+            thread_local std::vector<Complex> acc;
+            in_spectra.resize(static_cast<std::size_t>(spec.nc) * plane);
+            acc.resize(plane);
+
+            const float *image = in.data() + b * spec.inputElems();
+            for (std::int64_t c = 0; c < spec.nc; ++c) {
+                Complex *dst = in_spectra.data() + c * plane;
+                padRealToComplex(image + c * spec.ny * spec.nx, spec.ny,
+                                 spec.nx, p, dst);
+                fft2dInplace(dst, p, p);
+            }
+
+            float *out_image = out.data() + b * spec.outputElems();
+            for (std::int64_t bf = 0; bf < fcount; ++bf) {
+                std::fill(acc.begin(), acc.end(), Complex(0, 0));
+                for (std::int64_t c = 0; c < spec.nc; ++c) {
+                    accumulateCorrelationSpectrum(
+                        in_spectra.data() + c * plane,
+                        w_spectra.data() + (bf * spec.nc + c) * plane,
+                        plane, acc.data());
+                }
+                fft2dInplace(acc.data(), p, p, /* inverse */ true);
+                float *out_plane = out_image + (f0 + bf) * oy * ox;
+                for (std::int64_t y = 0; y < oy; ++y) {
+                    const Complex *row = acc.data() + y * spec.sy * p;
+                    for (std::int64_t x = 0; x < ox; ++x)
+                        out_plane[y * ox + x] =
+                            row[x * spec.sx].real();
+                }
+            }
+        });
+    }
+}
+
+} // namespace spg

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FFT-based forward-propagation engine (extension).
+ *
+ * Implements the complementary technique the paper cites (Mathieu,
+ * Henaff & LeCun, "Fast training of convolutional networks through
+ * FFTs"): forward propagation as frequency-domain cross-correlation —
+ *
+ *     O_f = crop( IFFT( sum_c FFT(I_c) . conj(FFT(W_fc)) ) )
+ *
+ * on planes zero-padded to the next power of two. Arithmetic drops
+ * from O(Oy*Ox*Fy*Fx) to O(P^2 log P) per plane pair, so the FFT
+ * engine wins when kernels are large (e.g. the 11x11 Table 1 ID 5)
+ * and loses to direct/GEMM convolution for the common 3x3 case —
+ * `bench_ext_fft` maps the crossover.
+ *
+ * Strided convolutions compute the stride-1 result and subsample.
+ * Weight spectra are precomputed per call in feature blocks sized to
+ * a memory budget, so arbitrarily large layers stay bounded.
+ */
+
+#ifndef SPG_CONV_ENGINE_FFT_HH
+#define SPG_CONV_ENGINE_FFT_HH
+
+#include "conv/engine.hh"
+
+namespace spg {
+
+/** Frequency-domain FP engine. */
+class FftConvEngine : public ConvEngine
+{
+  public:
+    /**
+     * @param spectra_budget_bytes Cap on the weight-spectra cache; 0
+     *        selects the default (256 MiB).
+     */
+    explicit FftConvEngine(std::size_t spectra_budget_bytes = 0)
+        : spectraBudget(spectra_budget_bytes ? spectra_budget_bytes
+                                             : kDefaultBudget)
+    {}
+
+    std::string name() const override { return "fft"; }
+    bool supports(Phase phase) const override
+    {
+        return phase == Phase::Forward;
+    }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+
+    /** @return the padded transform size for a spec. */
+    static std::int64_t paddedSize(const ConvSpec &spec);
+
+  private:
+    static constexpr std::size_t kDefaultBudget = 256u << 20;
+    std::size_t spectraBudget;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_FFT_HH

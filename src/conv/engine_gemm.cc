@@ -1,0 +1,197 @@
+#include "conv/engine_gemm.hh"
+
+#include <cstring>
+
+#include "blas/gemm.hh"
+#include "conv/scratch.hh"
+#include "conv/unfold.hh"
+
+namespace spg {
+
+namespace {
+
+/**
+ * Per-image FP: unfold then O = W * U'. The GemmFn decides whether
+ * the MM itself is threaded (Parallel-GEMM) or single-threaded
+ * (GEMM-in-Parallel).
+ */
+template <typename GemmFn>
+void
+forwardImage(const ConvSpec &spec, const float *in, const float *weights,
+             float *out, GemmFn &&mm)
+{
+    std::int64_t m = spec.gemmM(), n = spec.gemmN(), k = spec.gemmK();
+    float *u = ScratchArena::forThread().get(
+        kSlotUnfold, static_cast<std::size_t>(k) * n);
+    unfoldImage(spec, in, u);
+    mm(Trans::No, Trans::No, m, n, k, weights, u, 0.0f, out);
+}
+
+/** Per-image BP-data: U'grad = W^T * EO, then fold into EI. */
+template <typename GemmFn>
+void
+backwardDataImage(const ConvSpec &spec, const float *eo,
+                  const float *weights, float *ei, GemmFn &&mm)
+{
+    std::int64_t m = spec.gemmK(), n = spec.gemmN(), k = spec.gemmM();
+    float *ugrad = ScratchArena::forThread().get(
+        kSlotUnfoldGrad, static_cast<std::size_t>(m) * n);
+    mm(Trans::Yes, Trans::No, m, n, k, weights, eo, 0.0f, ugrad);
+    std::memset(ei, 0, sizeof(float) * spec.inputElems());
+    foldImageAccumulate(spec, ugrad, ei);
+}
+
+/** Per-image BP-weights: dW += EO * U'^T (dW pre-zeroed by caller). */
+template <typename GemmFn>
+void
+backwardWeightsImage(const ConvSpec &spec, const float *eo,
+                     const float *in, float *dweights, GemmFn &&mm)
+{
+    std::int64_t m = spec.gemmM(), n = spec.gemmK(), k = spec.gemmN();
+    float *u = ScratchArena::forThread().get(
+        kSlotUnfold, static_cast<std::size_t>(n) * k);
+    unfoldImage(spec, in, u);
+    mm(Trans::No, Trans::Yes, m, n, k, eo, u, 1.0f, dweights);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// UnfoldGemmEngine: sequential over images, Parallel-GEMM per image.
+// ---------------------------------------------------------------------
+
+void
+UnfoldGemmEngine::forward(const ConvSpec &spec, const Tensor &in,
+                          const Tensor &weights, Tensor &out,
+                          ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                      std::int64_t k, const float *a, const float *b,
+                      float beta, float *c) {
+        parallelGemm(pool, ta, tb, m, n, k, a, b, beta, c);
+    };
+    for (std::int64_t b = 0; b < batch; ++b) {
+        forwardImage(spec, in.data() + b * spec.inputElems(),
+                     weights.data(), out.data() + b * spec.outputElems(),
+                     mm);
+    }
+}
+
+void
+UnfoldGemmEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
+                               const Tensor &weights, Tensor &ei,
+                               ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                      std::int64_t k, const float *a, const float *b,
+                      float beta, float *c) {
+        parallelGemm(pool, ta, tb, m, n, k, a, b, beta, c);
+    };
+    for (std::int64_t b = 0; b < batch; ++b) {
+        backwardDataImage(spec, eo.data() + b * spec.outputElems(),
+                          weights.data(),
+                          ei.data() + b * spec.inputElems(), mm);
+    }
+}
+
+void
+UnfoldGemmEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                                  const Tensor &in, Tensor &dweights,
+                                  ThreadPool &pool) const
+{
+    std::int64_t batch = eo.shape()[0];
+    dweights.zero();
+    auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                      std::int64_t k, const float *a, const float *b,
+                      float beta, float *c) {
+        parallelGemm(pool, ta, tb, m, n, k, a, b, beta, c);
+    };
+    for (std::int64_t b = 0; b < batch; ++b) {
+        backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
+                             in.data() + b * spec.inputElems(),
+                             dweights.data(), mm);
+    }
+}
+
+// ---------------------------------------------------------------------
+// GemmInParallelEngine: images across cores, sequential GEMM per image.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The single-threaded MM each worker runs on its own image. */
+void
+seqMm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+      const float *a, const float *b, float beta, float *c)
+{
+    sgemm(ta, tb, m, n, k, a, b, beta, c);
+}
+
+} // namespace
+
+void
+GemmInParallelEngine::forward(const ConvSpec &spec, const Tensor &in,
+                              const Tensor &weights, Tensor &out,
+                              ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        forwardImage(spec, in.data() + b * spec.inputElems(),
+                     weights.data(), out.data() + b * spec.outputElems(),
+                     seqMm);
+    });
+}
+
+void
+GemmInParallelEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
+                                   const Tensor &weights, Tensor &ei,
+                                   ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        backwardDataImage(spec, eo.data() + b * spec.outputElems(),
+                          weights.data(),
+                          ei.data() + b * spec.inputElems(), seqMm);
+    });
+}
+
+void
+GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
+                                      const Tensor &eo, const Tensor &in,
+                                      Tensor &dweights, ThreadPool &pool)
+    const
+{
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t w_count = spec.weightElems();
+
+    // Each worker accumulates into a private gradient buffer; the
+    // buffers are summed into dweights afterwards.
+    int workers = pool.threads();
+    Tensor partial(Shape{workers, w_count});
+    std::vector<char> used(workers, 0);
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
+        float *dw = partial.data() + worker * w_count;
+        used[worker] = 1;
+        backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
+                             in.data() + b * spec.inputElems(), dw,
+                             seqMm);
+    });
+
+    dweights.zero();
+    for (int w = 0; w < workers; ++w) {
+        if (!used[w])
+            continue;
+        const float *src = partial.data() + w * w_count;
+        float *dst = dweights.data();
+        for (std::int64_t i = 0; i < w_count; ++i)
+            dst[i] += src[i];
+    }
+}
+
+} // namespace spg

@@ -1,0 +1,184 @@
+#include "conv/engine_sparse.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "conv/scratch.hh"
+#include "sparse/csr.hh"
+#include "sparse/sparse_mm.hh"
+#include "tensor/layout.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+namespace {
+
+/** Default CT-CSR feature tile: big enough to amortize the tile walk,
+ *  small enough that the weight band per (ky,kx) stays L2-resident. */
+constexpr std::int64_t kDefaultFeatureTile = 64;
+
+/**
+ * Replay the non-zeros of one image's error gradients through the
+ * pointer-shifting loop. Shared by BP-data and BP-weights: the only
+ * difference is which side of the AXPY is indexed by the feature
+ * (weights for BP-data, output gradient for BP-weights).
+ *
+ * @param spec Layer geometry.
+ * @param ct Error gradients as CT-CSR over the (OyOx) x Nf matrix.
+ * @param body Callable (f, val, ky, kx, dst_spatial_offset) invoked
+ *        for every (non-zero, kernel coordinate) pair, where
+ *        dst_spatial_offset = (y'*sy + ky) * Nx + (x'*sx + kx).
+ */
+template <typename Body>
+void
+replayNonZeros(const ConvSpec &spec, const CtCsrMatrix &ct, Body &&body)
+{
+    std::int64_t ox = spec.outX();
+    for (std::int64_t t = 0; t < ct.tileCount(); ++t) {
+        const CsrMatrix &tile = ct.tile(t);
+        std::int64_t f0 = ct.tileColOffset(t);
+        const auto &vals = tile.vals();
+        const auto &cidx = tile.colIdx();
+        const auto &rptr = tile.rowPtr();
+        for (std::int64_t row = 0; row < tile.rows(); ++row) {
+            std::int64_t begin = rptr[row], end = rptr[row + 1];
+            if (begin == end)
+                continue;
+            std::int64_t yp = row / ox;
+            std::int64_t xp = row % ox;
+            std::int64_t base =
+                yp * spec.sy * spec.nx + xp * spec.sx;
+            // Pointer shifting: one non-zero list, Fy*Fx destinations.
+            for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
+                for (std::int64_t kx = 0; kx < spec.fx; ++kx) {
+                    std::int64_t dst = base + ky * spec.nx + kx;
+                    for (std::int64_t p = begin; p < end; ++p) {
+                        body(f0 + cidx[p], vals[p], ky, kx, dst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::int64_t
+SparseBpEngine::effectiveFeatureTile(std::int64_t nf) const
+{
+    if (featureTile > 0)
+        return std::min(featureTile, nf);
+    return std::min(kDefaultFeatureTile, nf);
+}
+
+void
+SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
+                             const Tensor &weights, Tensor &ei,
+                             ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::int64_t spatial_out = oy * ox;
+    std::int64_t spatial_in = spec.ny * spec.nx;
+    std::int64_t tile_w = effectiveFeatureTile(spec.nf);
+
+    // Weights channel-fastest: W'[ky][kx][f][c]; once per call.
+    Tensor wkkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    weightsToKkfc(weights.data(), spec.nf, spec.nc, spec.fy, spec.fx,
+                  wkkfc.data());
+    const float *wt = wkkfc.data();
+    std::int64_t wf_stride = spec.nf * spec.nc;
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        ScratchArena &arena = ScratchArena::forThread();
+        // EO feature-fastest: EO'[(y',x')][f].
+        float *eo_t = arena.get(
+            kSlotLayoutA, static_cast<std::size_t>(spatial_out) * spec.nf);
+        chwToHwc(eo.data() + b * spec.outputElems(), spec.nf, oy, ox,
+                 eo_t);
+        CtCsrMatrix ct = CtCsrMatrix::fromDense(eo_t, spatial_out,
+                                                spec.nf, tile_w);
+
+        // EI channel-fastest staging, zeroed.
+        float *ei_t = arena.get(
+            kSlotLayoutC, static_cast<std::size_t>(spatial_in) * spec.nc);
+        std::memset(ei_t, 0,
+                    sizeof(float) * spatial_in * spec.nc);
+
+        std::int64_t nc = spec.nc;
+        replayNonZeros(spec, ct,
+                       [&](std::int64_t f, float val, std::int64_t ky,
+                           std::int64_t kx, std::int64_t dst) {
+            const float *wrow =
+                wt + (ky * spec.fx + kx) * wf_stride + f * nc;
+            axpy(nc, val, wrow, ei_t + dst * nc);
+        });
+
+        hwcToChw(ei_t, spec.ny, spec.nx, spec.nc,
+                 ei.data() + b * spec.inputElems());
+    });
+}
+
+void
+SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                                const Tensor &in, Tensor &dweights,
+                                ThreadPool &pool) const
+{
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::int64_t spatial_out = oy * ox;
+    std::int64_t spatial_in = spec.ny * spec.nx;
+    std::int64_t tile_w = effectiveFeatureTile(spec.nf);
+    std::int64_t w_count = spec.weightElems();
+    std::int64_t wf_stride = spec.nf * spec.nc;
+
+    // Per-worker private dW' accumulators in [ky][kx][f][c] layout.
+    int workers = pool.threads();
+    Tensor partial(Shape{workers, w_count});
+    std::vector<char> used(workers, 0);
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
+        ScratchArena &arena = ScratchArena::forThread();
+        float *eo_t = arena.get(
+            kSlotLayoutA, static_cast<std::size_t>(spatial_out) * spec.nf);
+        chwToHwc(eo.data() + b * spec.outputElems(), spec.nf, oy, ox,
+                 eo_t);
+        CtCsrMatrix ct = CtCsrMatrix::fromDense(eo_t, spatial_out,
+                                                spec.nf, tile_w);
+
+        // Input channel-fastest: I'[(y,x)][c].
+        float *in_t = arena.get(
+            kSlotLayoutB, static_cast<std::size_t>(spatial_in) * spec.nc);
+        chwToHwc(in.data() + b * spec.inputElems(), spec.nc, spec.ny,
+                 spec.nx, in_t);
+
+        float *dw = partial.data() + worker * w_count;
+        used[worker] = 1;
+
+        std::int64_t nc = spec.nc;
+        replayNonZeros(spec, ct,
+                       [&](std::int64_t f, float val, std::int64_t ky,
+                           std::int64_t kx, std::int64_t src) {
+            float *dwrow =
+                dw + (ky * spec.fx + kx) * wf_stride + f * nc;
+            axpy(nc, val, in_t + src * nc, dwrow);
+        });
+    });
+
+    // Reduce private accumulators, then restore [f][c][ky][kx].
+    Tensor dw_kkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    for (int w = 0; w < workers; ++w) {
+        if (!used[w])
+            continue;
+        const float *src = partial.data() + w * w_count;
+        float *dst = dw_kkfc.data();
+        for (std::int64_t i = 0; i < w_count; ++i)
+            dst[i] += src[i];
+    }
+    weightsFromKkfc(dw_kkfc.data(), spec.fy, spec.fx, spec.nf, spec.nc,
+                    dweights.data());
+}
+
+} // namespace spg

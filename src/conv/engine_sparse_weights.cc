@@ -1,0 +1,62 @@
+#include "conv/engine_sparse_weights.hh"
+
+#include <cstring>
+
+#include "sparse/csr.hh"
+#include "sparse/sparse_mm.hh"
+
+namespace spg {
+
+void
+SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
+                               const Tensor &weights, Tensor &out,
+                               ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::int64_t taps = spec.nc * spec.fy * spec.fx;
+
+    // Compress the weights once per call: row f holds that feature's
+    // non-zero taps, column index encodes (c, ky, kx).
+    CsrMatrix wcsr = CsrMatrix::fromDense(weights.data(), spec.nf, taps);
+    const auto &vals = wcsr.vals();
+    const auto &cidx = wcsr.colIdx();
+    const auto &rptr = wcsr.rowPtr();
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        const float *image = in.data() + b * spec.inputElems();
+        float *out_image = out.data() + b * spec.outputElems();
+        for (std::int64_t f = 0; f < spec.nf; ++f) {
+            float *plane = out_image + f * oy * ox;
+            std::memset(plane, 0, sizeof(float) * oy * ox);
+            for (std::int64_t p = rptr[f]; p < rptr[f + 1]; ++p) {
+                float val = vals[p];
+                std::int64_t tap = cidx[p];
+                std::int64_t c = tap / (spec.fy * spec.fx);
+                std::int64_t ky = tap / spec.fx % spec.fy;
+                std::int64_t kx = tap % spec.fx;
+                const float *iplane = image + c * spec.ny * spec.nx;
+                if (spec.sx == 1) {
+                    // Unit stride: one vectorized row-AXPY per output
+                    // row; the input pointer just shifts by (ky, kx).
+                    for (std::int64_t y = 0; y < oy; ++y) {
+                        axpy(ox, val,
+                             iplane + (y * spec.sy + ky) * spec.nx + kx,
+                             plane + y * ox);
+                    }
+                } else {
+                    for (std::int64_t y = 0; y < oy; ++y) {
+                        const float *src =
+                            iplane + (y * spec.sy + ky) * spec.nx + kx;
+                        float *dst = plane + y * ox;
+                        for (std::int64_t x = 0; x < ox; ++x)
+                            dst[x] += val * src[x * spec.sx];
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace spg

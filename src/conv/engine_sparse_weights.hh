@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Weight-sparsity forward-propagation engine (extension).
+ *
+ * The paper exploits sparsity in the ERROR GRADIENTS during training
+ * (§4.2) and cites weight-sparse inference (Liu et al., CVPR'15) as
+ * the complementary direction requiring weight positions to be known
+ * in advance. This engine implements that direction with the same
+ * in-place pointer-shifting machinery as the Sparse-Kernel: the
+ * weights are compressed once into CSR (rows = output features,
+ * columns = flattened (c, ky, kx) taps) and forward propagation
+ * executes only the non-zero taps —
+ *
+ *     O[f, y, :] += w[f,c,ky,kx] * I[c, y*sy+ky, kx + sx*(0..Ox)]
+ *
+ * a row-AXPY per (non-zero tap, output row), unit-stride and
+ * vectorized for sx == 1. Useful for inference with pruned models;
+ * with dense weights it degenerates to direct convolution.
+ */
+
+#ifndef SPG_CONV_ENGINE_SPARSE_WEIGHTS_HH
+#define SPG_CONV_ENGINE_SPARSE_WEIGHTS_HH
+
+#include "conv/engine.hh"
+
+namespace spg {
+
+/** FP engine eliding zero weights (pruned-model inference). */
+class SparseWeightsFpEngine : public ConvEngine
+{
+  public:
+    std::string name() const override { return "sparse-weights"; }
+    bool supports(Phase phase) const override
+    {
+        return phase == Phase::Forward;
+    }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_SPARSE_WEIGHTS_HH

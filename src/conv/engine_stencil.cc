@@ -1,0 +1,376 @@
+#include "conv/engine_stencil.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "conv/scratch.hh"
+#include "conv/stencil_block.hh"
+#include "tensor/layout.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+void
+stencilTileScalar(const float *in, std::int64_t row_stride,
+                  const std::int64_t *xoff, const float *w,
+                  std::int64_t fy, std::int64_t fx, std::int64_t sy,
+                  std::int64_t y0, std::int64_t rows, std::int64_t x0,
+                  std::int64_t cols, float *out, std::int64_t out_stride)
+{
+    for (std::int64_t ty = 0; ty < rows; ++ty) {
+        for (std::int64_t x = x0; x < x0 + cols; ++x) {
+            float sum = out[(y0 + ty) * out_stride + x];
+            for (std::int64_t ky = 0; ky < fy; ++ky) {
+                const float *rowp =
+                    in + ((y0 + ty) * sy + ky) * row_stride + x;
+                for (std::int64_t kx = 0; kx < fx; ++kx)
+                    sum += w[ky * fx + kx] * rowp[xoff[kx]];
+            }
+            out[(y0 + ty) * out_stride + x] = sum;
+        }
+    }
+}
+
+namespace {
+
+/** Register-tile candidates: RY x RX with RY*RX <= 12 accumulators. */
+struct TileShape
+{
+    int ry, rx;
+};
+
+constexpr TileShape kTileShapes[] = {
+    {1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {2, 4}, {3, 1},
+    {3, 2}, {3, 4}, {4, 1}, {4, 2}, {6, 1}, {6, 2}, {12, 1},
+};
+
+/**
+ * Micro-op cost per FMA of a tile shape for kernel height fy:
+ * input loads (RY+fy-1)/(RY*fy) plus weight broadcasts 1/RX.
+ */
+double
+tileCost(const TileShape &shape, std::int64_t fy)
+{
+    return static_cast<double>(shape.ry + fy - 1) /
+               (static_cast<double>(shape.ry) * fy) +
+           1.0 / shape.rx;
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+/** Instantiate the FY dispatch for one (RY, RX) shape. */
+template <int RY, int RX>
+void
+runTileFy(const float *in, std::int64_t row_stride,
+          const std::int64_t *xoff, const float *w, std::int64_t fy,
+          std::int64_t fx, std::int64_t sy, std::int64_t y0,
+          std::int64_t x0, float *out, std::int64_t out_stride)
+{
+    switch (fy) {
+      case 1:
+        stencilTile<RY, RX, 1>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 2:
+        stencilTile<RY, RX, 2>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 3:
+        stencilTile<RY, RX, 3>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 4:
+        stencilTile<RY, RX, 4>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 5:
+        stencilTile<RY, RX, 5>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 7:
+        stencilTile<RY, RX, 7>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+      case 11:
+        stencilTile<RY, RX, 11>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                                x0, out, out_stride);
+        break;
+      default:
+        stencilTile<RY, RX, 0>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, out, out_stride);
+        break;
+    }
+}
+
+/** Dispatch to the fully unrolled (RY, RX) instantiation. */
+void
+runTile(int ry, int rx, const float *in, std::int64_t row_stride,
+        const std::int64_t *xoff, const float *w, std::int64_t fy,
+        std::int64_t fx, std::int64_t sy, std::int64_t y0,
+        std::int64_t x0, float *out, std::int64_t out_stride)
+{
+#define SPG_TILE_CASE(RY, RX)                                             \
+    if (ry == (RY) && rx == (RX)) {                                      \
+        runTileFy<RY, RX>(in, row_stride, xoff, w, fy, fx, sy, y0, x0,   \
+                          out, out_stride);                              \
+        return;                                                          \
+    }
+    SPG_TILE_CASE(1, 1)
+    SPG_TILE_CASE(1, 2)
+    SPG_TILE_CASE(1, 4)
+    SPG_TILE_CASE(2, 1)
+    SPG_TILE_CASE(2, 2)
+    SPG_TILE_CASE(2, 4)
+    SPG_TILE_CASE(3, 1)
+    SPG_TILE_CASE(3, 2)
+    SPG_TILE_CASE(3, 4)
+    SPG_TILE_CASE(4, 1)
+    SPG_TILE_CASE(4, 2)
+    SPG_TILE_CASE(6, 1)
+    SPG_TILE_CASE(6, 2)
+    SPG_TILE_CASE(12, 1)
+#undef SPG_TILE_CASE
+    panic("no stencil instantiation for tile %dx%d", ry, rx);
+}
+
+/** FY dispatch for the masked tail tile of one RY. */
+template <int RY>
+void
+runTailFy(const float *in, std::int64_t row_stride,
+          const std::int64_t *xoff, const float *w, std::int64_t fy,
+          std::int64_t fx, std::int64_t sy, std::int64_t y0,
+          std::int64_t x0, std::int64_t cols, float *out,
+          std::int64_t out_stride)
+{
+    switch (fy) {
+      case 1:
+        stencilTileTail<RY, 1>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 2:
+        stencilTileTail<RY, 2>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 3:
+        stencilTileTail<RY, 3>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 4:
+        stencilTileTail<RY, 4>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 5:
+        stencilTileTail<RY, 5>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 7:
+        stencilTileTail<RY, 7>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+      case 11:
+        stencilTileTail<RY, 11>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                                x0, cols, out, out_stride);
+        break;
+      default:
+        stencilTileTail<RY, 0>(in, row_stride, xoff, w, fy, fx, sy, y0,
+                               x0, cols, out, out_stride);
+        break;
+    }
+}
+
+/** Dispatch the masked tail tile on the band height. */
+void
+runTailTile(int ry, const float *in, std::int64_t row_stride,
+            const std::int64_t *xoff, const float *w, std::int64_t fy,
+            std::int64_t fx, std::int64_t sy, std::int64_t y0,
+            std::int64_t x0, std::int64_t cols, float *out,
+            std::int64_t out_stride)
+{
+#define SPG_TAIL_CASE(RY)                                                 \
+    if (ry == (RY)) {                                                    \
+        runTailFy<RY>(in, row_stride, xoff, w, fy, fx, sy, y0, x0,       \
+                      cols, out, out_stride);                            \
+        return;                                                          \
+    }
+    SPG_TAIL_CASE(1)
+    SPG_TAIL_CASE(2)
+    SPG_TAIL_CASE(3)
+    SPG_TAIL_CASE(4)
+    SPG_TAIL_CASE(6)
+    SPG_TAIL_CASE(12)
+#undef SPG_TAIL_CASE
+    panic("no stencil tail instantiation for band height %d", ry);
+}
+
+#endif // __AVX2__ && __FMA__
+
+/** Largest candidate RY <= limit (with any RX); used for remainders. */
+int
+largestRyAtMost(int limit)
+{
+    int best = 1;
+    for (const auto &shape : kTileShapes)
+        if (shape.ry <= limit)
+            best = std::max(best, shape.ry);
+    return best;
+}
+
+/**
+ * Accumulate one (feature, channel) plane pair:
+ * out_plane += stencil(in_plane, w).
+ */
+void
+stencilPlane(const float *in, std::int64_t row_stride,
+             const std::int64_t *xoff, const float *w, std::int64_t fy,
+             std::int64_t fx, std::int64_t sy, std::int64_t oy,
+             std::int64_t ox, float *out_plane, TileShape tile)
+{
+    std::int64_t y0 = 0;
+    while (y0 < oy) {
+        int ry = tile.ry <= oy - y0
+                     ? tile.ry
+                     : largestRyAtMost(static_cast<int>(oy - y0));
+        std::int64_t x0 = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+        int rx = tile.rx;
+        while (x0 + static_cast<std::int64_t>(rx) * 8 <= ox) {
+            runTile(ry, rx, in, row_stride, xoff, w, fy, fx, sy, y0, x0,
+                    out_plane, ox);
+            x0 += static_cast<std::int64_t>(rx) * 8;
+        }
+        // Narrower vector tiles for the x remainder.
+        for (int nrx : {2, 1}) {
+            while (nrx < rx &&
+                   x0 + static_cast<std::int64_t>(nrx) * 8 <= ox) {
+                runTile(ry, nrx, in, row_stride, xoff, w, fy, fx, sy, y0,
+                        x0, out_plane, ox);
+                x0 += static_cast<std::int64_t>(nrx) * 8;
+            }
+        }
+        // Masked vector tile for the final < 8 columns.
+        if (x0 < ox) {
+            runTailTile(ry, in, row_stride, xoff, w, fy, fx, sy, y0, x0,
+                        ox - x0, out_plane, ox);
+            x0 = ox;
+        }
+#endif
+        if (x0 < ox) {
+            stencilTileScalar(in, row_stride, xoff, w, fy, fx, sy, y0,
+                              ry, x0, ox - x0, out_plane, ox);
+        }
+        y0 += ry;
+    }
+}
+
+/** Scalar strided path for the disabled-transform ablation. */
+void
+stencilPlaneScalarStrided(const float *in, std::int64_t nx, const float *w,
+                          std::int64_t fy, std::int64_t fx,
+                          std::int64_t sy, std::int64_t sx,
+                          std::int64_t oy, std::int64_t ox,
+                          float *out_plane)
+{
+    for (std::int64_t y = 0; y < oy; ++y) {
+        for (std::int64_t x = 0; x < ox; ++x) {
+            float sum = out_plane[y * ox + x];
+            for (std::int64_t ky = 0; ky < fy; ++ky) {
+                const float *rowp = in + (y * sy + ky) * nx + x * sx;
+                for (std::int64_t kx = 0; kx < fx; ++kx)
+                    sum += w[ky * fx + kx] * rowp[kx];
+            }
+            out_plane[y * ox + x] = sum;
+        }
+    }
+}
+
+/** The tile-shape search of §4.3 (minimize micro-ops per FMA). */
+TileShape
+selectTileShape(std::int64_t fy, int fixed_ry)
+{
+    if (fixed_ry > 0) {
+        // Ablation: pin RY, keep RX = 1 (the "no 2-D tiling" variant).
+        return TileShape{fixed_ry, 1};
+    }
+    TileShape best = kTileShapes[0];
+    double best_cost = 1e30;
+    for (const auto &shape : kTileShapes) {
+        double cost = tileCost(shape, fy);
+        if (cost < best_cost - 1e-12) {
+            best_cost = cost;
+            best = shape;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+StencilEngine::selectTileHeight(std::int64_t fy)
+{
+    return selectTileShape(fy, 0).ry;
+}
+
+void
+StencilEngine::forward(const ConvSpec &spec, const Tensor &in,
+                       const Tensor &weights, Tensor &out,
+                       ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    TileShape tile = selectTileShape(spec.fy, fixedRy);
+    if (fixedRy > 0 && largestRyAtMost(fixedRy) != fixedRy)
+        fatal("no stencil instantiation with tile height %d", fixedRy);
+
+    bool transform = spec.sx > 1 && strideTransform;
+    bool scalar_strided = spec.sx > 1 && !strideTransform;
+    std::int64_t xp = (spec.nx + spec.sx - 1) / spec.sx;
+    std::int64_t row_stride = transform ? spec.sx * xp : spec.nx;
+
+    // Per-tap x offsets for the chosen layout (Eq. 21 when split).
+    std::vector<std::int64_t> xoff(spec.fx);
+    for (std::int64_t kx = 0; kx < spec.fx; ++kx)
+        xoff[kx] = transform ? (kx % spec.sx) * xp + kx / spec.sx : kx;
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        const float *image = in.data() + b * spec.inputElems();
+        float *out_image = out.data() + b * spec.outputElems();
+
+        const float *planes = image;
+        if (transform) {
+            float *staging = ScratchArena::forThread().get(
+                kSlotStencilIn, static_cast<std::size_t>(spec.nc) *
+                                    spec.ny * spec.sx * xp);
+            for (std::int64_t c = 0; c < spec.nc; ++c) {
+                stridedSplitX(image + c * spec.ny * spec.nx, spec.ny,
+                              spec.nx, spec.sx,
+                              staging + c * spec.ny * spec.sx * xp);
+            }
+            planes = staging;
+        }
+
+        std::int64_t plane_elems = spec.ny * row_stride;
+        for (std::int64_t f = 0; f < spec.nf; ++f) {
+            float *out_plane = out_image + f * oy * ox;
+            std::memset(out_plane, 0, sizeof(float) * oy * ox);
+            for (std::int64_t c = 0; c < spec.nc; ++c) {
+                const float *w = weights.data() +
+                                 (f * spec.nc + c) * spec.fy * spec.fx;
+                if (scalar_strided) {
+                    stencilPlaneScalarStrided(
+                        image + c * spec.ny * spec.nx, spec.nx, w,
+                        spec.fy, spec.fx, spec.sy, spec.sx, oy, ox,
+                        out_plane);
+                } else {
+                    stencilPlane(planes + c * plane_elems, row_stride,
+                                 xoff.data(), w, spec.fy, spec.fx,
+                                 spec.sy, oy, ox, out_plane, tile);
+                }
+            }
+        }
+    });
+}
+
+} // namespace spg

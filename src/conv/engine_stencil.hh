@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stencil-Kernel forward propagation engine (paper §4.3).
+ *
+ * Computes the convolution directly — without unfolding — as a 2-D
+ * Fy x Fx box stencil per (output feature, input channel) pair,
+ * exploiting the spatial reuse that unfolding destroys: each input
+ * element contributes to up to Fy*Fx neighbouring outputs while it is
+ * in a register.
+ *
+ * The implementation mirrors the paper's two components:
+ *
+ *  - Basic block generator. C++ templates parameterized over the
+ *    register tile height RY produce fully unrolled AVX2/FMA blocks
+ *    with the structure of the paper's Fig. 7: every input vector is
+ *    loaded ONCE and fused-multiplied into every output row of the
+ *    tile that uses it (up to min(RY, Fy) reuses per load). A runtime
+ *    search picks the RY that minimizes vector loads subject to the
+ *    16-register budget — the geometric optimization of §4.3.
+ *
+ *  - Schedule generator. Images are distributed across cores (the
+ *    stencil itself is single-core, like GEMM-in-Parallel), and within
+ *    an image the (f, c) plane pairs are walked so each input plane is
+ *    streamed while the output plane stays hot.
+ *
+ * Strided convolutions are handled with the data-layout transform of
+ * Eq. 21 (tensor/layout.hh stridedSplitX): the input plane is split
+ * into sx interleaved lanes so kernel taps become unit-stride vector
+ * loads.
+ */
+
+#ifndef SPG_CONV_ENGINE_STENCIL_HH
+#define SPG_CONV_ENGINE_STENCIL_HH
+
+#include "conv/engine.hh"
+
+namespace spg {
+
+/** Direct stencil convolution for FP. */
+class StencilEngine : public ConvEngine
+{
+  public:
+    /**
+     * @param fixed_ry When > 0, disable the register-tile search and
+     *        force the given tile height (used by the ablation bench).
+     * @param use_stride_transform When false, strided convolutions use
+     *        strided (non-transformed) loads (ablation).
+     */
+    explicit StencilEngine(int fixed_ry = 0,
+                           bool use_stride_transform = true)
+        : fixedRy(fixed_ry), strideTransform(use_stride_transform)
+    {}
+
+    std::string name() const override { return "stencil"; }
+    bool supports(Phase phase) const override
+    {
+        return phase == Phase::Forward;
+    }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+
+    /**
+     * @return the register tile height the basic-block generator
+     * selects for the given kernel height: the RY <= budget that
+     * minimizes input vector loads per output element,
+     * (RY + Fy - 1) / RY.
+     */
+    static int selectTileHeight(std::int64_t fy);
+
+  private:
+    int fixedRy;
+    bool strideTransform;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_STENCIL_HH

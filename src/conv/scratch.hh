@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-thread scratch buffers for convolution engines.
+ *
+ * Engines need transient buffers (unfolded inputs, layout-transformed
+ * operands, private weight-gradient accumulators). Allocating them per
+ * call would dominate small layers, so each worker thread keeps a
+ * small arena of named slots that grow monotonically and are reused
+ * across calls.
+ */
+
+#ifndef SPG_CONV_SCRATCH_HH
+#define SPG_CONV_SCRATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.hh"
+
+namespace spg {
+
+/** Named scratch slots; one arena instance lives per thread. */
+class ScratchArena
+{
+  public:
+    /**
+     * @return a zero-initialized-on-growth buffer of at least @p count
+     * floats for the given slot id. Contents persist between calls on
+     * the same thread (callers must not rely on them).
+     */
+    float *
+    get(int slot, std::size_t count)
+    {
+        if (slot >= static_cast<int>(slots.size()))
+            slots.resize(slot + 1);
+        if (slots[slot].size() < count)
+            slots[slot] = AlignedBuffer<float>(count);
+        return slots[slot].data();
+    }
+
+    /** @return the calling thread's arena. */
+    static ScratchArena &
+    forThread()
+    {
+        static thread_local ScratchArena arena;
+        return arena;
+    }
+
+  private:
+    std::vector<AlignedBuffer<float>> slots;
+};
+
+/** Slot ids used by the engines (disjoint per concurrent use). */
+enum ScratchSlot
+{
+    kSlotUnfold = 0,       ///< im2col matrix
+    kSlotUnfoldGrad = 1,   ///< gradient of the unfolded matrix
+    kSlotPrivateDw = 2,    ///< per-thread weight-gradient accumulator
+    kSlotLayoutA = 3,      ///< layout-transform staging A
+    kSlotLayoutB = 4,      ///< layout-transform staging B
+    kSlotLayoutC = 5,      ///< layout-transform staging C
+    kSlotStencilIn = 6,    ///< strided-split input planes
+    kSlotStencilOut = 7    ///< stencil output staging
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_SCRATCH_HH

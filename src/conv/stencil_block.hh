@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The stencil basic-block generator (paper §4.3, Fig. 7).
+ *
+ * A basic block computes an RY x (RX*8) register tile of one output
+ * plane. Template parameters realize the paper's code generation:
+ *
+ *  - RY, RX: the register tile shape. Accumulators acc[RY][RX] live in
+ *    ymm registers for the whole block (RY*RX <= 12 leaves room for
+ *    input and broadcast temporaries in the 16-register AVX2 file).
+ *
+ *  - FY: the kernel height, specialized for the common CNN sizes so
+ *    the compiler fully unrolls the input-row walk and resolves the
+ *    "which output rows use input row r" test at compile time —
+ *    matching the straight-line code of Fig. 7. FY == 0 is the
+ *    generic variant with runtime bounds.
+ *
+ * For sy == 1 the block iterates over the RY + FY - 1 input rows it
+ * touches; each input vector is loaded ONCE and fused into every
+ * output row that uses it (the paper's spatial-reuse argument). The
+ * per-FMA micro-op cost is
+ *
+ *     loads/FMA = (RY + FY - 1) / (RY * FY)   +   1 / RX
+ *                 \__ input vector loads __/      \_ w broadcasts _/
+ *
+ * which the tile-shape search of StencilEngine minimizes subject to
+ * the register budget.
+ *
+ * Input addressing is in[row * row_stride + xoff[kx] + x], covering
+ * both the plain layout and the Eq. 21 strided-split layout.
+ */
+
+#ifndef SPG_CONV_STENCIL_BLOCK_HH
+#define SPG_CONV_STENCIL_BLOCK_HH
+
+#include <cstdint>
+#include <utility>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace spg {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+/**
+ * Compute one register tile: out[y0..y0+RY) x [x0..x0+RX*8), with
+ * accumulation into the existing output values.
+ */
+template <int RY, int RX, int FY>
+inline void
+stencilTile(const float *in, std::int64_t row_stride,
+            const std::int64_t *xoff, const float *w, std::int64_t fy_rt,
+            std::int64_t fx, std::int64_t sy, std::int64_t y0,
+            std::int64_t x0, float *out, std::int64_t out_stride)
+{
+    const std::int64_t fy = FY ? FY : fy_rt;
+
+    __m256 acc[RY][RX];
+    for (int ty = 0; ty < RY; ++ty)
+        for (int vx = 0; vx < RX; ++vx)
+            acc[ty][vx] = _mm256_loadu_ps(
+                out + (y0 + ty) * out_stride + x0 + vx * 8);
+
+    if (sy == 1 && FY != 0) {
+        // Spatial-reuse walk over the RY + FY - 1 touched input rows,
+        // fully unrolled at compile time: the "which output rows use
+        // input row R" test is a constexpr condition, so the emitted
+        // code is the straight-line load/broadcast/FMA sequence of
+        // the paper's Fig. 7.
+        auto row_step = [&]<int R>() {
+            const float *rowp = in + (y0 + R) * row_stride + x0;
+            for (std::int64_t kx = 0; kx < fx; ++kx) {
+                const float *base = rowp + xoff[kx];
+                __m256 iv[RX];
+                for (int vx = 0; vx < RX; ++vx)
+                    iv[vx] = _mm256_loadu_ps(base + vx * 8);
+                auto ty_step = [&]<int TY>() {
+                    if constexpr (R - TY >= 0 && R - TY < (FY ? FY : 1)) {
+                        __m256 wv = _mm256_broadcast_ss(
+                            w + (R - TY) * fx + kx);
+                        for (int vx = 0; vx < RX; ++vx)
+                            acc[TY][vx] = _mm256_fmadd_ps(wv, iv[vx],
+                                                          acc[TY][vx]);
+                    }
+                };
+                [&]<std::size_t... Tys>(std::index_sequence<Tys...>) {
+                    (ty_step.template operator()<static_cast<int>(Tys)>(),
+                     ...);
+                }(std::make_index_sequence<RY>{});
+            }
+        };
+        [&]<std::size_t... Rs>(std::index_sequence<Rs...>) {
+            (row_step.template operator()<static_cast<int>(Rs)>(), ...);
+        }(std::make_index_sequence<RY + (FY ? FY : 1) - 1>{});
+    } else if (sy == 1) {
+        // Generic kernel height: same walk with runtime bounds.
+        for (std::int64_t r = 0; r < RY + fy - 1; ++r) {
+            const float *rowp = in + (y0 + r) * row_stride + x0;
+            for (std::int64_t kx = 0; kx < fx; ++kx) {
+                const float *base = rowp + xoff[kx];
+                __m256 iv[RX];
+                for (int vx = 0; vx < RX; ++vx)
+                    iv[vx] = _mm256_loadu_ps(base + vx * 8);
+                for (int ty = 0; ty < RY; ++ty) {
+                    std::int64_t ky = r - ty;
+                    if (ky >= 0 && ky < fy) {
+                        __m256 wv =
+                            _mm256_broadcast_ss(w + ky * fx + kx);
+                        for (int vx = 0; vx < RX; ++vx)
+                            acc[ty][vx] = _mm256_fmadd_ps(wv, iv[vx],
+                                                          acc[ty][vx]);
+                    }
+                }
+            }
+        }
+    } else {
+        // Strided rows: no cross-row reuse; still RX-wide.
+        for (int ty = 0; ty < RY; ++ty) {
+            for (std::int64_t ky = 0; ky < fy; ++ky) {
+                const float *rowp =
+                    in + ((y0 + ty) * sy + ky) * row_stride + x0;
+                for (std::int64_t kx = 0; kx < fx; ++kx) {
+                    __m256 wv = _mm256_broadcast_ss(w + ky * fx + kx);
+                    const float *base = rowp + xoff[kx];
+                    for (int vx = 0; vx < RX; ++vx)
+                        acc[ty][vx] = _mm256_fmadd_ps(
+                            wv, _mm256_loadu_ps(base + vx * 8),
+                            acc[ty][vx]);
+                }
+            }
+        }
+    }
+
+    for (int ty = 0; ty < RY; ++ty)
+        for (int vx = 0; vx < RX; ++vx)
+            _mm256_storeu_ps(out + (y0 + ty) * out_stride + x0 + vx * 8,
+                             acc[ty][vx]);
+}
+
+/**
+ * Masked tail tile: like stencilTile with RX = 1, but computing only
+ * `cols` (< 8) output columns using AVX2 masked loads/stores. Without
+ * this, planes whose width is not a multiple of 8 spend most of their
+ * time in the scalar tail (e.g. a 29-wide output plane is 17% tail
+ * columns but they would dominate the runtime).
+ */
+template <int RY, int FY>
+inline void
+stencilTileTail(const float *in, std::int64_t row_stride,
+                const std::int64_t *xoff, const float *w,
+                std::int64_t fy_rt, std::int64_t fx, std::int64_t sy,
+                std::int64_t y0, std::int64_t x0, std::int64_t cols,
+                float *out, std::int64_t out_stride)
+{
+    const std::int64_t fy = FY ? FY : fy_rt;
+    alignas(32) std::int32_t mask_bits[8];
+    for (int i = 0; i < 8; ++i)
+        mask_bits[i] = i < cols ? -1 : 0;
+    __m256i mask = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(mask_bits));
+
+    __m256 acc[RY];
+    for (int ty = 0; ty < RY; ++ty)
+        acc[ty] = _mm256_maskload_ps(out + (y0 + ty) * out_stride + x0,
+                                     mask);
+
+    if (sy == 1) {
+        for (std::int64_t r = 0; r < RY + fy - 1; ++r) {
+            const float *rowp = in + (y0 + r) * row_stride + x0;
+            for (std::int64_t kx = 0; kx < fx; ++kx) {
+                __m256 iv = _mm256_maskload_ps(rowp + xoff[kx], mask);
+                for (int ty = 0; ty < RY; ++ty) {
+                    std::int64_t ky = r - ty;
+                    if (ky >= 0 && ky < fy) {
+                        __m256 wv =
+                            _mm256_broadcast_ss(w + ky * fx + kx);
+                        acc[ty] = _mm256_fmadd_ps(wv, iv, acc[ty]);
+                    }
+                }
+            }
+        }
+    } else {
+        for (int ty = 0; ty < RY; ++ty) {
+            for (std::int64_t ky = 0; ky < fy; ++ky) {
+                const float *rowp =
+                    in + ((y0 + ty) * sy + ky) * row_stride + x0;
+                for (std::int64_t kx = 0; kx < fx; ++kx) {
+                    __m256 wv = _mm256_broadcast_ss(w + ky * fx + kx);
+                    __m256 iv = _mm256_maskload_ps(rowp + xoff[kx],
+                                                   mask);
+                    acc[ty] = _mm256_fmadd_ps(wv, iv, acc[ty]);
+                }
+            }
+        }
+    }
+
+    for (int ty = 0; ty < RY; ++ty)
+        _mm256_maskstore_ps(out + (y0 + ty) * out_stride + x0, mask,
+                            acc[ty]);
+}
+
+#endif // __AVX2__ && __FMA__
+
+/** Scalar tile used for x remainders and non-AVX builds. */
+void stencilTileScalar(const float *in, std::int64_t row_stride,
+                       const std::int64_t *xoff, const float *w,
+                       std::int64_t fy, std::int64_t fx, std::int64_t sy,
+                       std::int64_t y0, std::int64_t rows,
+                       std::int64_t x0, std::int64_t cols, float *out,
+                       std::int64_t out_stride);
+
+} // namespace spg
+
+#endif // SPG_CONV_STENCIL_BLOCK_HH

@@ -1,0 +1,248 @@
+#include "core/net_config.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::Relu:
+        return "relu";
+      case LayerKind::MaxPool:
+        return "maxpool";
+      case LayerKind::AvgPool:
+        return "avgpool";
+      case LayerKind::Fc:
+        return "fc";
+      case LayerKind::Softmax:
+        return "softmax";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Simple tokenizer: words, '{', '}', ':' with '#' comments. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : src(text) {}
+
+    /** @return next token, or empty string at end of input. */
+    std::string
+    next()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            return "";
+        char c = src[pos];
+        if (c == '{' || c == '}' || c == ':') {
+            ++pos;
+            return std::string(1, c);
+        }
+        if (c == '"') {
+            std::size_t end = src.find('"', pos + 1);
+            if (end == std::string::npos)
+                fatal("net config: unterminated string at offset %zu",
+                      pos);
+            std::string out = src.substr(pos + 1, end - pos - 1);
+            pos = end + 1;
+            return out.empty() ? "\"\"" : out;
+        }
+        std::size_t start = pos;
+        while (pos < src.size() && !std::isspace(
+                   static_cast<unsigned char>(src[pos])) &&
+               src[pos] != '{' && src[pos] != '}' && src[pos] != ':') {
+            ++pos;
+        }
+        return src.substr(start, pos - start);
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        for (;;) {
+            while (pos < src.size() &&
+                   std::isspace(static_cast<unsigned char>(src[pos])))
+                ++pos;
+            if (pos < src.size() && src[pos] == '#') {
+                while (pos < src.size() && src[pos] != '\n')
+                    ++pos;
+                continue;
+            }
+            return;
+        }
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+std::int64_t
+parseInt(const std::string &value, const std::string &key)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("net config: key '%s' expects an integer, got '%s'",
+              key.c_str(), value.c_str());
+    return v;
+}
+
+LayerKind
+parseKind(const std::string &value)
+{
+    for (LayerKind kind :
+         {LayerKind::Conv, LayerKind::Relu, LayerKind::MaxPool,
+          LayerKind::AvgPool, LayerKind::Fc, LayerKind::Softmax}) {
+        if (value == layerKindName(kind))
+            return kind;
+    }
+    fatal("net config: unknown layer type '%s'", value.c_str());
+    return LayerKind::Conv;  // unreachable
+}
+
+/** Parse "key : value" pairs until the closing brace. */
+void
+parseBlock(Lexer &lex,
+           const std::function<void(const std::string &,
+                                    const std::string &)> &on_pair)
+{
+    for (;;) {
+        std::string key = lex.next();
+        if (key == "}")
+            return;
+        if (key.empty())
+            fatal("net config: unexpected end of input inside a block");
+        std::string colon = lex.next();
+        if (colon != ":")
+            fatal("net config: expected ':' after '%s'", key.c_str());
+        std::string value = lex.next();
+        if (value.empty() || value == "{" || value == "}")
+            fatal("net config: missing value for '%s'", key.c_str());
+        on_pair(key, value);
+    }
+}
+
+} // namespace
+
+NetConfig
+parseNetConfig(const std::string &text)
+{
+    NetConfig config;
+    Lexer lex(text);
+    for (;;) {
+        std::string token = lex.next();
+        if (token.empty())
+            break;
+        if (token == "name") {
+            if (lex.next() != ":")
+                fatal("net config: expected ':' after 'name'");
+            config.name = lex.next();
+        } else if (token == "input") {
+            if (lex.next() != "{")
+                fatal("net config: expected '{' after 'input'");
+            parseBlock(lex, [&](const std::string &key,
+                                const std::string &value) {
+                if (key == "channels")
+                    config.channels = parseInt(value, key);
+                else if (key == "height")
+                    config.height = parseInt(value, key);
+                else if (key == "width")
+                    config.width = parseInt(value, key);
+                else if (key == "classes")
+                    config.classes = parseInt(value, key);
+                else
+                    fatal("net config: unknown input key '%s'",
+                          key.c_str());
+            });
+        } else if (token == "layer") {
+            if (lex.next() != "{")
+                fatal("net config: expected '{' after 'layer'");
+            LayerConfig layer;
+            bool have_type = false;
+            parseBlock(lex, [&](const std::string &key,
+                                const std::string &value) {
+                if (key == "type") {
+                    layer.kind = parseKind(value);
+                    have_type = true;
+                } else if (key == "name") {
+                    layer.name = value;
+                } else if (key == "features") {
+                    layer.features = parseInt(value, key);
+                } else if (key == "kernel") {
+                    layer.kernel = parseInt(value, key);
+                } else if (key == "stride") {
+                    layer.stride = parseInt(value, key);
+                } else if (key == "outputs") {
+                    layer.outputs = parseInt(value, key);
+                } else {
+                    fatal("net config: unknown layer key '%s'",
+                          key.c_str());
+                }
+            });
+            if (!have_type)
+                fatal("net config: layer block without a 'type'");
+            config.layers.push_back(layer);
+        } else {
+            fatal("net config: unexpected token '%s'", token.c_str());
+        }
+    }
+
+    if (config.channels <= 0 || config.height <= 0 || config.width <= 0)
+        fatal("net config '%s': input block missing or incomplete",
+              config.name.c_str());
+    if (config.layers.empty())
+        fatal("net config '%s': no layers", config.name.c_str());
+    return config;
+}
+
+NetConfig
+parseNetConfigFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open net config '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseNetConfig(buf.str());
+}
+
+std::string
+renderNetConfig(const NetConfig &config)
+{
+    std::ostringstream out;
+    out << "name: \"" << config.name << "\"\n";
+    out << "input { channels: " << config.channels
+        << " height: " << config.height << " width: " << config.width
+        << " classes: " << config.classes << " }\n";
+    for (const auto &layer : config.layers) {
+        out << "layer { type: " << layerKindName(layer.kind);
+        if (!layer.name.empty())
+            out << " name: \"" << layer.name << "\"";
+        if (layer.features)
+            out << " features: " << layer.features;
+        if (layer.kernel)
+            out << " kernel: " << layer.kernel;
+        if (layer.stride != 1)
+            out << " stride: " << layer.stride;
+        if (layer.outputs)
+            out << " outputs: " << layer.outputs;
+        out << " }\n";
+    }
+    return out.str();
+}
+
+} // namespace spg

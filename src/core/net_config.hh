@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Network description format.
+ *
+ * spg-CNN accepts a CAFFE-style textual network description (standing
+ * in for the Google Protocol Buffer input of the paper's §4). Example:
+ *
+ *     name: "cifar10"
+ *     input { channels: 3 height: 36 width: 36 classes: 10 }
+ *     layer { type: conv features: 64 kernel: 5 stride: 1 }
+ *     layer { type: relu }
+ *     layer { type: maxpool kernel: 4 stride: 4 }
+ *     layer { type: conv features: 64 kernel: 5 }
+ *     layer { type: relu }
+ *     layer { type: maxpool kernel: 2 stride: 2 }
+ *     layer { type: fc outputs: 10 }
+ *     layer { type: softmax }
+ *
+ * Comments run from '#' to end of line. Unknown keys are fatal(): a
+ * config typo should never silently train a different network.
+ */
+
+#ifndef SPG_CORE_NET_CONFIG_HH
+#define SPG_CORE_NET_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spg {
+
+/** Layer kinds the format understands. */
+enum class LayerKind { Conv, Relu, MaxPool, AvgPool, Fc, Softmax };
+
+/** @return the textual name used in configs ("conv", "relu", ...). */
+const char *layerKindName(LayerKind kind);
+
+/** One parsed layer block. */
+struct LayerConfig
+{
+    LayerKind kind;
+    std::string name;           ///< optional label
+    std::int64_t features = 0;  ///< conv output features
+    std::int64_t kernel = 0;    ///< conv / pool kernel size (square)
+    std::int64_t stride = 1;    ///< conv / pool stride
+    std::int64_t outputs = 0;   ///< fc output count
+};
+
+/** A parsed network description. */
+struct NetConfig
+{
+    std::string name;
+    std::int64_t channels = 0;
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    std::int64_t classes = 0;
+    std::vector<LayerConfig> layers;
+};
+
+/** Parse a description from text; fatal() on malformed input. */
+NetConfig parseNetConfig(const std::string &text);
+
+/** Parse a description from a file; fatal() when unreadable. */
+NetConfig parseNetConfigFile(const std::string &path);
+
+/** Render a config back to its textual form (round-trippable). */
+std::string renderNetConfig(const NetConfig &config);
+
+} // namespace spg
+
+#endif // SPG_CORE_NET_CONFIG_HH

@@ -1,0 +1,127 @@
+#include "core/tuner.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace spg {
+
+const std::string &
+LayerPlan::enginesFor(Phase phase) const
+{
+    switch (phase) {
+      case Phase::Forward:
+        return fp_engine;
+      case Phase::BackwardData:
+        return bp_data_engine;
+      case Phase::BackwardWeights:
+        return bp_weights_engine;
+    }
+    panic("unknown phase");
+}
+
+Tuner::Tuner(TunerOptions options)
+    : opts(options),
+      engines(options.use_extensions ? makeExtendedEngines()
+                                     : makeAllEngines())
+{
+    if (opts.reps < 1 || opts.batch < 1)
+        fatal("tuner needs reps >= 1 and batch >= 1");
+}
+
+double
+Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
+               const Tensor &in, const Tensor &weights, const Tensor &eo,
+               ThreadPool &pool) const
+{
+    std::int64_t batch = in.shape()[0];
+    switch (phase) {
+      case Phase::Forward: {
+        Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        return bestTimeSeconds(opts.reps, [&] {
+            engine.forward(spec, in, weights, out, pool);
+        });
+      }
+      case Phase::BackwardData: {
+        Tensor ei(Shape{batch, spec.nc, spec.ny, spec.nx});
+        return bestTimeSeconds(opts.reps, [&] {
+            engine.backwardData(spec, eo, weights, ei, pool);
+        });
+      }
+      case Phase::BackwardWeights: {
+        Tensor dw(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+        return bestTimeSeconds(opts.reps, [&] {
+            engine.backwardWeights(spec, eo, in, dw, pool);
+        });
+      }
+    }
+    panic("unknown phase");
+}
+
+LayerPlan
+Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
+{
+    spec.validate();
+    Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(spec.nf * 131 +
+                                                  spec.nx));
+    Tensor in(Shape{opts.batch, spec.nc, spec.ny, spec.nx});
+    Tensor weights(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    Tensor eo(Shape{opts.batch, spec.nf, spec.outY(), spec.outX()});
+    in.fillUniform(rng);
+    weights.fillUniform(rng, -0.5f, 0.5f);
+    eo.fillUniform(rng);
+    eo.sparsify(rng, sparsity);
+
+    LayerPlan plan;
+    plan.tuned_sparsity = sparsity;
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        double best = std::numeric_limits<double>::infinity();
+        std::string best_name;
+        for (const auto &engine : engines) {
+            if (!engine->supports(phase) ||
+                !engine->supportsGeometry(spec)) {
+                continue;
+            }
+            double t = measure(*engine, phase, spec, in, weights, eo,
+                               pool);
+            plan.timings[phase].push_back(EngineTiming{engine->name(), t});
+            if (t < best) {
+                best = t;
+                best_name = engine->name();
+            }
+        }
+        SPG_ASSERT(!best_name.empty());
+        switch (phase) {
+          case Phase::Forward:
+            plan.fp_engine = best_name;
+            break;
+          case Phase::BackwardData:
+            plan.bp_data_engine = best_name;
+            break;
+          case Phase::BackwardWeights:
+            plan.bp_weights_engine = best_name;
+            break;
+        }
+        verbose("tuned conv %s %s -> %s (%.3f ms)", spec.str().c_str(),
+                phaseName(phase), best_name.c_str(), best * 1e3);
+    }
+    return plan;
+}
+
+bool
+Tuner::shouldRetune(const LayerPlan &plan, double observed_sparsity,
+                    int epoch) const
+{
+    if (opts.retune_interval > 0 && epoch > 0 &&
+        epoch % opts.retune_interval == 0) {
+        return true;
+    }
+    return std::abs(observed_sparsity - plan.tuned_sparsity) >
+           opts.sparsity_drift;
+}
+
+} // namespace spg

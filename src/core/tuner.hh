@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The spg-CNN computation scheduler (paper §4.4).
+ *
+ * For each convolution layer and each training phase, the tuner runs
+ * every applicable engine on representative data, measures it, and
+ * deploys the fastest. Because the profitability of the sparse BP
+ * kernel depends on the error-gradient sparsity — which drifts as the
+ * model trains — the tuner re-checks BP choices every
+ * `retune_interval` epochs.
+ */
+
+#ifndef SPG_CORE_TUNER_HH
+#define SPG_CORE_TUNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conv/engines.hh"
+#include "tensor/tensor.hh"
+#include "threading/thread_pool.hh"
+
+namespace spg {
+
+/** Measured time of one engine on one phase. */
+struct EngineTiming
+{
+    std::string engine;
+    double seconds = 0;
+};
+
+/** The tuner's decision for one layer. */
+struct LayerPlan
+{
+    std::string fp_engine;
+    std::string bp_data_engine;
+    std::string bp_weights_engine;
+
+    /** All measurements behind the decision, per phase. */
+    std::map<Phase, std::vector<EngineTiming>> timings;
+
+    /** Sparsity the BP choices were tuned at. */
+    double tuned_sparsity = 0;
+
+    /** @return the engine chosen for a phase. */
+    const std::string &enginesFor(Phase phase) const;
+};
+
+/** Tuning knobs. */
+struct TunerOptions
+{
+    /** Timed repetitions per engine measurement. */
+    int reps = 3;
+    /** Minibatch size used for measurement. */
+    std::int64_t batch = 8;
+    /** Epochs between BP re-tunes during training. */
+    int retune_interval = 2;
+    /** Sparsity change that forces a re-tune regardless of interval. */
+    double sparsity_drift = 0.10;
+    /** Also consider the extension engines (winograd, fft,
+     *  sparse-weights) as candidates. */
+    bool use_extensions = false;
+};
+
+/**
+ * Measures engines and produces LayerPlans. Engines are owned by the
+ * tuner; one tuner instance can serve a whole network.
+ */
+class Tuner
+{
+  public:
+    explicit Tuner(TunerOptions options = {});
+
+    /**
+     * Measure all engines applicable to each phase of this layer at
+     * the given error sparsity and return the fastest set.
+     *
+     * @param spec Layer geometry.
+     * @param sparsity Expected sparsity of the output-error gradients.
+     * @param pool Worker pool (its size is the deployed core count).
+     */
+    LayerPlan tune(const ConvSpec &spec, double sparsity,
+                   ThreadPool &pool) const;
+
+    /**
+     * @return true when a plan tuned at `plan.tuned_sparsity` should
+     * be re-tuned given the currently observed sparsity and the epoch
+     * index (paper §4.4's periodic re-check).
+     */
+    bool shouldRetune(const LayerPlan &plan, double observed_sparsity,
+                      int epoch) const;
+
+    const TunerOptions &options() const { return opts; }
+
+  private:
+    double measure(const ConvEngine &engine, Phase phase,
+                   const ConvSpec &spec, const Tensor &in,
+                   const Tensor &weights, const Tensor &eo,
+                   ThreadPool &pool) const;
+
+    TunerOptions opts;
+    std::vector<std::unique_ptr<ConvEngine>> engines;
+};
+
+} // namespace spg
+
+#endif // SPG_CORE_TUNER_HH

@@ -1,0 +1,151 @@
+#include "data/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace spg {
+
+void
+Dataset::fillBatch(const std::vector<std::int64_t> &order,
+                   std::int64_t start, std::int64_t batch, Tensor &out,
+                   std::vector<int> &out_labels) const
+{
+    std::int64_t image_elems = channels * height * width;
+    std::int64_t n = std::min(batch, count() - start);
+    SPG_ASSERT(n > 0);
+    Shape want{n, channels, height, width};
+    SPG_ASSERT(out.shape() == want);
+    out_labels.resize(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t src = order[start + i];
+        std::memcpy(out.data() + i * image_elems,
+                    images.data() + src * image_elems,
+                    image_elems * sizeof(float));
+        out_labels[i] = labels[src];
+    }
+}
+
+namespace {
+
+/**
+ * A smooth per-class template: random low-frequency cosine mixture so
+ * that nearby pixels correlate (convolution kernels have real spatial
+ * structure to learn, unlike white noise).
+ */
+void
+fillTemplate(Rng &rng, std::int64_t c, std::int64_t h, std::int64_t w,
+             float *dst)
+{
+    constexpr int kWaves = 6;
+    struct Wave
+    {
+        float fy, fx, phase, amp;
+    };
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        Wave waves[kWaves];
+        for (auto &wave : waves) {
+            wave.fy = rng.uniform(0.5f, 4.0f);
+            wave.fx = rng.uniform(0.5f, 4.0f);
+            wave.phase = rng.uniform(0.0f, 6.2831853f);
+            wave.amp = rng.uniform(0.3f, 1.0f);
+        }
+        for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w; ++x) {
+                float v = 0;
+                for (const auto &wave : waves) {
+                    v += wave.amp *
+                         std::cos(wave.fy * y * 6.2831853f / h +
+                                  wave.fx * x * 6.2831853f / w +
+                                  wave.phase);
+                }
+                dst[(ch * h + y) * w + x] = v / kWaves;
+            }
+        }
+    }
+}
+
+} // namespace
+
+Dataset
+makeSynthetic(const SyntheticSpec &spec)
+{
+    SPG_ASSERT(spec.channels > 0 && spec.height > 0 && spec.width > 0);
+    SPG_ASSERT(spec.classes > 0 && spec.count > 0);
+
+    Dataset ds;
+    ds.name = spec.name;
+    ds.channels = spec.channels;
+    ds.height = spec.height;
+    ds.width = spec.width;
+    ds.classes = spec.classes;
+    ds.images = Tensor(
+        Shape{spec.count, spec.channels, spec.height, spec.width});
+    ds.labels.resize(spec.count);
+
+    Rng rng(spec.seed);
+    std::int64_t image_elems = spec.channels * spec.height * spec.width;
+    Tensor templates(Shape{spec.classes, spec.channels, spec.height,
+                           spec.width});
+    for (int k = 0; k < spec.classes; ++k) {
+        fillTemplate(rng, spec.channels, spec.height, spec.width,
+                     templates.data() + k * image_elems);
+    }
+
+    for (std::int64_t i = 0; i < spec.count; ++i) {
+        int label = static_cast<int>(rng.below(spec.classes));
+        ds.labels[i] = label;
+        const float *tmpl = templates.data() + label * image_elems;
+        float *img = ds.images.data() + i * image_elems;
+        for (std::int64_t e = 0; e < image_elems; ++e)
+            img[e] = tmpl[e] + rng.gaussian() * spec.noise_stddev;
+    }
+    return ds;
+}
+
+Dataset
+makeMnistLike(std::int64_t count, std::uint64_t seed)
+{
+    SyntheticSpec spec;
+    spec.name = "mnist-like";
+    spec.channels = 1;
+    spec.height = 28;
+    spec.width = 28;
+    spec.classes = 10;
+    spec.count = count;
+    spec.seed = seed;
+    return makeSynthetic(spec);
+}
+
+Dataset
+makeCifarLike(std::int64_t count, std::uint64_t seed)
+{
+    SyntheticSpec spec;
+    spec.name = "cifar-like";
+    spec.channels = 3;
+    spec.height = 36;  // paper Table 2: CIFAR images padded to 36x36
+    spec.width = 36;
+    spec.classes = 10;
+    spec.count = count;
+    spec.seed = seed;
+    return makeSynthetic(spec);
+}
+
+Dataset
+makeImageNet100Like(std::int64_t count, std::uint64_t seed)
+{
+    SyntheticSpec spec;
+    spec.name = "imagenet100-like";
+    spec.channels = 3;
+    spec.height = 64;
+    spec.width = 64;
+    spec.classes = 100;
+    spec.count = count;
+    spec.seed = seed;
+    return makeSynthetic(spec);
+}
+
+} // namespace spg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cluster throughput model for data-parallel CNN training.
+ *
+ * The paper's §6 argument: DistBelief/Adam-style clusters train with
+ * data parallelism, so the time per global step is a function of the
+ * per-worker throughput (which spg-CNN improves) and the parameter
+ * synchronization latency. This model composes the two:
+ *
+ *     t_step = shard_images / worker_ips  +  t_sync(K, params)
+ *
+ * with a ring all-reduce synchronization cost
+ * 2 (K-1)/K * param_bytes / link_bandwidth, plus a fixed per-step
+ * latency. It exposes the classic behaviour: accelerating workers
+ * shifts the knee where communication dominates to smaller shard
+ * sizes.
+ */
+
+#ifndef SPG_DISTRIB_CLUSTER_MODEL_HH
+#define SPG_DISTRIB_CLUSTER_MODEL_HH
+
+#include <cstdint>
+
+namespace spg {
+
+/** Parameters of the modeled cluster. */
+struct ClusterModel
+{
+    /** Per-worker training throughput (images/second). */
+    double worker_images_per_s = 250.0;
+    /** Model size in bytes (4 x parameter count). */
+    double param_bytes = 4.0 * 1e6;
+    /** Per-link network bandwidth (GB/s). */
+    double link_bw_gbs = 1.25;  // 10 GbE
+    /** Fixed per-step synchronization latency (seconds). */
+    double sync_latency_s = 500e-6;
+
+    /** Ring all-reduce time for K workers (seconds). */
+    double
+    syncSeconds(int workers) const
+    {
+        if (workers <= 1)
+            return 0.0;
+        double frac = 2.0 * (workers - 1) / workers;
+        return sync_latency_s + frac * param_bytes / (link_bw_gbs * 1e9);
+    }
+
+    /** Wall-clock of one global step (seconds). */
+    double
+    stepSeconds(int workers, std::int64_t global_batch) const
+    {
+        double shard = static_cast<double>(global_batch) / workers;
+        return shard / worker_images_per_s + syncSeconds(workers);
+    }
+
+    /** Cluster throughput in images/second. */
+    double
+    imagesPerSecond(int workers, std::int64_t global_batch) const
+    {
+        return global_batch / stepSeconds(workers, global_batch);
+    }
+
+    /** Parallel efficiency vs a single worker. */
+    double
+    efficiency(int workers, std::int64_t global_batch) const
+    {
+        double ideal = worker_images_per_s * workers;
+        return imagesPerSecond(workers, global_batch) / ideal;
+    }
+};
+
+} // namespace spg
+
+#endif // SPG_DISTRIB_CLUSTER_MODEL_HH

@@ -1,0 +1,127 @@
+#include "distrib/data_parallel.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace spg {
+
+DataParallelTrainer::DataParallelTrainer(const NetConfig &config,
+                                         std::uint64_t seed,
+                                         const Dataset &dataset,
+                                         DataParallelOptions options)
+    : dataset(dataset), opts(options)
+{
+    if (opts.workers < 1)
+        fatal("data-parallel training needs at least one worker");
+    if (opts.global_batch % opts.workers != 0)
+        fatal("global batch %lld is not divisible by %d workers",
+              static_cast<long long>(opts.global_batch), opts.workers);
+    for (int w = 0; w < opts.workers; ++w) {
+        // Same seed: replicas start with identical parameters.
+        replicas.push_back(std::make_unique<Network>(config, seed));
+        for (ConvLayer *conv : replicas.back()->convLayers())
+            conv->setEngines(opts.engines);
+    }
+}
+
+void
+DataParallelTrainer::averageGradientsAndStep(
+    ThreadPool &pool, const std::vector<Tensor> &shards,
+    const std::vector<std::vector<int>> &shard_labels, double &loss,
+    double &acc)
+{
+    // Each replica applies its own local SGD step w_k = w - lr * g_k;
+    // averaging the resulting parameters yields w - lr * mean(g_k) —
+    // the exact synchronous data-parallel update.
+    loss = 0;
+    acc = 0;
+    for (int w = 0; w < opts.workers; ++w) {
+        StepStats s = replicas[w]->trainStep(
+            shards[w], shard_labels[w], opts.learning_rate, pool);
+        loss += s.loss;
+        acc += s.accuracy;
+    }
+    loss /= opts.workers;
+    acc /= opts.workers;
+
+    // Parameter averaging (the all-reduce).
+    std::vector<std::vector<Tensor *>> params(opts.workers);
+    for (int w = 0; w < opts.workers; ++w) {
+        for (std::size_t i = 0; i < replicas[w]->layerCount(); ++i)
+            for (Tensor *t : replicas[w]->layer(i).params())
+                params[w].push_back(t);
+    }
+    float inv = 1.0f / static_cast<float>(opts.workers);
+    for (std::size_t t = 0; t < params[0].size(); ++t) {
+        Tensor *master = params[0][t];
+        for (int w = 1; w < opts.workers; ++w) {
+            const Tensor *other = params[w][t];
+            for (std::int64_t i = 0; i < master->size(); ++i)
+                (*master)[i] += (*other)[i];
+        }
+        for (std::int64_t i = 0; i < master->size(); ++i)
+            (*master)[i] *= inv;
+        // Broadcast back.
+        for (int w = 1; w < opts.workers; ++w) {
+            Tensor *other = params[w][t];
+            for (std::int64_t i = 0; i < master->size(); ++i)
+                (*other)[i] = (*master)[i];
+        }
+    }
+}
+
+std::vector<DataParallelEpoch>
+DataParallelTrainer::run(ThreadPool &pool)
+{
+    std::int64_t shard_size = opts.global_batch / opts.workers;
+    std::vector<std::int64_t> order(dataset.count());
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffle_rng(opts.shuffle_seed);
+
+    std::vector<DataParallelEpoch> history;
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        if (opts.shuffle) {
+            for (std::int64_t i = dataset.count() - 1; i > 0; --i) {
+                std::int64_t j = static_cast<std::int64_t>(
+                    shuffle_rng.below(i + 1));
+                std::swap(order[i], order[j]);
+            }
+        }
+
+        DataParallelEpoch stats;
+        stats.epoch = epoch;
+        double loss_sum = 0, acc_sum = 0;
+        std::int64_t steps = 0;
+        Stopwatch watch;
+
+        for (std::int64_t start = 0;
+             start + opts.global_batch <= dataset.count();
+             start += opts.global_batch) {
+            std::vector<Tensor> shards;
+            std::vector<std::vector<int>> labels(opts.workers);
+            for (int w = 0; w < opts.workers; ++w) {
+                Tensor shard(Shape{shard_size, dataset.channels,
+                                   dataset.height, dataset.width});
+                dataset.fillBatch(order, start + w * shard_size,
+                                  shard_size, shard, labels[w]);
+                shards.push_back(std::move(shard));
+            }
+            double loss = 0, acc = 0;
+            averageGradientsAndStep(pool, shards, labels, loss, acc);
+            loss_sum += loss;
+            acc_sum += acc;
+            ++steps;
+        }
+        SPG_ASSERT(steps > 0);
+        stats.mean_loss = loss_sum / steps;
+        stats.accuracy = acc_sum / steps;
+        stats.compute_seconds = watch.seconds();
+        history.push_back(stats);
+    }
+    return history;
+}
+
+} // namespace spg

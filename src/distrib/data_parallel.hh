@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synchronous data-parallel training (the Project Adam / DistBelief
+ * setting the paper targets: clusters of multicore CPU workers, §6).
+ *
+ * K model replicas process disjoint shards of every global minibatch;
+ * their weight gradients are averaged (the parameter-server reduce)
+ * and the averaged update is applied to all replicas, keeping them
+ * bit-identical. Because the loss gradient is normalized per shard
+ * and all parameter gradients are linear in the output errors,
+ * synchronous data-parallel SGD is MATHEMATICALLY EQUIVALENT to
+ * single-worker SGD on the full batch — a property the test suite
+ * checks exactly.
+ *
+ * On this single-core host the replicas execute sequentially; the
+ * ClusterModel (cluster_model.hh) supplies the simulated multi-worker
+ * wall-clock, with per-worker compute improved by the spg-CNN engine
+ * choices (the paper's point: faster workers accelerate the whole
+ * cluster).
+ */
+
+#ifndef SPG_DISTRIB_DATA_PARALLEL_HH
+#define SPG_DISTRIB_DATA_PARALLEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "nn/network.hh"
+
+namespace spg {
+
+/** Configuration of a synchronous data-parallel run. */
+struct DataParallelOptions
+{
+    int workers = 4;            ///< model replicas
+    std::int64_t global_batch = 32;  ///< split evenly across workers
+    float learning_rate = 0.05f;
+    int epochs = 2;
+    bool shuffle = true;
+    std::uint64_t shuffle_seed = 7;
+
+    /** Engines deployed on every replica's conv layers. */
+    EngineAssignment engines;
+};
+
+/** Per-epoch record of a data-parallel run. */
+struct DataParallelEpoch
+{
+    int epoch = 0;
+    double mean_loss = 0;       ///< averaged over workers and steps
+    double accuracy = 0;
+    double compute_seconds = 0; ///< summed replica compute (host time)
+};
+
+/**
+ * K-replica synchronous SGD with gradient averaging.
+ */
+class DataParallelTrainer
+{
+  public:
+    /**
+     * @param config Network description (each replica instantiates it
+     *        with the SAME seed, so replicas start identical).
+     * @param seed Weight-initialization seed.
+     * @param dataset Training data (borrowed).
+     * @param options Run configuration; global_batch must be a
+     *        multiple of workers.
+     */
+    DataParallelTrainer(const NetConfig &config, std::uint64_t seed,
+                        const Dataset &dataset,
+                        DataParallelOptions options);
+
+    /** Train; @return one record per epoch. */
+    std::vector<DataParallelEpoch> run(ThreadPool &pool);
+
+    /** @return replica w (for equivalence checks). */
+    Network &replica(int w) { return *replicas[w]; }
+
+    /** @return total parameter count of one replica. */
+    std::int64_t paramCount() { return replicas[0]->paramCount(); }
+
+  private:
+    /** Average the replicas' parameters (they drift only by fp
+     *  non-associativity; averaging re-synchronizes exactly). */
+    void averageGradientsAndStep(ThreadPool &pool,
+                                 const std::vector<Tensor> &shards,
+                                 const std::vector<std::vector<int>>
+                                     &shard_labels,
+                                 double &loss, double &acc);
+
+    const Dataset &dataset;
+    DataParallelOptions opts;
+    std::vector<std::unique_ptr<Network>> replicas;
+};
+
+} // namespace spg
+
+#endif // SPG_DISTRIB_DATA_PARALLEL_HH

@@ -1,0 +1,111 @@
+#include "fft/fft.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+bool
+isPowerOfTwo(std::int64_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::int64_t
+nextPowerOfTwo(std::int64_t n)
+{
+    std::int64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+namespace {
+
+/** Bit-reversal permutation over a strided span. */
+void
+bitReverse(Complex *data, std::int64_t n, std::int64_t stride)
+{
+    for (std::int64_t i = 1, j = 0; i < n; ++i) {
+        std::int64_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i * stride], data[j * stride]);
+    }
+}
+
+} // namespace
+
+void
+fftInplace(Complex *data, std::int64_t n, std::int64_t stride,
+           bool inverse)
+{
+    if (!isPowerOfTwo(n))
+        panic("fft length %lld is not a power of two",
+              static_cast<long long>(n));
+    if (n == 1)
+        return;
+
+    bitReverse(data, n, stride);
+
+    for (std::int64_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * M_PI / len * (inverse ? 1.0 : -1.0);
+        Complex wlen(static_cast<float>(std::cos(angle)),
+                     static_cast<float>(std::sin(angle)));
+        for (std::int64_t i = 0; i < n; i += len) {
+            Complex w(1.0f, 0.0f);
+            for (std::int64_t k = 0; k < len / 2; ++k) {
+                Complex *lo = data + (i + k) * stride;
+                Complex *hi = data + (i + k + len / 2) * stride;
+                Complex u = *lo;
+                Complex v = *hi * w;
+                *lo = u + v;
+                *hi = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        float inv_n = 1.0f / static_cast<float>(n);
+        for (std::int64_t i = 0; i < n; ++i)
+            data[i * stride] *= inv_n;
+    }
+}
+
+void
+fft2dInplace(Complex *data, std::int64_t rows, std::int64_t cols,
+             bool inverse)
+{
+    for (std::int64_t r = 0; r < rows; ++r)
+        fftInplace(data + r * cols, cols, 1, inverse);
+    for (std::int64_t c = 0; c < cols; ++c)
+        fftInplace(data + c, rows, cols, inverse);
+}
+
+void
+padRealToComplex(const float *src, std::int64_t rows, std::int64_t cols,
+                 std::int64_t p, Complex *dst)
+{
+    SPG_ASSERT(rows <= p && cols <= p);
+    for (std::int64_t y = 0; y < p; ++y) {
+        for (std::int64_t x = 0; x < p; ++x) {
+            float v = (y < rows && x < cols) ? src[y * cols + x] : 0.0f;
+            dst[y * p + x] = Complex(v, 0.0f);
+        }
+    }
+}
+
+void
+accumulateCorrelationSpectrum(const Complex *a, const Complex *b,
+                              std::int64_t n, Complex *acc)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        acc[i] += a[i] * std::conj(b[i]);
+}
+
+} // namespace spg

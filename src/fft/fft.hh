@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fast Fourier Transform substrate.
+ *
+ * The paper's related-work section cites FFT-based convolution
+ * (Mathieu, Henaff & LeCun) as a complementary optimization; this
+ * module provides the substrate for the FftConvEngine: an iterative
+ * radix-2 Cooley-Tukey transform over power-of-two sizes, plus the
+ * 2-D transform built from row/column passes.
+ *
+ * Conventions: forward transform is unnormalized; the inverse divides
+ * by N (ifft(fft(x)) == x). 2-D sizes are (rows x cols), both powers
+ * of two.
+ */
+
+#ifndef SPG_FFT_FFT_HH
+#define SPG_FFT_FFT_HH
+
+#include <complex>
+#include <cstdint>
+
+namespace spg {
+
+using Complex = std::complex<float>;
+
+/** @return true when n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::int64_t n);
+
+/** @return the smallest power of two >= n. */
+std::int64_t nextPowerOfTwo(std::int64_t n);
+
+/**
+ * In-place 1-D FFT of length n (power of two) over a strided span:
+ * elements data[0], data[stride], ..., data[(n-1)*stride].
+ *
+ * @param data First element.
+ * @param n Transform length; must be a power of two.
+ * @param stride Element stride.
+ * @param inverse When true computes the inverse transform (with the
+ *        1/n normalization).
+ */
+void fftInplace(Complex *data, std::int64_t n, std::int64_t stride,
+                bool inverse);
+
+/** Convenience: contiguous in-place 1-D FFT. */
+inline void
+fftInplace(Complex *data, std::int64_t n, bool inverse = false)
+{
+    fftInplace(data, n, 1, inverse);
+}
+
+/**
+ * In-place 2-D FFT of a rows x cols row-major array (both powers of
+ * two): transforms all rows, then all columns.
+ */
+void fft2dInplace(Complex *data, std::int64_t rows, std::int64_t cols,
+                  bool inverse = false);
+
+/**
+ * Zero-pad a real plane into a complex P x P buffer (top-left
+ * corner).
+ *
+ * @param src Real source, rows x cols row-major.
+ * @param rows Source height (<= p).
+ * @param cols Source width (<= p).
+ * @param p Padded (power-of-two) size.
+ * @param dst Complex destination, p x p, fully overwritten.
+ */
+void padRealToComplex(const float *src, std::int64_t rows,
+                      std::int64_t cols, std::int64_t p, Complex *dst);
+
+/**
+ * Pointwise spectra accumulation for cross-correlation:
+ * acc[i] += a[i] * conj(b[i]) for i in [0, n).
+ */
+void accumulateCorrelationSpectrum(const Complex *a, const Complex *b,
+                                   std::int64_t n, Complex *acc);
+
+} // namespace spg
+
+#endif // SPG_FFT_FFT_HH

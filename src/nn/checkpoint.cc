@@ -1,0 +1,121 @@
+#include "nn/checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'G', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+/** Collect all parameter tensors of the network in layer order. */
+std::vector<Tensor *>
+allParams(Network &net)
+{
+    std::vector<Tensor *> params;
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        for (Tensor *t : net.layer(i).params())
+            params.push_back(t);
+    }
+    return params;
+}
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        fatal("checkpoint: truncated stream");
+    return value;
+}
+
+} // namespace
+
+void
+saveCheckpoint(Network &net, std::ostream &out)
+{
+    auto params = allParams(net);
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kVersion);
+    writePod(out, static_cast<std::uint32_t>(params.size()));
+    for (Tensor *t : params) {
+        writePod(out, static_cast<std::uint32_t>(t->shape().rank()));
+        for (int d = 0; d < t->shape().rank(); ++d)
+            writePod(out, static_cast<std::int64_t>(t->shape()[d]));
+        out.write(reinterpret_cast<const char *>(t->data()),
+                  t->size() * sizeof(float));
+    }
+    if (!out)
+        fatal("checkpoint: write failed");
+}
+
+void
+saveCheckpoint(Network &net, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveCheckpoint(net, out);
+}
+
+void
+loadCheckpoint(Network &net, std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("checkpoint: bad magic (not an spg-CNN checkpoint)");
+    auto version = readPod<std::uint32_t>(in);
+    if (version != kVersion)
+        fatal("checkpoint: unsupported version %u", version);
+
+    auto params = allParams(net);
+    auto count = readPod<std::uint32_t>(in);
+    if (count != params.size())
+        fatal("checkpoint: has %u tensors, network expects %zu", count,
+              params.size());
+
+    for (Tensor *t : params) {
+        auto rank = readPod<std::uint32_t>(in);
+        if (static_cast<int>(rank) != t->shape().rank())
+            fatal("checkpoint: tensor rank %u, network expects %d", rank,
+                  t->shape().rank());
+        for (int d = 0; d < t->shape().rank(); ++d) {
+            auto extent = readPod<std::int64_t>(in);
+            if (extent != t->shape()[d])
+                fatal("checkpoint: dimension %d is %lld, network "
+                      "expects %lld",
+                      d, static_cast<long long>(extent),
+                      static_cast<long long>(t->shape()[d]));
+        }
+        in.read(reinterpret_cast<char *>(t->data()),
+                t->size() * sizeof(float));
+        if (!in)
+            fatal("checkpoint: truncated tensor data");
+    }
+}
+
+void
+loadCheckpoint(Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open checkpoint '%s'", path.c_str());
+    loadCheckpoint(net, in);
+}
+
+} // namespace spg

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Network checkpointing.
+ *
+ * Saves and restores all trainable parameters of a Network to a small
+ * self-describing binary format:
+ *
+ *   magic "SPGC", version u32, tensor-count u32, then per tensor:
+ *   rank u32, extents i64[rank], data f32[elements].
+ *
+ * Loading validates every shape against the receiving network, so a
+ * checkpoint can only be restored into a structurally identical model
+ * (a mismatch is a user error -> fatal()).
+ */
+
+#ifndef SPG_NN_CHECKPOINT_HH
+#define SPG_NN_CHECKPOINT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hh"
+
+namespace spg {
+
+/** Serialize all parameters of @p net to the stream. */
+void saveCheckpoint(Network &net, std::ostream &out);
+
+/** Serialize all parameters of @p net to a file; fatal() on I/O
+ *  failure. */
+void saveCheckpoint(Network &net, const std::string &path);
+
+/**
+ * Restore parameters from the stream into @p net; fatal() on format
+ * or shape mismatch.
+ */
+void loadCheckpoint(Network &net, std::istream &in);
+
+/** Restore parameters from a file; fatal() when unreadable. */
+void loadCheckpoint(Network &net, const std::string &path);
+
+} // namespace spg
+
+#endif // SPG_NN_CHECKPOINT_HH

@@ -1,0 +1,91 @@
+#include "nn/conv_layer.hh"
+
+#include <cmath>
+
+#include "util/timer.hh"
+
+#include "util/logging.hh"
+
+namespace spg {
+
+ConvLayer::ConvLayer(std::string label, const ConvSpec &spec, Rng &rng)
+    : label(std::move(label)),
+      spec_(spec),
+      weights_(Shape{spec.nf, spec.nc, spec.fy, spec.fx}),
+      dweights(Shape{spec.nf, spec.nc, spec.fy, spec.fx})
+{
+    spec_.validate();
+    // He initialization: stddev sqrt(2 / fan_in).
+    float stddev = std::sqrt(
+        2.0f / static_cast<float>(spec.nc * spec.fy * spec.fx));
+    weights_.fillGaussian(rng, stddev);
+    for (auto &engine : makeAllEngines())
+        engine_cache[engine->name()] = std::move(engine);
+}
+
+std::string
+ConvLayer::name() const
+{
+    return label + " conv(" + spec_.str() + ")";
+}
+
+const ConvEngine &
+ConvLayer::engineByName(const std::string &name) const
+{
+    auto it = engine_cache.find(name);
+    if (it == engine_cache.end())
+        fatal("conv layer '%s': unknown engine '%s'", label.c_str(),
+              name.c_str());
+    return *it->second;
+}
+
+void
+ConvLayer::setEngines(const EngineAssignment &engines)
+{
+    // Validate phase support eagerly so a bad plan fails loudly.
+    if (!engineByName(engines.fp).supports(Phase::Forward))
+        fatal("engine '%s' cannot run FP", engines.fp.c_str());
+    if (!engineByName(engines.bp_data).supports(Phase::BackwardData))
+        fatal("engine '%s' cannot run BP-data", engines.bp_data.c_str());
+    if (!engineByName(engines.bp_weights)
+             .supports(Phase::BackwardWeights)) {
+        fatal("engine '%s' cannot run BP-weights",
+              engines.bp_weights.c_str());
+    }
+    assignment = engines;
+}
+
+void
+ConvLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
+{
+    Stopwatch watch;
+    engineByName(assignment.fp).forward(spec_, in, weights_, out, pool);
+    profile_.fp_seconds += watch.seconds();
+    ++profile_.calls;
+}
+
+void
+ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
+                    Tensor &ei, ThreadPool &pool)
+{
+    last_eo_sparsity = eo.sparsity();
+    Stopwatch watch;
+    engineByName(assignment.bp_data)
+        .backwardData(spec_, eo, weights_, ei, pool);
+    profile_.bp_data_seconds += watch.seconds();
+    watch.reset();
+    engineByName(assignment.bp_weights)
+        .backwardWeights(spec_, eo, in, dweights, pool);
+    profile_.bp_weights_seconds += watch.seconds();
+}
+
+void
+ConvLayer::update(float learning_rate)
+{
+    float *w = weights_.data();
+    const float *dw = dweights.data();
+    for (std::int64_t i = 0; i < weights_.size(); ++i)
+        w[i] -= learning_rate * dw[i];
+}
+
+} // namespace spg

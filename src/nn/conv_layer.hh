@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Convolutional layer with pluggable execution engines.
+ *
+ * This is where spg-CNN meets the training loop: every call to
+ * forward / backward is dispatched to the engine the scheduler
+ * currently deploys for that phase, and the layer records the sparsity
+ * of the error gradients it receives so the tuner can re-check its BP
+ * choice as sparsity drifts across epochs (paper §4.4, Fig. 3b).
+ */
+
+#ifndef SPG_NN_CONV_LAYER_HH
+#define SPG_NN_CONV_LAYER_HH
+
+#include <map>
+#include <memory>
+
+#include "conv/engines.hh"
+#include "nn/layer.hh"
+#include "util/random.hh"
+
+namespace spg {
+
+/** Engine assignment for the three phases of one conv layer. */
+struct EngineAssignment
+{
+    std::string fp = "gemm-in-parallel";
+    std::string bp_data = "gemm-in-parallel";
+    std::string bp_weights = "gemm-in-parallel";
+};
+
+/** A 2-D convolution layer (no padding, square kernels allowed any). */
+class ConvLayer : public Layer
+{
+  public:
+    /**
+     * @param label Display name ("conv1").
+     * @param spec Geometry; spec.nx/ny/nc must match the input.
+     * @param rng Weight initialization source (He-scaled gaussian).
+     */
+    ConvLayer(std::string label, const ConvSpec &spec, Rng &rng);
+
+    std::string name() const override;
+    Geometry inputGeometry() const override
+    {
+        return Geometry{spec_.nc, spec_.ny, spec_.nx};
+    }
+    Geometry outputGeometry() const override
+    {
+        return Geometry{spec_.nf, spec_.outY(), spec_.outX()};
+    }
+
+    void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
+    void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool) override;
+    void update(float learning_rate) override;
+
+    bool hasParams() const override { return true; }
+    std::int64_t paramCount() const override
+    {
+        return spec_.weightElems();
+    }
+    std::vector<Tensor *> params() override { return {&weights_}; }
+
+    const ConvSpec &spec() const { return spec_; }
+
+    /** Engines currently deployed. */
+    const EngineAssignment &engines() const { return assignment; }
+    /** Deploy a new engine set (from the tuner or an experiment). */
+    void setEngines(const EngineAssignment &engines);
+
+    /** Sparsity of the most recent output-error gradients. */
+    double lastErrorSparsity() const { return last_eo_sparsity; }
+
+    /** Cumulative time spent per phase since construction. */
+    struct PhaseProfile
+    {
+        double fp_seconds = 0;
+        double bp_data_seconds = 0;
+        double bp_weights_seconds = 0;
+        std::int64_t calls = 0;
+    };
+    const PhaseProfile &profile() const { return profile_; }
+    void resetProfile() { profile_ = PhaseProfile{}; }
+
+    /** Direct weight access (tests, checkpointing). */
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+    const Tensor &weightGradients() const { return dweights; }
+
+  private:
+    const ConvEngine &engineByName(const std::string &name) const;
+
+    std::string label;
+    ConvSpec spec_;
+    Tensor weights_;
+    Tensor dweights;
+    EngineAssignment assignment;
+    double last_eo_sparsity = 0;
+    PhaseProfile profile_;
+    std::map<std::string, std::unique_ptr<ConvEngine>> engine_cache;
+};
+
+} // namespace spg
+
+#endif // SPG_NN_CONV_LAYER_HH

@@ -1,0 +1,149 @@
+#include "nn/fc_layer.hh"
+
+#include <cmath>
+
+#include "blas/gemm.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+FcLayer::FcLayer(Geometry geometry, std::int64_t outputs, Rng &rng)
+    : geom(geometry),
+      outputs(outputs),
+      weights(Shape{outputs, geometry.elems()}),
+      bias(Shape{outputs}),
+      dweights(Shape{outputs, geometry.elems()}),
+      dbias(Shape{outputs})
+{
+    if (outputs <= 0)
+        fatal("fc layer needs a positive output count");
+    float stddev =
+        std::sqrt(2.0f / static_cast<float>(geometry.elems()));
+    weights.fillGaussian(rng, stddev);
+}
+
+std::string
+FcLayer::name() const
+{
+    return "fc(" + std::to_string(geom.elems()) + "->" +
+           std::to_string(outputs) + ")";
+}
+
+void
+FcLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
+{
+    std::int64_t batch = in.shape()[0];
+    std::int64_t d = geom.elems();
+    // out[B x outputs] = in[B x D] * W^T[D x outputs].
+    parallelGemm(pool, Trans::No, Trans::Yes, batch, outputs, d,
+                 in.data(), weights.data(), 0.0f, out.data());
+    float *o = out.data();
+    for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t j = 0; j < outputs; ++j)
+            o[b * outputs + j] += bias[j];
+}
+
+void
+FcLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool)
+{
+    std::int64_t batch = in.shape()[0];
+    std::int64_t d = geom.elems();
+    // ei[B x D] = eo[B x outputs] * W[outputs x D].
+    parallelGemm(pool, Trans::No, Trans::No, batch, d, outputs,
+                 eo.data(), weights.data(), 0.0f, ei.data());
+    // dW[outputs x D] = eo^T[outputs x B] * in[B x D].
+    parallelGemm(pool, Trans::Yes, Trans::No, outputs, d, batch,
+                 eo.data(), in.data(), 0.0f, dweights.data());
+    // dbias[j] = sum_b eo[b][j].
+    dbias.zero();
+    const float *go = eo.data();
+    for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t j = 0; j < outputs; ++j)
+            dbias[j] += go[b * outputs + j];
+}
+
+void
+FcLayer::update(float learning_rate)
+{
+    float *w = weights.data();
+    const float *dw = dweights.data();
+    for (std::int64_t i = 0; i < weights.size(); ++i)
+        w[i] -= learning_rate * dw[i];
+    for (std::int64_t j = 0; j < outputs; ++j)
+        bias[j] -= learning_rate * dbias[j];
+}
+
+SoftmaxLayer::SoftmaxLayer(Geometry geometry) : geom(geometry)
+{
+    if (geom.h != 1 || geom.w != 1)
+        fatal("softmax expects a flat input, got %s", geom.str().c_str());
+}
+
+void
+SoftmaxLayer::setLabels(const std::vector<int> &batch_labels)
+{
+    labels = batch_labels;
+}
+
+void
+SoftmaxLayer::forward(const Tensor &in, Tensor &out, ThreadPool &)
+{
+    std::int64_t batch = in.shape()[0];
+    std::int64_t classes = geom.c;
+    double loss_sum = 0;
+    std::int64_t correct = 0;
+    bool have_labels =
+        labels.size() == static_cast<std::size_t>(batch);
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float *logits = in.data() + b * classes;
+        float *probs = out.data() + b * classes;
+        float max_logit = logits[0];
+        std::int64_t arg = 0;
+        for (std::int64_t j = 1; j < classes; ++j) {
+            if (logits[j] > max_logit) {
+                max_logit = logits[j];
+                arg = j;
+            }
+        }
+        double denom = 0;
+        for (std::int64_t j = 0; j < classes; ++j) {
+            probs[j] = std::exp(logits[j] - max_logit);
+            denom += probs[j];
+        }
+        for (std::int64_t j = 0; j < classes; ++j)
+            probs[j] = static_cast<float>(probs[j] / denom);
+        if (have_labels) {
+            int label = labels[b];
+            SPG_ASSERT(label >= 0 && label < classes);
+            loss_sum -= std::log(
+                std::max(static_cast<double>(probs[label]), 1e-12));
+            correct += (arg == label);
+        }
+    }
+    if (have_labels) {
+        last_loss = loss_sum / batch;
+        last_accuracy = static_cast<double>(correct) / batch;
+    }
+}
+
+void
+SoftmaxLayer::backward(const Tensor &, const Tensor &out, const Tensor &,
+                       Tensor &ei, ThreadPool &)
+{
+    std::int64_t batch = out.shape()[0];
+    std::int64_t classes = geom.c;
+    if (labels.size() != static_cast<std::size_t>(batch))
+        fatal("softmax backward without labels for the current batch");
+    float scale = 1.0f / static_cast<float>(batch);
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float *probs = out.data() + b * classes;
+        float *g = ei.data() + b * classes;
+        for (std::int64_t j = 0; j < classes; ++j)
+            g[j] = probs[j] * scale;
+        g[labels[b]] -= scale;
+    }
+}
+
+} // namespace spg

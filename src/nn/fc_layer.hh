@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fully-connected layer and the softmax + cross-entropy head.
+ */
+
+#ifndef SPG_NN_FC_LAYER_HH
+#define SPG_NN_FC_LAYER_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+#include "util/random.hh"
+
+namespace spg {
+
+/**
+ * Dense layer: out[b] = W * flatten(in[b]) + bias. Implemented with
+ * the spg-CNN SGEMM (one batched MM per phase).
+ */
+class FcLayer : public Layer
+{
+  public:
+    /**
+     * @param geometry Input geometry (flattened to c*h*w).
+     * @param outputs Output neuron count.
+     * @param rng Weight initialization source.
+     */
+    FcLayer(Geometry geometry, std::int64_t outputs, Rng &rng);
+
+    std::string name() const override;
+    Geometry inputGeometry() const override { return geom; }
+    Geometry outputGeometry() const override
+    {
+        return Geometry{outputs, 1, 1};
+    }
+
+    void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
+    void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool) override;
+    void update(float learning_rate) override;
+
+    bool hasParams() const override { return true; }
+    std::int64_t paramCount() const override
+    {
+        return weights.size() + bias.size();
+    }
+    std::vector<Tensor *> params() override
+    {
+        return {&weights, &bias};
+    }
+
+  private:
+    Geometry geom;
+    std::int64_t outputs;
+    Tensor weights;   ///< [outputs][D]
+    Tensor bias;      ///< [outputs]
+    Tensor dweights;  ///< gradient accumulator
+    Tensor dbias;
+};
+
+/**
+ * Softmax with implicit cross-entropy loss. forward() produces class
+ * probabilities; after setLabels(), backward() emits the fused
+ * (prob - onehot) / B gradient, and loss()/accuracy() report on the
+ * last forward batch.
+ */
+class SoftmaxLayer : public Layer
+{
+  public:
+    explicit SoftmaxLayer(Geometry geometry);
+
+    std::string name() const override { return "softmax"; }
+    Geometry inputGeometry() const override { return geom; }
+    Geometry outputGeometry() const override { return geom; }
+
+    /** Set the target labels of the CURRENT minibatch (size B). */
+    void setLabels(const std::vector<int> &labels);
+
+    void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
+    void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool) override;
+
+    /** Mean cross-entropy of the last forward() batch. */
+    double loss() const { return last_loss; }
+    /** Top-1 accuracy of the last forward() batch. */
+    double accuracy() const { return last_accuracy; }
+
+  private:
+    Geometry geom;
+    std::vector<int> labels;
+    double last_loss = 0;
+    double last_accuracy = 0;
+};
+
+} // namespace spg
+
+#endif // SPG_NN_FC_LAYER_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Neural-network layer interface.
+ *
+ * Layers are configured with their input geometry (channels x height x
+ * width per image) at construction and expose their output geometry.
+ * The Network (network.hh) wires layers together, owns the activation
+ * and error buffers, and drives forward / backward / update.
+ *
+ * All batched tensors are [B][C][H][W] row-major; fully-connected
+ * layers view them as [B][C*H*W].
+ */
+
+#ifndef SPG_NN_LAYER_HH
+#define SPG_NN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "threading/thread_pool.hh"
+
+namespace spg {
+
+/** Per-image geometry flowing between layers. */
+struct Geometry
+{
+    std::int64_t c = 0, h = 0, w = 0;
+
+    std::int64_t elems() const { return c * h * w; }
+
+    std::string
+    str() const
+    {
+        return std::to_string(c) + "x" + std::to_string(h) + "x" +
+               std::to_string(w);
+    }
+};
+
+/** Abstract trainable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** @return a short human-readable label ("conv1 64x5x5", ...). */
+    virtual std::string name() const = 0;
+
+    /** @return per-image input geometry. */
+    virtual Geometry inputGeometry() const = 0;
+
+    /** @return per-image output geometry. */
+    virtual Geometry outputGeometry() const = 0;
+
+    /**
+     * FP: compute out from in.
+     *
+     * @param in [B][Cin][Hin][Win].
+     * @param out [B][Cout][Hout][Wout], overwritten.
+     */
+    virtual void forward(const Tensor &in, Tensor &out,
+                         ThreadPool &pool) = 0;
+
+    /**
+     * BP: compute ei (error w.r.t. in) from eo (error w.r.t. out) and
+     * accumulate parameter gradients for the following update().
+     *
+     * @param in The input the preceding forward() saw.
+     * @param out The output the preceding forward() produced.
+     * @param eo Error gradients w.r.t. out.
+     * @param ei Error gradients w.r.t. in, overwritten.
+     */
+    virtual void backward(const Tensor &in, const Tensor &out,
+                          const Tensor &eo, Tensor &ei,
+                          ThreadPool &pool) = 0;
+
+    /** SGD parameter update; no-op for parameterless layers. */
+    virtual void update(float /* learning_rate */) {}
+
+    /** @return true when the layer has trainable parameters. */
+    virtual bool hasParams() const { return false; }
+
+    /** @return parameter count (weights + biases). */
+    virtual std::int64_t paramCount() const { return 0; }
+
+    /**
+     * @return pointers to the layer's parameter tensors, in a stable
+     * order (used by checkpointing). Empty for parameterless layers.
+     */
+    virtual std::vector<Tensor *> params() { return {}; }
+};
+
+} // namespace spg
+
+#endif // SPG_NN_LAYER_HH

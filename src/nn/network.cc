@@ -1,0 +1,173 @@
+#include "nn/network.hh"
+
+#include "util/logging.hh"
+
+namespace spg {
+
+Network::Network(const NetConfig &config, std::uint64_t seed)
+{
+    input_geom = Geometry{config.channels, config.height, config.width};
+    Rng rng(seed);
+    Geometry geom = input_geom;
+    int conv_index = 0;
+
+    NetConfig cfg = config;
+    if (cfg.layers.empty() || cfg.layers.back().kind != LayerKind::Softmax)
+        cfg.layers.push_back(LayerConfig{LayerKind::Softmax, "", 0, 0, 1,
+                                         0});
+
+    for (const auto &lc : cfg.layers) {
+        switch (lc.kind) {
+          case LayerKind::Conv: {
+            if (lc.features <= 0 || lc.kernel <= 0)
+                fatal("net '%s': conv layer needs features and kernel",
+                      cfg.name.c_str());
+            ConvSpec spec{geom.w, geom.h, geom.c, lc.features, lc.kernel,
+                          lc.kernel, lc.stride, lc.stride};
+            if (!spec.valid())
+                fatal("net '%s': conv %s does not fit input %s",
+                      cfg.name.c_str(), spec.str().c_str(),
+                      geom.str().c_str());
+            std::string label = lc.name.empty()
+                                    ? "conv" + std::to_string(conv_index)
+                                    : lc.name;
+            ++conv_index;
+            layers.push_back(
+                std::make_unique<ConvLayer>(label, spec, rng));
+            break;
+          }
+          case LayerKind::Relu:
+            layers.push_back(std::make_unique<ReluLayer>(geom));
+            break;
+          case LayerKind::MaxPool:
+          case LayerKind::AvgPool: {
+            if (lc.kernel <= 0)
+                fatal("net '%s': pool layer needs a kernel",
+                      cfg.name.c_str());
+            auto mode = lc.kind == LayerKind::MaxPool
+                            ? PoolLayer::Mode::Max
+                            : PoolLayer::Mode::Avg;
+            layers.push_back(std::make_unique<PoolLayer>(
+                geom, lc.kernel, lc.stride, mode));
+            break;
+          }
+          case LayerKind::Fc: {
+            std::int64_t outputs =
+                lc.outputs > 0 ? lc.outputs : cfg.classes;
+            if (outputs <= 0)
+                fatal("net '%s': fc layer needs outputs (or a global "
+                      "classes count)",
+                      cfg.name.c_str());
+            layers.push_back(
+                std::make_unique<FcLayer>(geom, outputs, rng));
+            break;
+          }
+          case LayerKind::Softmax:
+            layers.push_back(std::make_unique<SoftmaxLayer>(geom));
+            break;
+        }
+        geom = layers.back()->outputGeometry();
+    }
+
+    head = dynamic_cast<SoftmaxLayer *>(layers.back().get());
+    SPG_ASSERT(head != nullptr);
+}
+
+void
+Network::ensureBuffers(std::int64_t batch)
+{
+    if (buffer_batch == batch)
+        return;
+    buffer_batch = batch;
+    acts.clear();
+    errs.clear();
+    Geometry geom = input_geom;
+    errs.emplace_back(Shape{batch, geom.c, geom.h, geom.w});
+    for (const auto &layer : layers) {
+        Geometry og = layer->outputGeometry();
+        acts.emplace_back(Shape{batch, og.c, og.h, og.w});
+        errs.emplace_back(Shape{batch, og.c, og.h, og.w});
+    }
+}
+
+const Tensor &
+Network::forward(const Tensor &images, ThreadPool &pool)
+{
+    std::int64_t batch = images.shape()[0];
+    Shape want{batch, input_geom.c, input_geom.h, input_geom.w};
+    if (images.shape() != want)
+        fatal("network expects input %s, got %s", want.str().c_str(),
+              images.shape().str().c_str());
+    ensureBuffers(batch);
+    const Tensor *in = &images;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        layers[i]->forward(*in, acts[i], pool);
+        in = &acts[i];
+    }
+    return acts.back();
+}
+
+StepStats
+Network::trainStep(const Tensor &images, const std::vector<int> &labels,
+                   float learning_rate, ThreadPool &pool)
+{
+    head->setLabels(labels);
+    forward(images, pool);
+
+    // errs[i] is the gradient w.r.t. layer i's INPUT; the softmax head
+    // consumes no upstream gradient (errs.back() is a dummy).
+    for (std::size_t i = layers.size(); i-- > 0;) {
+        const Tensor &in = i == 0 ? images : acts[i - 1];
+        layers[i]->backward(in, acts[i], errs[i + 1], errs[i], pool);
+    }
+    for (auto &layer : layers)
+        layer->update(learning_rate);
+
+    return StepStats{head->loss(), head->accuracy()};
+}
+
+double
+Network::evalAccuracy(const Tensor &images, const std::vector<int> &labels,
+                      ThreadPool &pool)
+{
+    head->setLabels(labels);
+    forward(images, pool);
+    return head->accuracy();
+}
+
+std::vector<ConvLayer *>
+Network::convLayers()
+{
+    std::vector<ConvLayer *> convs;
+    for (auto &layer : layers) {
+        if (auto *conv = dynamic_cast<ConvLayer *>(layer.get()))
+            convs.push_back(conv);
+    }
+    return convs;
+}
+
+std::int64_t
+Network::paramCount() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer->paramCount();
+    return total;
+}
+
+void
+Network::describe() const
+{
+    Geometry geom = input_geom;
+    inform("network input: %s", geom.str().c_str());
+    for (const auto &layer : layers) {
+        Geometry og = layer->outputGeometry();
+        inform("  %-28s %s -> %s", layer->name().c_str(),
+               layer->inputGeometry().str().c_str(), og.str().c_str());
+        geom = og;
+    }
+    inform("  trainable parameters: %lld",
+           static_cast<long long>(paramCount()));
+}
+
+} // namespace spg

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A feed-forward CNN assembled from a NetConfig.
+ *
+ * The network owns the layers and the inter-layer activation / error
+ * buffers, and drives the FP -> loss -> BP -> SGD-update cycle. Conv
+ * layers expose their engine assignments so the spg-CNN tuner (or an
+ * experiment harness) can deploy and re-deploy execution plans.
+ */
+
+#ifndef SPG_NN_NETWORK_HH
+#define SPG_NN_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/net_config.hh"
+#include "nn/conv_layer.hh"
+#include "nn/fc_layer.hh"
+#include "nn/simple_layers.hh"
+
+namespace spg {
+
+/** Loss/accuracy of one training step. */
+struct StepStats
+{
+    double loss = 0;
+    double accuracy = 0;
+};
+
+/** A stack of layers ending in a softmax head. */
+class Network
+{
+  public:
+    /**
+     * Build from a parsed description.
+     *
+     * @param config Network description; must end with a softmax (one
+     *        is appended when missing).
+     * @param seed Weight-initialization seed.
+     */
+    explicit Network(const NetConfig &config, std::uint64_t seed = 1);
+
+    /**
+     * Run FP over a minibatch.
+     *
+     * @param images [B][C][H][W] input batch.
+     * @return class probabilities [B][classes][1][1].
+     */
+    const Tensor &forward(const Tensor &images, ThreadPool &pool);
+
+    /**
+     * One SGD step: FP, loss, BP, parameter update.
+     *
+     * @param images Input batch.
+     * @param labels Target class per image.
+     * @param learning_rate SGD step size.
+     */
+    StepStats trainStep(const Tensor &images,
+                        const std::vector<int> &labels,
+                        float learning_rate, ThreadPool &pool);
+
+    /** FP-only accuracy over a labeled batch. */
+    double evalAccuracy(const Tensor &images,
+                        const std::vector<int> &labels, ThreadPool &pool);
+
+    /** Convolution layers in network order (for tuning/reporting). */
+    std::vector<ConvLayer *> convLayers();
+
+    /** @return total trainable parameter count. */
+    std::int64_t paramCount() const;
+
+    /** @return number of layers. */
+    std::size_t layerCount() const { return layers.size(); }
+
+    /** @return layer i (network order). */
+    Layer &layer(std::size_t i) { return *layers[i]; }
+
+    /** @return per-image input geometry. */
+    Geometry inputGeometry() const { return input_geom; }
+
+    /** @return class count of the softmax head. */
+    std::int64_t classes() const { return head->inputGeometry().c; }
+
+    /** Log a one-line-per-layer summary via inform(). */
+    void describe() const;
+
+  private:
+    void ensureBuffers(std::int64_t batch);
+
+    Geometry input_geom;
+    std::vector<std::unique_ptr<Layer>> layers;
+    SoftmaxLayer *head = nullptr;  ///< owned by `layers`, always last
+    std::vector<Tensor> acts;      ///< acts[i]: output of layer i
+    std::vector<Tensor> errs;      ///< errs[i]: error w.r.t. layer i input
+    std::int64_t buffer_batch = 0;
+};
+
+} // namespace spg
+
+#endif // SPG_NN_NETWORK_HH

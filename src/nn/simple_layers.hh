@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parameterless layers: ReLU and max/average pooling.
+ *
+ * ReLU is the source of the error-gradient sparsity the Sparse-Kernel
+ * exploits: its backward pass zeroes every error whose forward
+ * activation was clipped, so the errors reaching the convolution
+ * below are mostly zeros once the model starts fitting (paper
+ * Fig. 3b).
+ */
+
+#ifndef SPG_NN_SIMPLE_LAYERS_HH
+#define SPG_NN_SIMPLE_LAYERS_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace spg {
+
+/** Elementwise max(0, x). */
+class ReluLayer : public Layer
+{
+  public:
+    explicit ReluLayer(Geometry geometry) : geom(geometry) {}
+
+    std::string name() const override { return "relu"; }
+    Geometry inputGeometry() const override { return geom; }
+    Geometry outputGeometry() const override { return geom; }
+
+    void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
+    void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool) override;
+
+  private:
+    Geometry geom;
+};
+
+/** Non-overlapping-or-strided 2-D pooling. */
+class PoolLayer : public Layer
+{
+  public:
+    enum class Mode { Max, Avg };
+
+    /**
+     * @param geometry Input geometry.
+     * @param kernel Square pooling window.
+     * @param stride Pooling stride.
+     * @param mode Max or average.
+     */
+    PoolLayer(Geometry geometry, std::int64_t kernel, std::int64_t stride,
+              Mode mode);
+
+    std::string name() const override
+    {
+        return mode == Mode::Max ? "maxpool" : "avgpool";
+    }
+    Geometry inputGeometry() const override { return geom; }
+    Geometry outputGeometry() const override;
+
+    void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
+    void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
+                  Tensor &ei, ThreadPool &pool) override;
+
+  private:
+    Geometry geom;
+    std::int64_t kernel;
+    std::int64_t stride;
+    Mode mode;
+    /** argmax flat index per output element (max mode), per batch. */
+    std::vector<std::int32_t> argmax;
+};
+
+} // namespace spg
+
+#endif // SPG_NN_SIMPLE_LAYERS_HH

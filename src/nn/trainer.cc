@@ -1,0 +1,133 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace spg {
+
+Trainer::Trainer(Network &network, const Dataset &dataset,
+                 TrainerOptions options)
+    : network(network), dataset(dataset), opts(options),
+      tuner(options.tuner)
+{
+    if (opts.epochs < 1 || opts.batch < 1)
+        fatal("trainer needs epochs >= 1 and batch >= 1");
+    Geometry in = network.inputGeometry();
+    if (in.c != dataset.channels || in.h != dataset.height ||
+        in.w != dataset.width) {
+        fatal("network input %s does not match dataset %lldx%lldx%lld",
+              in.str().c_str(), static_cast<long long>(dataset.channels),
+              static_cast<long long>(dataset.height),
+              static_cast<long long>(dataset.width));
+    }
+}
+
+void
+Trainer::tuneAll(ThreadPool &pool, double sparsity_hint)
+{
+    tuned_at.clear();
+    for (ConvLayer *conv : network.convLayers()) {
+        LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool);
+        conv->setEngines(EngineAssignment{plan.fp_engine,
+                                          plan.bp_data_engine,
+                                          plan.bp_weights_engine});
+        tuned_at.push_back(sparsity_hint);
+    }
+}
+
+std::vector<EpochStats>
+Trainer::run(ThreadPool &pool)
+{
+    if (opts.mode == TrainerOptions::Mode::Autotune) {
+        // Initial plans assume dense errors; re-tuned once sparsity
+        // data exists.
+        tuneAll(pool, 0.0);
+    }
+
+    std::vector<std::int64_t> order(dataset.count());
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffle_rng(opts.shuffle_seed);
+
+    std::vector<EpochStats> history;
+    Stopwatch total;
+    std::int64_t total_images = 0;
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        if (opts.shuffle) {
+            for (std::int64_t i = dataset.count() - 1; i > 0; --i) {
+                std::int64_t j = static_cast<std::int64_t>(
+                    shuffle_rng.below(i + 1));
+                std::swap(order[i], order[j]);
+            }
+        }
+
+        EpochStats stats;
+        stats.epoch = epoch;
+        Stopwatch watch;
+        double loss_sum = 0, acc_sum = 0;
+        std::int64_t steps = 0, images = 0;
+        std::vector<int> labels;
+
+        for (std::int64_t start = 0; start + opts.batch <= dataset.count();
+             start += opts.batch) {
+            Tensor batch(Shape{opts.batch, dataset.channels,
+                               dataset.height, dataset.width});
+            dataset.fillBatch(order, start, opts.batch, batch, labels);
+            StepStats step = network.trainStep(
+                batch, labels, opts.learning_rate, pool);
+            loss_sum += step.loss;
+            acc_sum += step.accuracy;
+            ++steps;
+            images += opts.batch;
+        }
+        SPG_ASSERT(steps > 0);
+
+        stats.seconds = watch.seconds();
+        stats.mean_loss = loss_sum / steps;
+        stats.accuracy = acc_sum / steps;
+        stats.images_per_second = images / stats.seconds;
+        total_images += images;
+
+        for (ConvLayer *conv : network.convLayers()) {
+            stats.conv_error_sparsity.push_back(
+                conv->lastErrorSparsity());
+        }
+
+        // §4.4: re-check BP engine choices as sparsity drifts.
+        if (opts.mode == TrainerOptions::Mode::Autotune) {
+            auto convs = network.convLayers();
+            for (std::size_t i = 0; i < convs.size(); ++i) {
+                double observed = stats.conv_error_sparsity[i];
+                LayerPlan current;
+                current.tuned_sparsity = tuned_at[i];
+                if (tuner.shouldRetune(current, observed, epoch + 1)) {
+                    LayerPlan plan = tuner.tune(convs[i]->spec(),
+                                                observed, pool);
+                    convs[i]->setEngines(
+                        EngineAssignment{plan.fp_engine,
+                                         plan.bp_data_engine,
+                                         plan.bp_weights_engine});
+                    tuned_at[i] = observed;
+                }
+            }
+        }
+        for (ConvLayer *conv : network.convLayers())
+            stats.conv_engines.push_back(conv->engines());
+
+        if (opts.log_epochs) {
+            inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s",
+                   epoch, stats.mean_loss, stats.accuracy,
+                   stats.images_per_second);
+        }
+        history.push_back(std::move(stats));
+    }
+
+    overall_ips = total_images / total.seconds();
+    return history;
+}
+
+} // namespace spg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minibatch SGD training loop with spg-CNN engine scheduling.
+ *
+ * The trainer drives epochs over a Dataset, and optionally runs the
+ * spg-CNN tuner: before the first epoch every conv layer is measured
+ * and assigned its fastest engines, and after each epoch the observed
+ * error-gradient sparsity decides whether BP choices are re-measured
+ * (paper §4.4). Per-epoch statistics (loss, accuracy, throughput,
+ * per-layer error sparsity) feed the Fig. 3b and Fig. 9 benches.
+ */
+
+#ifndef SPG_NN_TRAINER_HH
+#define SPG_NN_TRAINER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/tuner.hh"
+#include "data/synthetic.hh"
+#include "nn/network.hh"
+
+namespace spg {
+
+/** Knobs of one training run. */
+struct TrainerOptions
+{
+    int epochs = 5;
+    std::int64_t batch = 16;
+    float learning_rate = 0.05f;
+    bool shuffle = true;
+    std::uint64_t shuffle_seed = 7;
+
+    /** Engine scheduling mode. */
+    enum class Mode
+    {
+        Fixed,     ///< keep whatever engines the layers already have
+        Autotune   ///< measure-and-pick per layer, with re-tuning
+    };
+    Mode mode = Mode::Autotune;
+
+    TunerOptions tuner;
+    bool log_epochs = true;
+};
+
+/** Per-epoch record. */
+struct EpochStats
+{
+    int epoch = 0;
+    double mean_loss = 0;
+    double accuracy = 0;          ///< training accuracy over the epoch
+    double seconds = 0;
+    double images_per_second = 0;
+    /** Error-gradient sparsity per conv layer (network order). */
+    std::vector<double> conv_error_sparsity;
+    /** Engines deployed per conv layer after any re-tuning. */
+    std::vector<EngineAssignment> conv_engines;
+};
+
+/** Runs SGD over a dataset. */
+class Trainer
+{
+  public:
+    /**
+     * @param network Network to train (borrowed; must outlive the
+     *        trainer).
+     * @param dataset Training data (borrowed).
+     * @param options Run configuration.
+     */
+    Trainer(Network &network, const Dataset &dataset,
+            TrainerOptions options = {});
+
+    /**
+     * Train for options.epochs epochs.
+     *
+     * @param pool Worker pool (its size is the deployed core count).
+     * @return one record per epoch.
+     */
+    std::vector<EpochStats> run(ThreadPool &pool);
+
+    /** @return images/second over the whole run (set by run()). */
+    double overallThroughput() const { return overall_ips; }
+
+  private:
+    void tuneAll(ThreadPool &pool, double sparsity_hint);
+
+    Network &network;
+    const Dataset &dataset;
+    TrainerOptions opts;
+    Tuner tuner;
+    /** Sparsity each conv layer's current plan was tuned at. */
+    std::vector<double> tuned_at;
+    double overall_ips = 0;
+};
+
+} // namespace spg
+
+#endif // SPG_NN_TRAINER_HH

@@ -1,0 +1,59 @@
+#include "perf/roofline.hh"
+
+#include <algorithm>
+
+namespace spg {
+
+double
+gemmElementsPerCore(std::int64_t m, std::int64_t n, std::int64_t k, int p,
+                    GemmPartition partition)
+{
+    double pd = p;
+    if (partition == GemmPartition::Rows) {
+        // m/p rows of A and C, all of B.
+        return (static_cast<double>(m) / pd) * k +
+               static_cast<double>(k) * n +
+               (static_cast<double>(m) / pd) * n;
+    }
+    // All of A, n/p columns of B and C.
+    return static_cast<double>(m) * k +
+           static_cast<double>(k) * (n / pd) +
+           static_cast<double>(m) * (n / pd);
+}
+
+double
+gemmFlopsPerCore(std::int64_t m, std::int64_t n, std::int64_t k, int p)
+{
+    return 2.0 * m * n * k / p;
+}
+
+double
+parallelGemmAitPerCore(std::int64_t m, std::int64_t n, std::int64_t k,
+                       int p)
+{
+    double flops = gemmFlopsPerCore(m, n, k, p);
+    double rows = gemmElementsPerCore(m, n, k, p, GemmPartition::Rows);
+    double cols = gemmElementsPerCore(m, n, k, p, GemmPartition::Cols);
+    return flops / std::min(rows, cols);
+}
+
+double
+gemmInParallelAitPerCore(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    double flops = 2.0 * m * n * k;
+    double elems = static_cast<double>(m) * k +
+                   static_cast<double>(k) * n +
+                   static_cast<double>(m) * n;
+    return flops / elems;
+}
+
+double
+rooflineGflops(double ait_flops_per_elem, double peak_gflops,
+               double bandwidth_gbytes_per_s)
+{
+    double memory_bound = ait_flops_per_elem * bandwidth_gbytes_per_s /
+                          4.0;
+    return std::min(peak_gflops, memory_bound);
+}
+
+} // namespace spg

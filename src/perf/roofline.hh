@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Roofline and AIT-per-core analysis (paper §3.1-3.2).
+ *
+ * The roofline gives the attainable per-core performance of a kernel
+ * as min(peak, AIT_per_core x bandwidth_per_core). The AIT-per-core
+ * functions implement the paper's §3.2 argument: partitioning ONE
+ * GEMM across p cores divides the arithmetic by p but not the operand
+ * traffic, so per-core AIT falls; running p INDEPENDENT GEMMs
+ * (GEMM-in-Parallel) keeps per-core AIT constant.
+ *
+ * AIT is measured in flops per ELEMENT (4-byte float), matching the
+ * paper's |A| / (|I| + |W| + |O|) convention.
+ */
+
+#ifndef SPG_PERF_ROOFLINE_HH
+#define SPG_PERF_ROOFLINE_HH
+
+#include <cstdint>
+
+namespace spg {
+
+/** How Parallel-GEMM splits the output across cores. */
+enum class GemmPartition { Rows, Cols };
+
+/**
+ * Elements of memory touched per core when an m x n x k GEMM is
+ * partitioned across p cores (paper §3.2 dual-core example
+ * generalized): a row partition gives each core m/p rows of A and C
+ * but ALL of B; a column partition gives each core all of A.
+ */
+double gemmElementsPerCore(std::int64_t m, std::int64_t n, std::int64_t k,
+                           int p, GemmPartition partition);
+
+/** Flops per core of the partitioned GEMM: 2mnk / p. */
+double gemmFlopsPerCore(std::int64_t m, std::int64_t n, std::int64_t k,
+                        int p);
+
+/**
+ * AIT per core of Parallel-GEMM, choosing the better of the row and
+ * column partitions (as the blas parallelGemm scheduler does).
+ */
+double parallelGemmAitPerCore(std::int64_t m, std::int64_t n,
+                              std::int64_t k, int p);
+
+/**
+ * AIT per core of GEMM-in-Parallel: each core runs whole GEMMs, so
+ * this equals the single-GEMM AIT and is independent of p.
+ */
+double gemmInParallelAitPerCore(std::int64_t m, std::int64_t n,
+                                std::int64_t k);
+
+/**
+ * Attainable GFlops at the given AIT (flops/element):
+ * min(peak_gflops, ait * bandwidth_gbytes / 4).
+ */
+double rooflineGflops(double ait_flops_per_elem, double peak_gflops,
+                      double bandwidth_gbytes_per_s);
+
+} // namespace spg
+
+#endif // SPG_PERF_ROOFLINE_HH

@@ -1,0 +1,225 @@
+#include "simcpu/conv_model.hh"
+
+#include <algorithm>
+
+#include "perf/roofline.hh"
+#include "util/logging.hh"
+
+namespace spg {
+
+namespace {
+
+constexpr double kFloat = 4.0;  ///< bytes per element
+
+/** Unfold+GEMM streaming traffic (elements) of one image, per phase. */
+double
+unfoldTrafficElems(const ConvSpec &spec, Phase phase)
+{
+    double u = static_cast<double>(spec.unfoldedElems());
+    switch (phase) {
+      case Phase::Forward:
+        // read I, write U; MM reads U + W, writes O.
+        return spec.inputElems() + 2 * u + spec.weightElems() +
+               spec.outputElems();
+      case Phase::BackwardData:
+        // MM reads EO + W, writes Ugrad; fold reads Ugrad, writes EI.
+        return spec.outputElems() + spec.weightElems() + 2 * u +
+               spec.inputElems();
+      case Phase::BackwardWeights:
+        // unfold I; MM reads EO + U, accumulates dW.
+        return spec.inputElems() + 2 * u + spec.outputElems() +
+               2 * spec.weightElems();
+    }
+    return 0;
+}
+
+/** The unfold/fold prologue that the baseline runs serially. */
+double
+serialPrologueElems(const ConvSpec &spec, Phase phase)
+{
+    double u = static_cast<double>(spec.unfoldedElems());
+    switch (phase) {
+      case Phase::Forward:
+      case Phase::BackwardWeights:
+        return spec.inputElems() + u;  // im2col: read I, write U
+      case Phase::BackwardData:
+        return u + spec.inputElems();  // col2im: read Ugrad, write EI
+    }
+    return 0;
+}
+
+} // namespace
+
+PhaseMm
+phaseMm(const ConvSpec &spec, Phase phase)
+{
+    switch (phase) {
+      case Phase::Forward:
+        return {spec.gemmM(), spec.gemmN(), spec.gemmK()};
+      case Phase::BackwardData:
+        return {spec.gemmK(), spec.gemmN(), spec.gemmM()};
+      case Phase::BackwardWeights:
+        return {spec.gemmM(), spec.gemmK(), spec.gemmN()};
+    }
+    return {0, 0, 0};
+}
+
+SimResult
+modelParallelGemmMm(const MachineModel &machine, std::int64_t m,
+                    std::int64_t n, std::int64_t k, int cores)
+{
+    SPG_ASSERT(cores >= 1);
+    // Mirror blas/gemm.cc: rows of C when m is big enough, else cols.
+    GemmPartition part = (m >= static_cast<std::int64_t>(cores) * 6 ||
+                          m >= n)
+                             ? GemmPartition::Rows
+                             : GemmPartition::Cols;
+    double per_core_elems = gemmElementsPerCore(m, n, k, cores, part);
+    double mc = part == GemmPartition::Rows
+                    ? static_cast<double>(m) / cores
+                    : static_cast<double>(m);
+    double nc = part == GemmPartition::Cols
+                    ? static_cast<double>(n) / cores
+                    : static_cast<double>(n);
+    SimTask task;
+    task.flops = gemmFlopsPerCore(m, n, k, cores);
+    task.bytes = kFloat * per_core_elems;
+    task.efficiency = machine.gemmEfficiency(mc, nc, k);
+    std::vector<std::vector<SimTask>> per_core(cores, {task});
+    return simulate(machine, per_core);
+}
+
+SimResult
+modelGemmInParallelMm(const MachineModel &machine, std::int64_t m,
+                      std::int64_t n, std::int64_t k, std::int64_t batch,
+                      int cores)
+{
+    SimTask task;
+    task.flops = 2.0 * m * n * k;
+    task.bytes = kFloat * (static_cast<double>(m) * k +
+                           static_cast<double>(k) * n +
+                           static_cast<double>(m) * n);
+    task.efficiency = machine.gemmEfficiency(m, n, k);
+    return simulateUniform(machine, task, batch, cores);
+}
+
+SimResult
+modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
+               Phase phase, const std::string &engine, std::int64_t batch,
+               int cores, double sparsity)
+{
+    spec.validate();
+    SPG_ASSERT(batch >= 1 && cores >= 1);
+    sparsity = std::clamp(sparsity, 0.0, 1.0);
+    PhaseMm mm = phaseMm(spec, phase);
+    double dense_flops = 2.0 * mm.m * mm.n * mm.k;
+    double useful_one = phase == Phase::Forward
+                            ? dense_flops
+                            : (1.0 - sparsity) * dense_flops;
+
+    if (engine == "parallel-gemm") {
+        // Sequential over images: serial unfold/fold prologue + the
+        // partitioned MM, once per image; fork-join per image.
+        GemmPartition part =
+            (mm.m >= static_cast<std::int64_t>(cores) * 6 || mm.m >= mm.n)
+                ? GemmPartition::Rows
+                : GemmPartition::Cols;
+        double mc = part == GemmPartition::Rows
+                        ? static_cast<double>(mm.m) / cores
+                        : static_cast<double>(mm.m);
+        double ncols = part == GemmPartition::Cols
+                           ? static_cast<double>(mm.n) / cores
+                           : static_cast<double>(mm.n);
+        SimTask mm_task;
+        mm_task.flops = gemmFlopsPerCore(mm.m, mm.n, mm.k, cores);
+        mm_task.bytes =
+            kFloat * gemmElementsPerCore(mm.m, mm.n, mm.k, cores, part);
+        mm_task.efficiency = machine.gemmEfficiency(mc, ncols, mm.k);
+        SimTask pro;
+        pro.bytes = kFloat * serialPrologueElems(spec, phase);
+        std::vector<std::vector<SimTask>> per_core(cores, {mm_task});
+        SimResult one = simulate(machine, per_core, {pro});
+        one.seconds *= batch;
+        one.total_flops *= batch;
+        one.useful_flops = useful_one * batch;
+        return one;
+    }
+
+    if (engine == "gemm-in-parallel") {
+        SimTask task;
+        task.flops = dense_flops;
+        task.bytes = kFloat * unfoldTrafficElems(spec, phase);
+        task.efficiency = machine.gemmEfficiency(
+            static_cast<double>(mm.m), static_cast<double>(mm.n),
+            static_cast<double>(mm.k));
+        return simulateUniform(machine, task, batch, cores, {},
+                               useful_one * batch);
+    }
+
+    if (engine == "stencil") {
+        SPG_ASSERT(phase == Phase::Forward);
+        double in_bytes = kFloat * spec.inputElems();
+        double out_plane = kFloat * spec.outY() * spec.outX();
+        // Input planes are reused across the Nf output features only
+        // if all channels plus one output plane fit in L2.
+        double in_reload =
+            (in_bytes + out_plane <= machine.l2_bytes) ? 1.0
+                                                       : spec.nf;
+        double elems = in_reload * spec.inputElems() +
+                       spec.weightElems() + 2.0 * spec.outputElems();
+        if (spec.sx > 1)
+            elems += 2.0 * spec.inputElems();  // Eq. 21 split
+        SimTask task;
+        task.flops = dense_flops;
+        task.bytes = kFloat * elems;
+        task.efficiency = machine.stencil_efficiency;
+        return simulateUniform(machine, task, batch, cores, {},
+                               useful_one * batch);
+    }
+
+    if (engine == "sparse") {
+        SPG_ASSERT(phase != Phase::Forward);
+        double eo = spec.outputElems();
+        double nnz = (1.0 - sparsity) * eo;
+        double flops = 2.0 * nnz * spec.fy * spec.fx * spec.nc;
+        double elems;
+        if (phase == Phase::BackwardData) {
+            // EO transform (r+w) + CSR build (r EO', w 2nnz) +
+            // W' transform (~3|W|) + EI staging (zero+write+readback
+            // +write = 4|EI|).
+            elems = 3.0 * eo + 2.0 * nnz + 3.0 * spec.weightElems() +
+                    4.0 * spec.inputElems();
+        } else {
+            elems = 3.0 * eo + 2.0 * nnz + 3.0 * spec.inputElems() +
+                    4.0 * spec.weightElems();
+        }
+        SimTask task;
+        task.flops = flops;
+        task.bytes = kFloat * elems;
+        task.efficiency = machine.axpy_efficiency;
+        return simulateUniform(machine, task, batch, cores, {},
+                               flops * batch);
+    }
+
+    panic("no performance model for engine '%s'", engine.c_str());
+}
+
+double
+modelLayerStepSeconds(const MachineModel &machine, const ConvSpec &spec,
+                      const std::string &fp_engine,
+                      const std::string &bp_engine, std::int64_t batch,
+                      int cores, double sparsity)
+{
+    double t = modelConvPhase(machine, spec, Phase::Forward, fp_engine,
+                              batch, cores, 0.0)
+                   .seconds;
+    t += modelConvPhase(machine, spec, Phase::BackwardData, bp_engine,
+                        batch, cores, sparsity)
+             .seconds;
+    t += modelConvPhase(machine, spec, Phase::BackwardWeights, bp_engine,
+                        batch, cores, sparsity)
+             .seconds;
+    return t / batch;
+}
+
+} // namespace spg

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Performance models of the convolution engines on the modeled
+ * machine.
+ *
+ * Two levels are provided:
+ *
+ *  - Raw MM models (modelParallelGemmMm / modelGemmInParallelMm):
+ *    the paper's Fig. 3a and Fig. 4a/4b time bare matrix multiplies
+ *    under the two schedules; these models mirror exactly the operand
+ *    partitioning of blas/gemm.cc.
+ *
+ *  - Convolution phase models (modelConvPhase): full engine executions
+ *    including unfold/fold traffic, data-layout transforms, CT-CSR
+ *    construction and fork-join overheads — used for Fig. 4c-4f,
+ *    Fig. 8 and Fig. 9.
+ *
+ * Traffic estimates count each operand stream once (the paper's AIT
+ * convention), with cache-capacity conditions where reuse across the
+ * loop nest depends on a working set fitting in L2 (stencil input
+ * reuse across output features).
+ */
+
+#ifndef SPG_SIMCPU_CONV_MODEL_HH
+#define SPG_SIMCPU_CONV_MODEL_HH
+
+#include <string>
+
+#include "conv/conv_spec.hh"
+#include "conv/engine.hh"
+#include "simcpu/simulate.hh"
+
+namespace spg {
+
+/** GEMM dimensions of a convolution phase (unfolded form). */
+struct PhaseMm
+{
+    std::int64_t m, n, k;
+};
+
+/** @return the MM the unfolded form of this phase computes. */
+PhaseMm phaseMm(const ConvSpec &spec, Phase phase);
+
+/**
+ * One m x n x k MM partitioned across `cores` (Parallel-GEMM).
+ * Mirrors blas parallelGemm: rows of C when m is large enough,
+ * columns otherwise; each core touches its output slab plus the whole
+ * shared operand.
+ */
+SimResult modelParallelGemmMm(const MachineModel &machine, std::int64_t m,
+                              std::int64_t n, std::int64_t k, int cores);
+
+/**
+ * `batch` independent m x n x k MMs distributed over `cores`
+ * (GEMM-in-Parallel); each MM runs single-threaded on its core.
+ */
+SimResult modelGemmInParallelMm(const MachineModel &machine,
+                                std::int64_t m, std::int64_t n,
+                                std::int64_t k, std::int64_t batch,
+                                int cores);
+
+/**
+ * Full engine execution of one layer phase over a minibatch.
+ *
+ * @param machine Modeled machine.
+ * @param spec Layer geometry.
+ * @param phase FP / BP-data / BP-weights.
+ * @param engine Engine name ("parallel-gemm", "gemm-in-parallel",
+ *        "stencil", "sparse").
+ * @param batch Minibatch size.
+ * @param cores Active cores.
+ * @param sparsity Fraction of zeros in the output-error gradients
+ *        (ignored for FP).
+ * @return Simulated result; useful_flops reflects goodput (non-zero
+ *         work) for BP phases.
+ */
+SimResult modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
+                         Phase phase, const std::string &engine,
+                         std::int64_t batch, int cores,
+                         double sparsity = 0.0);
+
+/**
+ * @return per-image time (seconds) of a complete training step of one
+ * conv layer (FP + BP-data + BP-weights) with the given FP/BP engine
+ * pair — the building block of the Fig. 9 end-to-end model.
+ */
+double modelLayerStepSeconds(const MachineModel &machine,
+                             const ConvSpec &spec,
+                             const std::string &fp_engine,
+                             const std::string &bp_engine,
+                             std::int64_t batch, int cores,
+                             double sparsity);
+
+} // namespace spg
+
+#endif // SPG_SIMCPU_CONV_MODEL_HH

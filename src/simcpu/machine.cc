@@ -1,0 +1,25 @@
+#include "simcpu/machine.hh"
+
+namespace spg {
+
+MachineModel
+MachineModel::xeonE5_2650()
+{
+    return MachineModel{};
+}
+
+MachineModel
+MachineModel::hostCalibrated(double measured_gemm_gflops)
+{
+    MachineModel m;
+    m.name = "host-1core";
+    m.physical_cores = 1;
+    m.logical_cores = 1;
+    // Treat the measured sustained GEMM rate as efficiency x peak.
+    m.peak_gflops_per_core = measured_gemm_gflops / m.gemm_efficiency;
+    m.dram_bw_gbs = 12.0;
+    m.per_core_bw_gbs = 12.0;
+    return m;
+}
+
+} // namespace spg

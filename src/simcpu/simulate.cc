@@ -1,0 +1,78 @@
+#include "simcpu/simulate.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+namespace {
+
+/** Time of one task at the given peak and bandwidth (seconds). */
+double
+taskSeconds(const SimTask &task, double peak_gflops, double bw_gbs)
+{
+    double compute = task.flops /
+                     (peak_gflops * 1e9 * std::max(task.efficiency, 1e-6));
+    double memory = task.bytes / (bw_gbs * 1e9);
+    return std::max(compute, memory);
+}
+
+} // namespace
+
+SimResult
+simulate(const MachineModel &machine,
+         const std::vector<std::vector<SimTask>> &per_core,
+         const std::vector<SimTask> &serial, double useful_flops)
+{
+    int active = static_cast<int>(per_core.size());
+    SPG_ASSERT(active >= 0);
+
+    SimResult result;
+    result.cores = std::max(active, 1);
+
+    // Serial prologue: one core, full machine bandwidth.
+    double serial_s = 0;
+    for (const auto &task : serial) {
+        serial_s += taskSeconds(task, machine.effectivePeakPerCore(1),
+                                machine.bandwidthPerCore(1));
+        result.total_flops += task.flops;
+    }
+
+    // Parallel region: every core advances through its stream; the
+    // region ends when the slowest core finishes.
+    double slowest = 0;
+    double peak = machine.effectivePeakPerCore(std::max(active, 1));
+    double bw = machine.bandwidthPerCore(std::max(active, 1));
+    for (const auto &stream : per_core) {
+        double t = 0;
+        for (const auto &task : stream) {
+            t += taskSeconds(task, peak, bw);
+            result.total_flops += task.flops;
+        }
+        slowest = std::max(slowest, t);
+    }
+
+    double overhead = active > 1 ? machine.fork_join_s : 0;
+    result.seconds = serial_s + slowest + overhead;
+    if (result.seconds <= 0)
+        result.seconds = 1e-12;
+    result.useful_flops =
+        useful_flops >= 0 ? useful_flops : result.total_flops;
+    return result;
+}
+
+SimResult
+simulateUniform(const MachineModel &machine, const SimTask &task,
+                std::int64_t count, int cores,
+                const std::vector<SimTask> &serial, double useful_flops)
+{
+    SPG_ASSERT(cores >= 1);
+    std::vector<std::vector<SimTask>> per_core(
+        std::min<std::int64_t>(cores, std::max<std::int64_t>(count, 1)));
+    for (std::int64_t i = 0; i < count; ++i)
+        per_core[i % per_core.size()].push_back(task);
+    return simulate(machine, per_core, serial, useful_flops);
+}
+
+} // namespace spg

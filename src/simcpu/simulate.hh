@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Schedule-driven roofline simulation.
+ *
+ * A kernel execution is described as a list of per-core task streams;
+ * each task carries its flop count, its DRAM traffic estimate, and the
+ * compute efficiency of its inner loop. The simulator assigns each
+ * core a time of max(compute, memory) per task and reports the
+ * critical-path (slowest core) time plus fork-join overhead — exactly
+ * the per-core-AIT arithmetic of the paper's §3.2, evaluated on the
+ * schedules the real engines produce.
+ */
+
+#ifndef SPG_SIMCPU_SIMULATE_HH
+#define SPG_SIMCPU_SIMULATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simcpu/machine.hh"
+
+namespace spg {
+
+/** One unit of work bound to a core. */
+struct SimTask
+{
+    double flops = 0;       ///< arithmetic operations
+    double bytes = 0;       ///< DRAM traffic (bytes)
+    double efficiency = 1;  ///< fraction of peak the inner loop reaches
+
+    /** Serial tasks run before the parallel region on core 0 with the
+     *  FULL machine bandwidth (e.g. the baseline's unfold step). */
+    bool serial = false;
+};
+
+/** Outcome of simulating one kernel invocation. */
+struct SimResult
+{
+    double seconds = 0;          ///< wall-clock of the invocation
+    double total_flops = 0;      ///< arithmetic across all cores
+    double useful_flops = 0;     ///< non-zero flops (goodput numerator)
+    int cores = 0;               ///< cores the schedule used
+
+    /** @return aggregate GFlops/s (throughput). */
+    double gflops() const { return total_flops / seconds / 1e9; }
+
+    /** @return GFlops/s per participating core. */
+    double gflopsPerCore() const { return gflops() / (cores ? cores : 1); }
+
+    /** @return goodput in GFlops/s (paper Eq. 9). */
+    double goodput() const { return useful_flops / seconds / 1e9; }
+};
+
+/**
+ * Simulate one kernel invocation.
+ *
+ * @param machine Modeled machine.
+ * @param per_core per_core[i] is the task stream of core i; the
+ *        number of streams is the active core count.
+ * @param serial Tasks executed on one core before the parallel region
+ *        (at full machine bandwidth).
+ * @param useful_flops Goodput numerator; pass <0 to default to the
+ *        total flops.
+ */
+SimResult simulate(const MachineModel &machine,
+                   const std::vector<std::vector<SimTask>> &per_core,
+                   const std::vector<SimTask> &serial = {},
+                   double useful_flops = -1.0);
+
+/**
+ * Convenience: distribute `count` identical tasks round-robin over
+ * `cores` streams and simulate.
+ */
+SimResult simulateUniform(const MachineModel &machine, const SimTask &task,
+                          std::int64_t count, int cores,
+                          const std::vector<SimTask> &serial = {},
+                          double useful_flops = -1.0);
+
+} // namespace spg
+
+#endif // SPG_SIMCPU_SIMULATE_HH

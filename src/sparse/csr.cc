@@ -1,0 +1,106 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+CsrMatrix
+CsrMatrix::fromDense(const float *dense, std::int64_t rows,
+                     std::int64_t cols)
+{
+    SPG_ASSERT(rows >= 0 && cols >= 0);
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr.reserve(rows + 1);
+    m.row_ptr.push_back(0);
+    for (std::int64_t i = 0; i < rows; ++i) {
+        const float *row = dense + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+            if (row[j] != 0.0f) {
+                m.values.push_back(row[j]);
+                m.cols_idx.push_back(static_cast<std::int32_t>(j));
+            }
+        }
+        m.row_ptr.push_back(static_cast<std::int64_t>(m.values.size()));
+    }
+    return m;
+}
+
+void
+CsrMatrix::toDense(float *dense) const
+{
+    std::fill(dense, dense + rows_ * cols_, 0.0f);
+    for (std::int64_t i = 0; i < rows_; ++i) {
+        for (std::int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p)
+            dense[i * cols_ + cols_idx[p]] = values[p];
+    }
+}
+
+double
+CsrMatrix::sparsity() const
+{
+    std::int64_t total = rows_ * cols_;
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+CtCsrMatrix
+CtCsrMatrix::fromDense(const float *dense, std::int64_t rows,
+                       std::int64_t cols, std::int64_t tile_width)
+{
+    SPG_ASSERT(tile_width >= 1);
+    CtCsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.tile_width = tile_width;
+    std::int64_t num_tiles = (cols + tile_width - 1) / tile_width;
+    m.tiles_.reserve(num_tiles);
+
+    // Extract each column band into a compact dense staging buffer,
+    // then compress. The staging keeps fromDense simple and is cheap
+    // relative to the downstream compute.
+    std::vector<float> band;
+    for (std::int64_t t = 0; t < num_tiles; ++t) {
+        std::int64_t c0 = t * tile_width;
+        std::int64_t w = std::min(tile_width, cols - c0);
+        band.assign(rows * w, 0.0f);
+        for (std::int64_t i = 0; i < rows; ++i) {
+            const float *src = dense + i * cols + c0;
+            std::copy(src, src + w, band.begin() + i * w);
+        }
+        m.tiles_.push_back(CsrMatrix::fromDense(band.data(), rows, w));
+    }
+    return m;
+}
+
+void
+CtCsrMatrix::toDense(float *dense) const
+{
+    std::fill(dense, dense + rows_ * cols_, 0.0f);
+    for (std::int64_t t = 0; t < tileCount(); ++t) {
+        const CsrMatrix &tile_m = tiles_[t];
+        std::int64_t c0 = tileColOffset(t);
+        const auto &vals = tile_m.vals();
+        const auto &cidx = tile_m.colIdx();
+        const auto &rptr = tile_m.rowPtr();
+        for (std::int64_t i = 0; i < rows_; ++i) {
+            for (std::int64_t p = rptr[i]; p < rptr[i + 1]; ++p)
+                dense[i * cols_ + c0 + cidx[p]] = vals[p];
+        }
+    }
+}
+
+std::int64_t
+CtCsrMatrix::nnz() const
+{
+    std::int64_t total = 0;
+    for (const auto &t : tiles_)
+        total += t.nnz();
+    return total;
+}
+
+} // namespace spg

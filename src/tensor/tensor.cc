@@ -1,0 +1,184 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+Shape::Shape(std::initializer_list<std::int64_t> extents)
+    : dims{1, 1, 1, 1}, rank_(static_cast<int>(extents.size()))
+{
+    if (extents.size() == 0 || extents.size() > 4)
+        panic("Shape requires 1..4 extents, got %zu", extents.size());
+    int i = 0;
+    for (auto e : extents) {
+        if (e <= 0)
+            panic("Shape extent %d must be positive, got %lld", i,
+                  static_cast<long long>(e));
+        dims[i++] = e;
+    }
+}
+
+std::int64_t
+Shape::elements() const
+{
+    std::int64_t n = 1;
+    for (int i = 0; i < 4; ++i)
+        n *= dims[i];
+    return n;
+}
+
+bool
+Shape::operator==(const Shape &other) const
+{
+    return rank_ == other.rank_ && dims == other.dims;
+}
+
+std::string
+Shape::str() const
+{
+    std::string out;
+    for (int i = 0; i < std::max(rank_, 1); ++i) {
+        if (i)
+            out += "x";
+        out += std::to_string(dims[i]);
+    }
+    return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape),
+      buffer(static_cast<std::size_t>(shape.elements()))
+{
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor copy(shape_);
+    std::copy(buffer.begin(), buffer.end(), copy.buffer.begin());
+    return copy;
+}
+
+float &
+Tensor::at(std::int64_t i, std::int64_t j)
+{
+    return buffer[i * shape_[1] + j];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j) const
+{
+    return buffer[i * shape_[1] + j];
+}
+
+float &
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k)
+{
+    return buffer[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const
+{
+    return buffer[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float &
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l)
+{
+    return buffer[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+           std::int64_t l) const
+{
+    return buffer[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(buffer.begin(), buffer.end(), value);
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &x : buffer)
+        x = rng.uniform(lo, hi);
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float stddev)
+{
+    for (auto &x : buffer)
+        x = rng.gaussian() * stddev;
+}
+
+void
+Tensor::sparsify(Rng &rng, double sparsity)
+{
+    if (sparsity < 0.0 || sparsity > 1.0)
+        panic("sparsity %f out of [0, 1]", sparsity);
+    for (auto &x : buffer) {
+        if (rng.bernoulli(sparsity))
+            x = 0.0f;
+    }
+}
+
+std::int64_t
+Tensor::zeroCount() const
+{
+    std::int64_t zeros = 0;
+    for (auto x : buffer)
+        zeros += (x == 0.0f);
+    return zeros;
+}
+
+double
+Tensor::sparsity() const
+{
+    if (size() == 0)
+        return 0.0;
+    return static_cast<double>(zeroCount()) / static_cast<double>(size());
+}
+
+float
+Tensor::maxAbs() const
+{
+    float best = 0.0f;
+    for (auto x : buffer)
+        best = std::max(best, std::fabs(x));
+    return best;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        panic("maxAbsDiff shape mismatch: %s vs %s",
+              a.shape().str().c_str(), b.shape().str().c_str());
+    float best = 0.0f;
+    for (std::int64_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::fabs(a[i] - b[i]));
+    return best;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float rel_tol, float abs_tol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+        float tol = abs_tol + rel_tol * std::fabs(b[i]);
+        if (std::fabs(a[i] - b[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace spg

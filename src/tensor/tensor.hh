@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Dense row-major float tensors of rank 1..4.
+ *
+ * Tensors are the common currency between the convolution engines, the
+ * neural-network layers and the benchmark workload generators. Layout
+ * is always row-major over the shape as declared; the convolution
+ * engines document the dimension *meaning* (e.g. [c][y][x] vs
+ * [y][x][c]) at each call site, and the transforms in
+ * tensor/layout.hh convert between those meanings.
+ */
+
+#ifndef SPG_TENSOR_TENSOR_HH
+#define SPG_TENSOR_TENSOR_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hh"
+#include "util/random.hh"
+
+namespace spg {
+
+/** Shape of a tensor: up to four extents, unused extents are 1. */
+class Shape
+{
+  public:
+    Shape() : dims{1, 1, 1, 1}, rank_(0) {}
+
+    /** Construct from 1..4 extents. */
+    Shape(std::initializer_list<std::int64_t> extents);
+
+    /** @return number of declared dimensions (1..4). */
+    int rank() const { return rank_; }
+
+    /** @return extent of dimension i (0-based). */
+    std::int64_t operator[](int i) const { return dims[i]; }
+
+    /** @return product of all extents. */
+    std::int64_t elements() const;
+
+    bool operator==(const Shape &other) const;
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** @return "AxBxC" style rendering for messages. */
+    std::string str() const;
+
+  private:
+    std::array<std::int64_t, 4> dims;
+    int rank_;
+};
+
+/**
+ * An owning, aligned, row-major dense float tensor.
+ *
+ * Move-only (copies must be explicit via clone() so that accidental
+ * deep copies never hide in hot paths).
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    Tensor(Tensor &&) = default;
+    Tensor &operator=(Tensor &&) = default;
+    Tensor(const Tensor &) = delete;
+    Tensor &operator=(const Tensor &) = delete;
+
+    /** @return an explicit deep copy. */
+    Tensor clone() const;
+
+    const Shape &shape() const { return shape_; }
+    std::int64_t size() const { return shape_.elements(); }
+
+    float *data() { return buffer.data(); }
+    const float *data() const { return buffer.data(); }
+
+    /** Flat element access. */
+    float &operator[](std::int64_t i) { return buffer[i]; }
+    float operator[](std::int64_t i) const { return buffer[i]; }
+
+    /** 2-D indexed access; requires rank >= 2 semantics. */
+    float &at(std::int64_t i, std::int64_t j);
+    float at(std::int64_t i, std::int64_t j) const;
+
+    /** 3-D indexed access. */
+    float &at(std::int64_t i, std::int64_t j, std::int64_t k);
+    float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+
+    /** 4-D indexed access. */
+    float &at(std::int64_t i, std::int64_t j, std::int64_t k,
+              std::int64_t l);
+    float at(std::int64_t i, std::int64_t j, std::int64_t k,
+             std::int64_t l) const;
+
+    /** Set every element to zero. */
+    void zero() { buffer.zero(); }
+
+    /** Set every element to the given constant. */
+    void fill(float value);
+
+    /** Fill with uniform values in [lo, hi) from the given generator. */
+    void fillUniform(Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+    /** Fill with N(0, stddev^2) samples. */
+    void fillGaussian(Rng &rng, float stddev = 1.0f);
+
+    /**
+     * Randomly zero elements until approximately the requested fraction
+     * is zero. Used to synthesize error-gradient sparsity levels.
+     *
+     * @param rng Seeded generator.
+     * @param sparsity Target fraction of zeros in [0, 1].
+     */
+    void sparsify(Rng &rng, double sparsity);
+
+    /** @return fraction of elements that are exactly zero. */
+    double sparsity() const;
+
+    /** @return number of elements that are exactly zero. */
+    std::int64_t zeroCount() const;
+
+    /** @return largest absolute element. */
+    float maxAbs() const;
+
+  private:
+    Shape shape_;
+    AlignedBuffer<float> buffer;
+};
+
+/**
+ * @return the largest absolute elementwise difference between two
+ * tensors of identical shape; panics on shape mismatch.
+ */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/**
+ * @return true when every element of @p a is within @p abs_tol plus
+ * @p rel_tol * |b| of the corresponding element of @p b.
+ */
+bool allClose(const Tensor &a, const Tensor &b, float rel_tol = 1e-4f,
+              float abs_tol = 1e-5f);
+
+} // namespace spg
+
+#endif // SPG_TENSOR_TENSOR_HH

@@ -1,0 +1,119 @@
+#include "threading/thread_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw ? static_cast<int>(hw) : 1;
+    }
+    total_threads = num_threads;
+    // The calling thread participates, so spawn one fewer worker.
+    int spawn = num_threads - 1;
+    workers.reserve(spawn);
+    for (int i = 0; i < spawn; ++i)
+        workers.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    cv_start.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::function<void(int)> body;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv_start.wait(lock, [&] { return stopping || epoch != seen; });
+            if (stopping)
+                return;
+            seen = epoch;
+            body = current;
+        }
+        body(index);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--pending == 0)
+                cv_done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runOnAll(const std::function<void(int)> &body)
+{
+    if (workers.empty()) {
+        body(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        SPG_ASSERT(pending == 0);
+        current = body;
+        pending = static_cast<int>(workers.size());
+        ++epoch;
+    }
+    cv_start.notify_all();
+    body(0);
+    std::unique_lock<std::mutex> lock(mutex);
+    cv_done.wait(lock, [&] { return pending == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::int64_t n,
+                        const std::function<void(std::int64_t, std::int64_t,
+                                                 int)> &fn)
+{
+    if (n <= 0)
+        return;
+    int p = std::min<std::int64_t>(total_threads, n);
+    std::int64_t chunk = (n + p - 1) / p;
+    runOnAll([&](int worker) {
+        std::int64_t begin = static_cast<std::int64_t>(worker) * chunk;
+        std::int64_t end = std::min(begin + chunk, n);
+        if (begin < end)
+            fn(begin, end, worker);
+    });
+}
+
+void
+ThreadPool::parallelForDynamic(std::int64_t n,
+                               const std::function<void(std::int64_t,
+                                                        int)> &fn)
+{
+    if (n <= 0)
+        return;
+    std::atomic<std::int64_t> next{0};
+    runOnAll([&](int worker) {
+        for (;;) {
+            std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i, worker);
+        }
+    });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace spg

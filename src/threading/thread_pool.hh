@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A persistent worker thread pool with a fork-join parallelFor.
+ *
+ * Both execution schedules the paper contrasts are built on this pool:
+ *
+ *  - Parallel-GEMM partitions ONE matrix multiply across the workers
+ *    (each worker computes a slab of the output), which divides the
+ *    arithmetic per core but not the memory traffic — the per-core AIT
+ *    reduction of paper §3.2.
+ *  - GEMM-in-Parallel gives each worker a WHOLE single-threaded GEMM on
+ *    a different training input (paper §4.1), preserving per-core AIT.
+ *
+ * The pool is task-based: parallelFor(n, fn) splits [0, n) into
+ * contiguous chunks, runs them on the workers (and the calling thread),
+ * and joins. Workers are created once and parked between calls.
+ */
+
+#ifndef SPG_THREADING_THREAD_POOL_HH
+#define SPG_THREADING_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spg {
+
+/**
+ * Fixed-size pool of worker threads executing range tasks.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Total parallelism including the calling
+     *        thread; 0 selects the hardware concurrency.
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return total parallelism (workers + calling thread). */
+    int threads() const { return total_threads; }
+
+    /**
+     * Run fn(begin, end, worker_index) over a partition of [0, n) into
+     * one contiguous chunk per thread, and wait for completion. The
+     * calling thread executes chunk 0. Recursive use is not supported.
+     *
+     * @param n Iteration-space extent.
+     * @param fn Callable (int64_t begin, int64_t end, int worker).
+     */
+    void parallelFor(std::int64_t n,
+                     const std::function<void(std::int64_t, std::int64_t,
+                                              int)> &fn);
+
+    /**
+     * Run fn(i, worker_index) for every i in [0, n) with dynamic
+     * (work-stealing-style atomic counter) scheduling. Better for
+     * heterogeneous task costs such as per-image GEMMs.
+     */
+    void parallelForDynamic(std::int64_t n,
+                            const std::function<void(std::int64_t, int)> &fn);
+
+    /** Process-wide pool sized to the hardware concurrency. */
+    static ThreadPool &global();
+
+  private:
+    struct Task
+    {
+        std::function<void(int)> body;  ///< body(worker_index)
+        std::uint64_t epoch = 0;
+    };
+
+    void workerLoop(int index);
+
+    /** Dispatch body(worker) on all workers + caller, then join. */
+    void runOnAll(const std::function<void(int)> &body);
+
+    int total_threads;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::function<void(int)> current;
+    std::uint64_t epoch = 0;
+    int pending = 0;
+    bool stopping = false;
+};
+
+} // namespace spg
+
+#endif // SPG_THREADING_THREAD_POOL_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cache-line / SIMD aligned memory management.
+ *
+ * All tensor and packing buffers in spg-CNN are allocated through
+ * AlignedBuffer so that vector loads are aligned and false sharing
+ * across worker threads is avoided.
+ */
+
+#ifndef SPG_UTIL_ALIGNED_HH
+#define SPG_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+/** Default alignment: one cache line, also enough for AVX-512. */
+constexpr std::size_t kDefaultAlignment = 64;
+
+/**
+ * An owning, aligned, fixed-capacity array of trivially-copyable
+ * elements. Move-only.
+ */
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer requires trivially copyable elements");
+
+  public:
+    AlignedBuffer() = default;
+
+    /**
+     * Allocate a zero-initialized buffer.
+     *
+     * @param count Number of elements.
+     * @param alignment Byte alignment; must be a power of two multiple
+     *                  of sizeof(void*).
+     */
+    explicit AlignedBuffer(std::size_t count,
+                           std::size_t alignment = kDefaultAlignment)
+        : count_(count)
+    {
+        if (count == 0)
+            return;
+        std::size_t bytes = count * sizeof(T);
+        // aligned_alloc requires size to be a multiple of alignment.
+        std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+        data_ = static_cast<T *>(std::aligned_alloc(alignment, padded));
+        if (!data_)
+            fatal("out of memory allocating %zu bytes", padded);
+        std::memset(data_, 0, padded);
+    }
+
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          count_(std::exchange(other.count_, 0))
+    {}
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            count_ = std::exchange(other.count_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { release(); }
+
+    /** @return pointer to the first element, or nullptr when empty. */
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    /** @return number of elements. */
+    std::size_t size() const { return count_; }
+
+    /** @return true when the buffer holds no elements. */
+    bool empty() const { return count_ == 0; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + count_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + count_; }
+
+    /** Set every element to zero. */
+    void
+    zero()
+    {
+        if (data_)
+            std::memset(data_, 0, count_ * sizeof(T));
+    }
+
+  private:
+    void
+    release()
+    {
+        std::free(data_);
+        data_ = nullptr;
+        count_ = 0;
+    }
+
+    T *data_ = nullptr;
+    std::size_t count_ = 0;
+};
+
+} // namespace spg
+
+#endif // SPG_UTIL_ALIGNED_HH

@@ -1,0 +1,93 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace spg {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Normal};
+std::mutex emit_mutex;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(std::FILE *stream, const char *prefix, const char *fmt,
+     std::va_list args)
+{
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    std::fputs(prefix, stream);
+    std::vfprintf(stream, fmt, args);
+    std::fputc('\n', stream);
+    std::fflush(stream);
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Normal)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit(stdout, "info: ", fmt, args);
+    va_end(args);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Verbose)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit(stdout, "debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit(stderr, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit(stderr, "fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit(stderr, "panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace spg

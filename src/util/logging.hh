@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status and error reporting for spg-CNN.
+ *
+ * Follows the gem5 discipline: fatal() is for conditions caused by the
+ * user (bad configuration, invalid arguments) and exits cleanly with an
+ * error code, while panic() is for internal invariant violations (bugs)
+ * and aborts so a debugger or core dump can capture the state.
+ * inform() and warn() report status without stopping execution.
+ */
+
+#ifndef SPG_UTIL_LOGGING_HH
+#define SPG_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spg {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet = 0,   ///< only warnings and errors
+    Normal = 1,  ///< informational messages
+    Verbose = 2  ///< detailed progress messages
+};
+
+/** Return the process-wide log level. */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted line with the given prefix to the given stream. */
+void emit(std::FILE *stream, const char *prefix, const char *fmt,
+          std::va_list args);
+
+} // namespace detail
+
+/**
+ * Report an informational message. Shown at LogLevel::Normal and above.
+ *
+ * @param fmt printf-style format string.
+ */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a detailed progress message. Shown only at LogLevel::Verbose.
+ *
+ * @param fmt printf-style format string.
+ */
+void verbose(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a condition that might indicate a problem but does not stop
+ * execution.
+ *
+ * @param fmt printf-style format string.
+ */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error and exit(1). Use for bad
+ * configuration or invalid arguments, never for internal bugs.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort(). Use only for
+ * conditions that indicate a bug in spg-CNN itself.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Check an internal invariant; panic with file/line context on failure.
+ * Active in all build types (unlike assert).
+ */
+#define SPG_ASSERT(cond)                                                   \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::spg::panic("assertion '%s' failed at %s:%d", #cond,          \
+                         __FILE__, __LINE__);                              \
+        }                                                                  \
+    } while (0)
+
+} // namespace spg
+
+#endif // SPG_UTIL_LOGGING_HH

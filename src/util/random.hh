@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * spg-CNN experiments must be reproducible run-to-run, so all random
+ * data (weights, synthetic datasets, sparsity masks) flows through this
+ * seeded xoshiro256** generator rather than std::random_device.
+ */
+
+#ifndef SPG_UTIL_RANDOM_HH
+#define SPG_UTIL_RANDOM_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace spg {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, and
+ * deterministic given a seed — used for every random draw in spg-CNN.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** @return a float uniform in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+    }
+
+    /** @return a float uniform in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return an integer uniform in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire-style rejection-free reduction; bias is negligible for
+        // the ranges used here (n << 2^64).
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * n) >> 64);
+    }
+
+    /**
+     * @return a sample from N(0, 1) via the Box-Muller transform.
+     */
+    float
+    gaussian()
+    {
+        if (have_spare) {
+            have_spare = false;
+            return spare;
+        }
+        float u1 = uniform();
+        float u2 = uniform();
+        // Avoid log(0).
+        if (u1 < 1e-12f)
+            u1 = 1e-12f;
+        float mag = std::sqrt(-2.0f * std::log(u1));
+        float two_pi_u2 = 6.28318530717958647692f * u2;
+        spare = mag * std::sin(two_pi_u2);
+        have_spare = true;
+        return mag * std::cos(two_pi_u2);
+    }
+
+    /** @return true with the given probability (clamped to [0, 1]). */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+    bool have_spare = false;
+    float spare = 0.0f;
+};
+
+} // namespace spg
+
+#endif // SPG_UTIL_RANDOM_HH

@@ -1,0 +1,128 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> headers)
+    : title(std::move(title)), headers(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size()) {
+        panic("table '%s': row arity %zu != header arity %zu",
+              title.c_str(), cells.size(), headers.size());
+    }
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmt(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+void
+TablePrinter::print(std::FILE *stream) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&] {
+        std::fputc('+', stream);
+        for (auto w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i)
+                std::fputc('-', stream);
+            std::fputc('+', stream);
+        }
+        std::fputc('\n', stream);
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        std::fputc('|', stream);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::fprintf(stream, " %-*s |",
+                         static_cast<int>(widths[c]), cells[c].c_str());
+        }
+        std::fputc('\n', stream);
+    };
+
+    std::fprintf(stream, "\n== %s ==\n", title.c_str());
+    print_sep();
+    print_cells(headers);
+    print_sep();
+    for (const auto &row : rows)
+        print_cells(row);
+    print_sep();
+    std::fflush(stream);
+}
+
+namespace {
+
+/** Quote a CSV cell when it contains a separator, quote or newline. */
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TablePrinter::printCsv(std::FILE *stream) const
+{
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        std::fprintf(stream, "%s%s", csvEscape(headers[c]).c_str(),
+                     c + 1 == headers.size() ? "\n" : ",");
+    }
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(stream, "%s%s", csvEscape(row[c]).c_str(),
+                         c + 1 == row.size() ? "\n" : ",");
+        }
+    }
+    std::fflush(stream);
+}
+
+void
+TablePrinter::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing: %s", path.c_str(),
+              std::strerror(errno));
+    printCsv(f);
+    std::fclose(f);
+}
+
+} // namespace spg

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Text table and CSV emission for benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of the paper table or
+ * figure it regenerates; TablePrinter renders them as an aligned text
+ * table and, optionally, as CSV for downstream plotting.
+ */
+
+#ifndef SPG_UTIL_TABLE_HH
+#define SPG_UTIL_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spg {
+
+/**
+ * Accumulates rows of string cells and renders them either as an
+ * aligned, human-readable table or as CSV.
+ */
+class TablePrinter
+{
+  public:
+    /**
+     * @param title Table caption printed above the rendered table.
+     * @param headers Column headers.
+     */
+    TablePrinter(std::string title, std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string fmt(long long value);
+
+    /** Render as an aligned text table to the given stream. */
+    void print(std::FILE *stream = stdout) const;
+
+    /** Render as CSV (headers + rows) to the given stream. */
+    void printCsv(std::FILE *stream = stdout) const;
+
+    /** Write the CSV rendering to a file; fatal() on failure. */
+    void writeCsv(const std::string &path) const;
+
+    /** @return number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace spg
+
+#endif // SPG_UTIL_TABLE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by the autotuner and benchmarks.
+ */
+
+#ifndef SPG_UTIL_TIMER_HH
+#define SPG_UTIL_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace spg {
+
+/**
+ * A simple monotonic wall-clock stopwatch.
+ *
+ * The stopwatch starts running on construction; reset() restarts it.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(Clock::now()) {}
+
+    /** Restart the stopwatch from zero. */
+    void reset() { start = Clock::now(); }
+
+    /** @return elapsed time in seconds since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** @return elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** @return elapsed time in microseconds. */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+/**
+ * Run a callable repeatedly and return the best (minimum) time of
+ * several repetitions, in seconds. A warm-up run is performed first so
+ * that the measurement does not include cold caches or lazy page
+ * allocation.
+ *
+ * @param reps Number of timed repetitions (at least 1).
+ * @param fn Callable to measure.
+ * @return Minimum wall-clock seconds over the repetitions.
+ */
+template <typename Fn>
+double
+bestTimeSeconds(int reps, Fn &&fn)
+{
+    fn();  // warm-up
+    double best = 1e30;
+    for (int i = 0; i < reps; ++i) {
+        Stopwatch sw;
+        fn();
+        double t = sw.seconds();
+        if (t < best)
+            best = t;
+    }
+    return best;
+}
+
+/**
+ * Run a callable repeatedly and return the mean time per call in
+ * seconds, after one warm-up call.
+ *
+ * @param reps Number of timed repetitions (at least 1).
+ * @param fn Callable to measure.
+ */
+template <typename Fn>
+double
+meanTimeSeconds(int reps, Fn &&fn)
+{
+    fn();  // warm-up
+    Stopwatch sw;
+    for (int i = 0; i < reps; ++i)
+        fn();
+    return sw.seconds() / reps;
+}
+
+} // namespace spg
+
+#endif // SPG_UTIL_TIMER_HH

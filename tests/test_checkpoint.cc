@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for network checkpointing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/net_config.hh"
+#include "data/suites.hh"
+#include "nn/checkpoint.hh"
+
+namespace spg {
+namespace {
+
+NetConfig
+smallConfig()
+{
+    return parseNetConfig(R"(
+        name: "ckpt"
+        input { channels: 1 height: 10 width: 10 classes: 4 }
+        layer { type: conv features: 3 kernel: 3 }
+        layer { type: relu }
+        layer { type: fc outputs: 4 }
+        layer { type: softmax }
+    )");
+}
+
+TEST(Checkpoint, RoundTripRestoresExactWeights)
+{
+    Network a(smallConfig(), 1);
+    Network b(smallConfig(), 2);  // different init
+
+    std::stringstream stream;
+    saveCheckpoint(a, stream);
+    loadCheckpoint(b, stream);
+
+    // Both networks must now compute identical outputs.
+    ThreadPool pool(1);
+    Rng rng(3);
+    Tensor images(Shape{2, 1, 10, 10});
+    images.fillUniform(rng);
+    const Tensor &pa = a.forward(images, pool);
+    Tensor pa_copy = pa.clone();
+    const Tensor &pb = b.forward(images, pool);
+    EXPECT_EQ(maxAbsDiff(pa_copy, pb), 0.0f);
+}
+
+TEST(Checkpoint, TrainingResumesEquivalently)
+{
+    // Train net A two steps; checkpoint after step 1 into net B and
+    // replay step 2 there: weights must agree.
+    ThreadPool pool(1);
+    Rng rng(4);
+    Tensor batch(Shape{4, 1, 10, 10});
+    batch.fillUniform(rng);
+    std::vector<int> labels = {0, 1, 2, 3};
+
+    Network a(smallConfig(), 7);
+    a.trainStep(batch, labels, 0.1f, pool);
+    std::stringstream stream;
+    saveCheckpoint(a, stream);
+    a.trainStep(batch, labels, 0.1f, pool);
+
+    Network b(smallConfig(), 99);
+    loadCheckpoint(b, stream);
+    b.trainStep(batch, labels, 0.1f, pool);
+
+    const Tensor &pa = a.forward(batch, pool);
+    Tensor pa_copy = pa.clone();
+    const Tensor &pb = b.forward(batch, pool);
+    EXPECT_LT(maxAbsDiff(pa_copy, pb), 1e-5f);
+}
+
+TEST(Checkpoint, FileRoundTrip)
+{
+    Network a(smallConfig(), 5);
+    std::string path = ::testing::TempDir() + "/spg_ckpt_test.bin";
+    saveCheckpoint(a, path);
+    Network b(smallConfig(), 6);
+    loadCheckpoint(b, path);
+
+    ThreadPool pool(1);
+    Rng rng(8);
+    Tensor images(Shape{1, 1, 10, 10});
+    images.fillUniform(rng);
+    Tensor pa = a.forward(images, pool).clone();
+    const Tensor &pb = b.forward(images, pool);
+    EXPECT_EQ(maxAbsDiff(pa, pb), 0.0f);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDeath, RejectsGarbageAndMismatches)
+{
+    Network net(smallConfig(), 9);
+
+    std::stringstream garbage("not a checkpoint at all");
+    EXPECT_DEATH(loadCheckpoint(net, garbage), "bad magic");
+
+    // A checkpoint from a structurally different network.
+    NetConfig other = parseNetConfig(R"(
+        name: "other"
+        input { channels: 1 height: 10 width: 10 classes: 4 }
+        layer { type: conv features: 5 kernel: 3 }
+        layer { type: fc outputs: 4 }
+        layer { type: softmax }
+    )");
+    Network other_net(other, 10);
+    std::stringstream stream;
+    saveCheckpoint(other_net, stream);
+    EXPECT_DEATH(loadCheckpoint(net, stream), "checkpoint");
+
+    EXPECT_DEATH(loadCheckpoint(net, "/nonexistent/path/x.bin"),
+                 "cannot open");
+}
+
+TEST(Checkpoint, TruncatedStreamIsFatal)
+{
+    Network net(smallConfig(), 11);
+    std::stringstream stream;
+    saveCheckpoint(net, stream);
+    std::string data = stream.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_DEATH(loadCheckpoint(net, cut), "truncated");
+}
+
+} // namespace
+} // namespace spg

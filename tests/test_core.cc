@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the spg-CNN core: the network-description parser and the
+ * engine tuner/scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/net_config.hh"
+#include "core/tuner.hh"
+#include "data/suites.hh"
+
+namespace spg {
+namespace {
+
+TEST(NetConfig, ParsesFullDescription)
+{
+    NetConfig config = parseNetConfig(cifar10NetConfigText());
+    EXPECT_EQ(config.name, "cifar10");
+    EXPECT_EQ(config.channels, 3);
+    EXPECT_EQ(config.height, 36);
+    EXPECT_EQ(config.width, 36);
+    EXPECT_EQ(config.classes, 10);
+    ASSERT_EQ(config.layers.size(), 8u);
+    EXPECT_EQ(config.layers[0].kind, LayerKind::Conv);
+    EXPECT_EQ(config.layers[0].features, 64);
+    EXPECT_EQ(config.layers[0].kernel, 5);
+    EXPECT_EQ(config.layers[0].name, "conv0");
+    EXPECT_EQ(config.layers[2].kind, LayerKind::MaxPool);
+    EXPECT_EQ(config.layers[2].stride, 4);
+    EXPECT_EQ(config.layers[6].kind, LayerKind::Fc);
+    EXPECT_EQ(config.layers[6].outputs, 10);
+    EXPECT_EQ(config.layers[7].kind, LayerKind::Softmax);
+}
+
+TEST(NetConfig, CommentsAndWhitespace)
+{
+    NetConfig config = parseNetConfig(R"(
+        # a comment
+        name: "tiny"   # trailing comment
+        input { channels: 1 height: 8 width: 8 }
+        layer { type: conv features: 2 kernel: 3 }
+    )");
+    EXPECT_EQ(config.name, "tiny");
+    ASSERT_EQ(config.layers.size(), 1u);
+}
+
+TEST(NetConfig, RoundTripsThroughRender)
+{
+    NetConfig config = parseNetConfig(mnistNetConfigText());
+    std::string rendered = renderNetConfig(config);
+    NetConfig again = parseNetConfig(rendered);
+    EXPECT_EQ(again.name, config.name);
+    EXPECT_EQ(again.layers.size(), config.layers.size());
+    for (std::size_t i = 0; i < config.layers.size(); ++i) {
+        EXPECT_EQ(again.layers[i].kind, config.layers[i].kind) << i;
+        EXPECT_EQ(again.layers[i].features, config.layers[i].features);
+        EXPECT_EQ(again.layers[i].kernel, config.layers[i].kernel);
+        EXPECT_EQ(again.layers[i].stride, config.layers[i].stride);
+    }
+}
+
+TEST(NetConfigDeath, RejectsMalformedInput)
+{
+    EXPECT_DEATH(parseNetConfig("layer { type: conv }"),
+                 "input block missing");
+    EXPECT_DEATH(parseNetConfig("input { channels: 1 height: 4 width: 4 "
+                                "} layer { type: warp }"),
+                 "unknown layer type");
+    EXPECT_DEATH(parseNetConfig("input { channels: x height: 4 width: 4 "
+                                "} layer { type: relu }"),
+                 "expects an integer");
+    EXPECT_DEATH(parseNetConfig("bogus: 3"), "unexpected token");
+    EXPECT_DEATH(parseNetConfig("input { channels: 1 height: 4 width: 4 "
+                                "}"),
+                 "no layers");
+}
+
+TEST(Tuner, PicksSupportedEnginesForEveryPhase)
+{
+    TunerOptions opts;
+    opts.reps = 1;
+    opts.batch = 2;
+    Tuner tuner(opts);
+    ThreadPool pool(2);
+    ConvSpec spec{12, 12, 3, 8, 3, 3, 1, 1};
+    LayerPlan plan = tuner.tune(spec, 0.9, pool);
+
+    EXPECT_FALSE(plan.fp_engine.empty());
+    EXPECT_FALSE(plan.bp_data_engine.empty());
+    EXPECT_FALSE(plan.bp_weights_engine.empty());
+    EXPECT_NE(plan.fp_engine, "sparse");       // sparse is BP-only
+    EXPECT_NE(plan.bp_data_engine, "stencil"); // stencil is FP-only
+    EXPECT_DOUBLE_EQ(plan.tuned_sparsity, 0.9);
+
+    // FP candidates: parallel-gemm, gemm-in-parallel, stencil.
+    EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 3u);
+    // BP candidates: parallel-gemm, gemm-in-parallel, sparse.
+    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 3u);
+    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 3u);
+    for (const auto &[phase, timings] : plan.timings) {
+        for (const auto &timing : timings)
+            EXPECT_GT(timing.seconds, 0.0) << phaseName(phase);
+    }
+}
+
+TEST(Tuner, ChoiceIsFastestMeasured)
+{
+    TunerOptions opts;
+    opts.reps = 2;
+    opts.batch = 2;
+    Tuner tuner(opts);
+    ThreadPool pool(1);
+    ConvSpec spec{10, 10, 2, 4, 3, 3, 1, 1};
+    LayerPlan plan = tuner.tune(spec, 0.5, pool);
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        const auto &timings = plan.timings.at(phase);
+        double best = 1e30;
+        std::string best_name;
+        for (const auto &t : timings) {
+            if (t.seconds < best) {
+                best = t.seconds;
+                best_name = t.engine;
+            }
+        }
+        EXPECT_EQ(plan.enginesFor(phase), best_name) << phaseName(phase);
+    }
+}
+
+TEST(Tuner, RetunePolicy)
+{
+    TunerOptions opts;
+    opts.retune_interval = 2;
+    opts.sparsity_drift = 0.1;
+    Tuner tuner(opts);
+    LayerPlan plan;
+    plan.tuned_sparsity = 0.5;
+    // Periodic re-tune on the interval.
+    EXPECT_TRUE(tuner.shouldRetune(plan, 0.5, 2));
+    EXPECT_FALSE(tuner.shouldRetune(plan, 0.5, 3));
+    // Drift-triggered re-tune regardless of the epoch.
+    EXPECT_TRUE(tuner.shouldRetune(plan, 0.75, 3));
+    EXPECT_FALSE(tuner.shouldRetune(plan, 0.55, 1));
+}
+
+
+TEST(Tuner, ExtensionsRespectGeometryGates)
+{
+    TunerOptions opts;
+    opts.reps = 1;
+    opts.batch = 2;
+    opts.use_extensions = true;
+    Tuner tuner(opts);
+    ThreadPool pool(1);
+
+    auto fp_engines = [&](const ConvSpec &spec) {
+        LayerPlan plan = tuner.tune(spec, 0.0, pool);
+        std::vector<std::string> names;
+        for (const auto &t : plan.timings.at(Phase::Forward))
+            names.push_back(t.engine);
+        return names;
+    };
+
+    // 3x3 stride-1: winograd is a candidate.
+    auto on3x3 = fp_engines(ConvSpec{10, 10, 2, 3, 3, 3, 1, 1});
+    EXPECT_NE(std::find(on3x3.begin(), on3x3.end(), "winograd"),
+              on3x3.end());
+    EXPECT_NE(std::find(on3x3.begin(), on3x3.end(), "fft"),
+              on3x3.end());
+
+    // 5x5: winograd must be skipped, fft stays.
+    auto on5x5 = fp_engines(ConvSpec{10, 10, 2, 3, 5, 5, 1, 1});
+    EXPECT_EQ(std::find(on5x5.begin(), on5x5.end(), "winograd"),
+              on5x5.end());
+    EXPECT_NE(std::find(on5x5.begin(), on5x5.end(), "fft"),
+              on5x5.end());
+}
+
+TEST(Suites, Table2GeometriesAreValid)
+{
+    EXPECT_EQ(table2Layers().size(), 12u);
+    for (const auto &entry : table2Layers()) {
+        EXPECT_TRUE(entry.spec.valid())
+            << entry.benchmark << " L" << entry.layer;
+    }
+    EXPECT_EQ(table2Layers("MNIST").size(), 1u);
+    EXPECT_EQ(table2Layers("ImageNet-22K").size(), 5u);
+    EXPECT_DEATH(table2Layers("nope"), "unknown Table 2 benchmark");
+}
+
+TEST(Suites, Table1SpecsAreValid)
+{
+    EXPECT_EQ(table1Convolutions().size(), 6u);
+    for (const auto &entry : table1Convolutions())
+        EXPECT_TRUE(entry.spec.valid()) << entry.id;
+}
+
+} // namespace
+} // namespace spg

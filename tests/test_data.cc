@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.hh"
+
+namespace spg {
+namespace {
+
+TEST(Synthetic, GeometryAndLabels)
+{
+    Dataset ds = makeMnistLike(100, 1);
+    EXPECT_EQ(ds.channels, 1);
+    EXPECT_EQ(ds.height, 28);
+    EXPECT_EQ(ds.width, 28);
+    EXPECT_EQ(ds.classes, 10);
+    EXPECT_EQ(ds.count(), 100);
+    EXPECT_EQ(ds.images.shape(), (Shape{100, 1, 28, 28}));
+    std::set<int> seen;
+    for (int label : ds.labels) {
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 10);
+        seen.insert(label);
+    }
+    EXPECT_GE(seen.size(), 5u);  // most classes present in 100 draws
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    Dataset a = makeCifarLike(16, 7);
+    Dataset b = makeCifarLike(16, 7);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(maxAbsDiff(a.images, b.images), 0.0f);
+    Dataset c = makeCifarLike(16, 8);
+    EXPECT_NE(maxAbsDiff(a.images, c.images), 0.0f);
+}
+
+TEST(Synthetic, ClassesAreSeparable)
+{
+    // Same-class examples must be closer than cross-class on average —
+    // otherwise the training experiments would be noise-fitting.
+    Dataset ds = makeMnistLike(200, 3);
+    std::int64_t elems = ds.channels * ds.height * ds.width;
+    auto dist = [&](std::int64_t i, std::int64_t j) {
+        const float *a = ds.images.data() + i * elems;
+        const float *b = ds.images.data() + j * elems;
+        double d = 0;
+        for (std::int64_t e = 0; e < elems; ++e)
+            d += static_cast<double>(a[e] - b[e]) * (a[e] - b[e]);
+        return d;
+    };
+    double same = 0, cross = 0;
+    std::int64_t same_n = 0, cross_n = 0;
+    for (std::int64_t i = 0; i < 120; ++i) {
+        for (std::int64_t j = i + 1; j < 120; ++j) {
+            if (ds.labels[i] == ds.labels[j]) {
+                same += dist(i, j);
+                ++same_n;
+            } else {
+                cross += dist(i, j);
+                ++cross_n;
+            }
+        }
+    }
+    ASSERT_GT(same_n, 0);
+    ASSERT_GT(cross_n, 0);
+    // The noise floor dominates both sums; the class-template term
+    // must still make same-class pairs measurably closer.
+    EXPECT_LT(same / same_n, 0.92 * (cross / cross_n));
+}
+
+TEST(Synthetic, FillBatchCopiesRequestedExamples)
+{
+    Dataset ds = makeMnistLike(32, 4);
+    std::vector<std::int64_t> order(ds.count());
+    for (std::int64_t i = 0; i < ds.count(); ++i)
+        order[i] = ds.count() - 1 - i;  // reversed
+    Tensor batch(Shape{4, 1, 28, 28});
+    std::vector<int> labels;
+    ds.fillBatch(order, 8, 4, batch, labels);
+    ASSERT_EQ(labels.size(), 4u);
+    std::int64_t elems = 28 * 28;
+    for (int i = 0; i < 4; ++i) {
+        std::int64_t src = order[8 + i];
+        EXPECT_EQ(labels[i], ds.labels[src]);
+        const float *want = ds.images.data() + src * elems;
+        const float *got = batch.data() + i * elems;
+        for (std::int64_t e = 0; e < elems; e += 97)
+            ASSERT_EQ(got[e], want[e]);
+    }
+}
+
+TEST(Synthetic, NoiseControlsDifficulty)
+{
+    SyntheticSpec clean;
+    clean.noise_stddev = 0.0f;
+    clean.count = 20;
+    clean.seed = 5;
+    Dataset ds = makeSynthetic(clean);
+    // Zero noise: same-class images are identical.
+    std::int64_t elems = ds.channels * ds.height * ds.width;
+    for (std::int64_t i = 0; i < ds.count(); ++i) {
+        for (std::int64_t j = i + 1; j < ds.count(); ++j) {
+            if (ds.labels[i] != ds.labels[j])
+                continue;
+            const float *a = ds.images.data() + i * elems;
+            const float *b = ds.images.data() + j * elems;
+            for (std::int64_t e = 0; e < elems; ++e)
+                ASSERT_EQ(a[e], b[e]);
+        }
+    }
+}
+
+TEST(Synthetic, ImageNet100Geometry)
+{
+    Dataset ds = makeImageNet100Like(10, 6);
+    EXPECT_EQ(ds.channels, 3);
+    EXPECT_EQ(ds.height, 64);
+    EXPECT_EQ(ds.classes, 100);
+}
+
+} // namespace
+} // namespace spg

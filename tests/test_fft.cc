@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the FFT substrate and the FFT convolution engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "conv/engines.hh"
+#include "fft/fft.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace spg {
+namespace {
+
+/** Naive O(n^2) DFT oracle. */
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &x, bool inverse)
+{
+    std::int64_t n = static_cast<std::int64_t>(x.size());
+    std::vector<Complex> out(n);
+    double sign = inverse ? 1.0 : -1.0;
+    for (std::int64_t k = 0; k < n; ++k) {
+        std::complex<double> sum = 0;
+        for (std::int64_t t = 0; t < n; ++t) {
+            double angle = sign * 2.0 * M_PI * k * t / n;
+            sum += std::complex<double>(x[t]) *
+                   std::complex<double>(std::cos(angle),
+                                        std::sin(angle));
+        }
+        if (inverse)
+            sum /= static_cast<double>(n);
+        out[k] = Complex(static_cast<float>(sum.real()),
+                         static_cast<float>(sum.imag()));
+    }
+    return out;
+}
+
+TEST(Fft, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(96));
+    EXPECT_EQ(nextPowerOfTwo(1), 1);
+    EXPECT_EQ(nextPowerOfTwo(2), 2);
+    EXPECT_EQ(nextPowerOfTwo(33), 64);
+    EXPECT_EQ(nextPowerOfTwo(64), 64);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<Complex> x(8, Complex(0, 0));
+    x[0] = Complex(1, 0);
+    fftInplace(x.data(), 8);
+    for (const auto &v : x) {
+        EXPECT_NEAR(v.real(), 1.0f, 1e-6f);
+        EXPECT_NEAR(v.imag(), 0.0f, 1e-6f);
+    }
+}
+
+class FftLengths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FftLengths, MatchesNaiveDft)
+{
+    std::int64_t n = GetParam();
+    Rng rng(40 + n);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    auto want = naiveDft(x, false);
+    auto got = x;
+    fftInplace(got.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(got[i].real(), want[i].real(), 1e-3f * n) << i;
+        ASSERT_NEAR(got[i].imag(), want[i].imag(), 1e-3f * n) << i;
+    }
+}
+
+TEST_P(FftLengths, RoundTripIsIdentity)
+{
+    std::int64_t n = GetParam();
+    Rng rng(50 + n);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    auto got = x;
+    fftInplace(got.data(), n, false);
+    fftInplace(got.data(), n, 1, true);
+    for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(got[i].real(), x[i].real(), 1e-4f) << i;
+        ASSERT_NEAR(got[i].imag(), x[i].imag(), 1e-4f) << i;
+    }
+}
+
+TEST_P(FftLengths, ParsevalHolds)
+{
+    std::int64_t n = GetParam();
+    Rng rng(60 + n);
+    std::vector<Complex> x(n);
+    double time_energy = 0;
+    for (auto &v : x) {
+        v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        time_energy += std::norm(std::complex<double>(v));
+    }
+    fftInplace(x.data(), n);
+    double freq_energy = 0;
+    for (const auto &v : x)
+        freq_energy += std::norm(std::complex<double>(v));
+    EXPECT_NEAR(freq_energy, time_energy * n, 1e-3 * time_energy * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLengths,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256),
+                         [](const auto &info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+TEST(FftDeath, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> x(6);
+    EXPECT_DEATH(fftInplace(x.data(), 6), "not a power of two");
+}
+
+TEST(Fft, StridedTransformEqualsContiguous)
+{
+    std::int64_t n = 16, stride = 3;
+    Rng rng(70);
+    std::vector<Complex> packed(n);
+    for (auto &v : packed)
+        v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    std::vector<Complex> strided(n * stride, Complex(9, 9));
+    for (std::int64_t i = 0; i < n; ++i)
+        strided[i * stride] = packed[i];
+
+    fftInplace(packed.data(), n);
+    fftInplace(strided.data(), n, stride, false);
+    for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(strided[i * stride].real(), packed[i].real(), 1e-4f);
+        ASSERT_NEAR(strided[i * stride].imag(), packed[i].imag(), 1e-4f);
+    }
+    // Untouched gap elements stay intact.
+    EXPECT_EQ(strided[1].real(), 9.0f);
+}
+
+TEST(Fft, TwoDRoundTrip)
+{
+    std::int64_t rows = 8, cols = 16;
+    Rng rng(80);
+    std::vector<Complex> x(rows * cols);
+    for (auto &v : x)
+        v = Complex(rng.uniform(-1, 1), 0);
+    auto got = x;
+    fft2dInplace(got.data(), rows, cols, false);
+    fft2dInplace(got.data(), rows, cols, true);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        ASSERT_NEAR(got[i].real(), x[i].real(), 1e-4f) << i;
+}
+
+TEST(Fft, PadRealToComplex)
+{
+    float src[6] = {1, 2, 3, 4, 5, 6};  // 2 x 3
+    std::vector<Complex> dst(16);
+    padRealToComplex(src, 2, 3, 4, dst.data());
+    EXPECT_EQ(dst[0].real(), 1.0f);
+    EXPECT_EQ(dst[2].real(), 3.0f);
+    EXPECT_EQ(dst[3].real(), 0.0f);  // padding column
+    EXPECT_EQ(dst[4].real(), 4.0f);  // second row
+    EXPECT_EQ(dst[8].real(), 0.0f);  // padding row
+    for (const auto &v : dst)
+        EXPECT_EQ(v.imag(), 0.0f);
+}
+
+// -------------------------------------------------------------------
+// FFT convolution engine.
+// -------------------------------------------------------------------
+
+class FftEngineSweep : public ::testing::TestWithParam<ConvSpec>
+{
+};
+
+TEST_P(FftEngineSweep, MatchesReference)
+{
+    const ConvSpec &s = GetParam();
+    ThreadPool pool(2);
+    Rng rng(90);
+    Tensor in(Shape{2, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    Tensor ref(Shape{2, s.nf, s.outY(), s.outX()});
+    Tensor got(Shape{2, s.nf, s.outY(), s.outX()});
+    ReferenceEngine().forward(s, in, w, ref, pool);
+    FftConvEngine().forward(s, in, w, got, pool);
+    EXPECT_TRUE(allClose(got, ref, 2e-3f, 2e-3f))
+        << "maxdiff=" << maxAbsDiff(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FftEngineSweep,
+    ::testing::Values(ConvSpec{8, 8, 1, 1, 3, 3, 1, 1},
+                      ConvSpec{13, 11, 2, 3, 4, 5, 1, 1},
+                      ConvSpec{16, 16, 3, 4, 11, 11, 1, 1},
+                      ConvSpec{20, 20, 2, 3, 5, 5, 2, 2},
+                      ConvSpec{17, 17, 2, 2, 7, 7, 3, 3},
+                      ConvSpec{32, 32, 4, 6, 2, 2, 1, 1}),
+    [](const auto &info) {
+        const ConvSpec &s = info.param;
+        return "n" + std::to_string(s.nx) + "k" + std::to_string(s.fx) +
+               "x" + std::to_string(s.fy) + "s" + std::to_string(s.sx);
+    });
+
+TEST(FftEngine, TinyBudgetStillCorrect)
+{
+    // Force the feature-block path with an absurdly small cache.
+    ConvSpec s{12, 12, 3, 7, 3, 3, 1, 1};
+    ThreadPool pool(2);
+    Rng rng(91);
+    Tensor in(Shape{1, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    Tensor ref(Shape{1, s.nf, s.outY(), s.outX()});
+    Tensor got(Shape{1, s.nf, s.outY(), s.outX()});
+    ReferenceEngine().forward(s, in, w, ref, pool);
+    FftConvEngine(/* budget */ 1).forward(s, in, w, got, pool);
+    EXPECT_TRUE(allClose(got, ref, 2e-3f, 2e-3f));
+}
+
+TEST(FftEngine, PaddedSizeAndRegistry)
+{
+    EXPECT_EQ(FftConvEngine::paddedSize(ConvSpec::square(28, 1, 1, 5)),
+              32);
+    EXPECT_EQ(FftConvEngine::paddedSize(ConvSpec::square(64, 1, 1, 5)),
+              64);
+    auto engine = makeEngine("fft");
+    ASSERT_NE(engine, nullptr);
+    EXPECT_TRUE(engine->supports(Phase::Forward));
+    EXPECT_FALSE(engine->supports(Phase::BackwardWeights));
+    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 3);
+}
+
+} // namespace
+} // namespace spg

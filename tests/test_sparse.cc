@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for CSR / CT-CSR storage and sparse x dense products.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/sparse_mm.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace spg {
+namespace {
+
+Tensor
+randomSparse(std::int64_t rows, std::int64_t cols, double sparsity,
+             std::uint64_t seed)
+{
+    Tensor t(Shape{rows, cols});
+    Rng rng(seed);
+    t.fillUniform(rng);
+    t.sparsify(rng, sparsity);
+    return t;
+}
+
+TEST(Csr, RoundTripEmpty)
+{
+    Tensor zero(Shape{4, 6});
+    auto csr = CsrMatrix::fromDense(zero.data(), 4, 6);
+    EXPECT_EQ(csr.nnz(), 0);
+    EXPECT_DOUBLE_EQ(csr.sparsity(), 1.0);
+    Tensor back(Shape{4, 6});
+    back.fill(9.0f);
+    csr.toDense(back.data());
+    EXPECT_EQ(back.maxAbs(), 0.0f);
+}
+
+TEST(Csr, RoundTripDense)
+{
+    Tensor t = randomSparse(7, 11, 0.0, 1);
+    auto csr = CsrMatrix::fromDense(t.data(), 7, 11);
+    EXPECT_EQ(csr.nnz(), 7 * 11);
+    Tensor back(Shape{7, 11});
+    csr.toDense(back.data());
+    EXPECT_EQ(maxAbsDiff(t, back), 0.0f);
+}
+
+class CsrSparsityLevels : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CsrSparsityLevels, RoundTripPreservesValues)
+{
+    double s = GetParam();
+    Tensor t = randomSparse(23, 37, s, 2);
+    auto csr = CsrMatrix::fromDense(t.data(), 23, 37);
+    Tensor back(Shape{23, 37});
+    csr.toDense(back.data());
+    EXPECT_EQ(maxAbsDiff(t, back), 0.0f) << "sparsity " << s;
+    EXPECT_EQ(csr.nnz(), t.size() - t.zeroCount());
+}
+
+TEST_P(CsrSparsityLevels, CtCsrRoundTrip)
+{
+    double s = GetParam();
+    Tensor t = randomSparse(19, 41, s, 3);
+    for (std::int64_t tile : {1, 7, 16, 41, 100}) {
+        auto ct = CtCsrMatrix::fromDense(t.data(), 19, 41, tile);
+        EXPECT_EQ(ct.tileCount(), (41 + tile - 1) / tile);
+        EXPECT_EQ(ct.nnz(), t.size() - t.zeroCount());
+        Tensor back(Shape{19, 41});
+        ct.toDense(back.data());
+        EXPECT_EQ(maxAbsDiff(t, back), 0.0f)
+            << "sparsity " << s << " tile " << tile;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CsrSparsityLevels,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.9,
+                                           0.99, 1.0),
+                         [](const auto &info) {
+                             return "s" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+TEST(SparseMm, MatchesDenseProduct)
+{
+    std::int64_t m = 17, k = 29, n = 43;
+    Tensor a = randomSparse(m, k, 0.8, 4);
+    Tensor b = randomSparse(k, n, 0.0, 5);
+
+    // Dense oracle.
+    Tensor c_ref(Shape{m, n});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            float sum = 0;
+            for (std::int64_t p = 0; p < k; ++p)
+                sum += a.at(i, p) * b.at(p, j);
+            c_ref.at(i, j) = sum;
+        }
+
+    auto csr = CsrMatrix::fromDense(a.data(), m, k);
+    Tensor c1(Shape{m, n});
+    csrTimesDense(csr, b.data(), n, c1.data());
+    EXPECT_TRUE(allClose(c1, c_ref, 1e-4f, 1e-5f));
+
+    for (std::int64_t tile : {1, 8, 29}) {
+        auto ct = CtCsrMatrix::fromDense(a.data(), m, k, tile);
+        Tensor c2(Shape{m, n});
+        ctcsrTimesDense(ct, b.data(), n, c2.data());
+        EXPECT_TRUE(allClose(c2, c_ref, 1e-4f, 1e-5f)) << "tile " << tile;
+    }
+}
+
+TEST(SparseMm, AccumulatesIntoC)
+{
+    std::int64_t m = 3, k = 4, n = 5;
+    Tensor a = randomSparse(m, k, 0.5, 6);
+    Tensor b = randomSparse(k, n, 0.0, 7);
+    Tensor c(Shape{m, n});
+    c.fill(2.0f);
+    auto csr = CsrMatrix::fromDense(a.data(), m, k);
+    csrTimesDense(csr, b.data(), n, c.data());
+    csrTimesDense(csr, b.data(), n, c.data());
+    // c = 2 + 2 * (a*b): check one element by hand.
+    float ab00 = 0;
+    for (std::int64_t p = 0; p < k; ++p)
+        ab00 += a.at(0, p) * b.at(p, 0);
+    EXPECT_NEAR(c.at(0, 0), 2.0f + 2.0f * ab00, 1e-4f);
+}
+
+TEST(SparseMm, Axpy)
+{
+    std::vector<float> x(37), y(37), expect(37);
+    Rng rng(8);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.uniform();
+        y[i] = rng.uniform();
+        expect[i] = y[i] + 2.5f * x[i];
+    }
+    axpy(static_cast<std::int64_t>(x.size()), 2.5f, x.data(), y.data());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], expect[i], 1e-5f) << i;
+}
+
+TEST(SparseMm, AxpyZeroLength)
+{
+    float y = 3.0f;
+    axpy(0, 10.0f, nullptr, &y);
+    EXPECT_FLOAT_EQ(y, 3.0f);
+}
+
+TEST(SparseMm, GoodputFlopsModel)
+{
+    EXPECT_EQ(sparseMmFlops(10, 8), 160);
+    EXPECT_EQ(sparseMmFlops(0, 100), 0);
+}
+
+TEST(Csr, RowPtrInvariants)
+{
+    Tensor t = randomSparse(13, 9, 0.6, 9);
+    auto csr = CsrMatrix::fromDense(t.data(), 13, 9);
+    const auto &rptr = csr.rowPtr();
+    ASSERT_EQ(rptr.size(), 14u);
+    EXPECT_EQ(rptr.front(), 0);
+    EXPECT_EQ(rptr.back(), csr.nnz());
+    for (std::size_t i = 1; i < rptr.size(); ++i)
+        EXPECT_LE(rptr[i - 1], rptr[i]);
+    // Column indices strictly increasing within a row.
+    for (std::int64_t r = 0; r < 13; ++r)
+        for (std::int64_t p = rptr[r] + 1; p < rptr[r + 1]; ++p)
+            EXPECT_LT(csr.colIdx()[p - 1], csr.colIdx()[p]);
+}
+
+} // namespace
+} // namespace spg

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the weight-sparsity FP engine (extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "conv/engines.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace spg {
+namespace {
+
+class SparseWeightsSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+  protected:
+    static const ConvSpec &spec()
+    {
+        static const ConvSpec specs[] = {
+            ConvSpec{10, 10, 2, 3, 3, 3, 1, 1},
+            ConvSpec{12, 9, 3, 5, 4, 2, 1, 1},
+            ConvSpec{15, 15, 2, 4, 3, 3, 2, 2},
+            ConvSpec{28, 28, 1, 20, 5, 5, 1, 1},
+        };
+        return specs[std::get<0>(GetParam())];
+    }
+};
+
+TEST_P(SparseWeightsSweep, MatchesReference)
+{
+    const ConvSpec &s = spec();
+    double w_sparsity = std::get<1>(GetParam());
+    ThreadPool pool(2);
+    Rng rng(700 + std::get<0>(GetParam()));
+
+    Tensor in(Shape{2, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    w.sparsify(rng, w_sparsity);
+
+    Tensor ref(Shape{2, s.nf, s.outY(), s.outX()});
+    Tensor got(Shape{2, s.nf, s.outY(), s.outX()});
+    ReferenceEngine().forward(s, in, w, ref, pool);
+    SparseWeightsFpEngine().forward(s, in, w, got, pool);
+    EXPECT_TRUE(allClose(got, ref, 1e-3f, 1e-4f))
+        << "maxdiff=" << maxAbsDiff(got, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseWeightsSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(0.0, 0.5, 0.9, 1.0)),
+    [](const auto &info) {
+        return "spec" + std::to_string(std::get<0>(info.param)) + "_s" +
+               std::to_string(static_cast<int>(
+                   std::get<1>(info.param) * 100));
+    });
+
+TEST(SparseWeights, AllZeroWeightsGiveZeroOutput)
+{
+    ConvSpec s{8, 8, 2, 3, 3, 3, 1, 1};
+    ThreadPool pool(1);
+    Rng rng(1);
+    Tensor in(Shape{1, s.nc, s.ny, s.nx});
+    in.fillUniform(rng);
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});  // zeros
+    Tensor out(Shape{1, s.nf, s.outY(), s.outX()});
+    out.fill(7.0f);
+    SparseWeightsFpEngine().forward(s, in, w, out, pool);
+    EXPECT_EQ(out.maxAbs(), 0.0f);
+}
+
+TEST(SparseWeights, RegistryIntegration)
+{
+    auto engine = makeEngine("sparse-weights");
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), "sparse-weights");
+    EXPECT_TRUE(engine->supports(Phase::Forward));
+    EXPECT_FALSE(engine->supports(Phase::BackwardData));
+    // Extended set = paper set + this engine.
+    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 3);
+}
+
+TEST(SparseWeights, FasterWithPrunedWeights)
+{
+    // Eliding 95% of the taps must reduce runtime substantially
+    // (coarse 1.5x bound to stay robust on loaded machines).
+    ConvSpec s{64, 64, 8, 32, 5, 5, 1, 1};
+    ThreadPool pool(1);
+    Rng rng(2);
+    Tensor in(Shape{2, s.nc, s.ny, s.nx});
+    in.fillUniform(rng);
+    Tensor dense_w(Shape{s.nf, s.nc, s.fy, s.fx});
+    dense_w.fillUniform(rng);
+    Tensor pruned_w = dense_w.clone();
+    Rng prng(3);
+    pruned_w.sparsify(prng, 0.95);
+    Tensor out(Shape{2, s.nf, s.outY(), s.outX()});
+
+    SparseWeightsFpEngine engine;
+    auto time_of = [&](const Tensor &w) {
+        engine.forward(s, in, w, out, pool);  // warm-up
+        Stopwatch sw;
+        for (int i = 0; i < 3; ++i)
+            engine.forward(s, in, w, out, pool);
+        return sw.seconds();
+    };
+    double t_dense = time_of(dense_w);
+    double t_pruned = time_of(pruned_w);
+    EXPECT_LT(t_pruned, t_dense / 1.5);
+}
+
+} // namespace
+} // namespace spg

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the thread pool and its scheduling primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "threading/thread_pool.hh"
+
+namespace spg {
+namespace {
+
+TEST(ThreadPool, ReportsThreadCount)
+{
+    ThreadPool one(1);
+    EXPECT_EQ(one.threads(), 1);
+    ThreadPool four(4);
+    EXPECT_EQ(four.threads(), 4);
+    ThreadPool def(0);
+    EXPECT_GE(def.threads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        for (std::int64_t n : {0, 1, 3, 7, 100, 1000}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallelFor(n, [&](std::int64_t b, std::int64_t e, int) {
+                for (std::int64_t i = b; i < e; ++i)
+                    hits[i].fetch_add(1);
+            });
+            for (std::int64_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "threads=" << threads << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, DynamicCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::int64_t n = 333;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelForDynamic(n, [&](std::int64_t i, int) {
+        hits[i].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, WorkerIndicesAreDistinctAndBounded)
+{
+    ThreadPool pool(4);
+    std::mutex m;
+    std::set<int> indices;
+    pool.parallelFor(64, [&](std::int64_t, std::int64_t, int worker) {
+        std::lock_guard<std::mutex> lock(m);
+        indices.insert(worker);
+    });
+    EXPECT_LE(indices.size(), 4u);
+    for (int w : indices) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 4);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls)
+{
+    ThreadPool pool(3);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallelFor(10, [&](std::int64_t b, std::int64_t e, int) {
+            total.fetch_add(e - b);
+        });
+    }
+    EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, SumReductionCorrect)
+{
+    ThreadPool pool(4);
+    std::int64_t n = 10000;
+    std::vector<long long> partial(pool.threads(), 0);
+    pool.parallelFor(n, [&](std::int64_t b, std::int64_t e, int w) {
+        for (std::int64_t i = b; i < e; ++i)
+            partial[w] += i;
+    });
+    long long sum = std::accumulate(partial.begin(), partial.end(), 0LL);
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](std::int64_t, std::int64_t, int) {
+        called = true;
+    });
+    pool.parallelForDynamic(0, [&](std::int64_t, int) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GlobalSingletonIsStable)
+{
+    ThreadPool &a = ThreadPool::global();
+    ThreadPool &b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.threads(), 1);
+}
+
+} // namespace
+} // namespace spg

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * spgcnn — the command-line front end of the framework.
+ *
+ * Subcommands:
+ *
+ *   spgcnn train --net mnist|cifar10|imagenet100|<path>
+ *                [--dataset-size N] [--epochs N] [--batch N] [--lr F]
+ *                [--mode auto|fixed] [--fp E] [--bp E]
+ *                [--extensions] [--threads N]
+ *                [--save ckpt.bin] [--load ckpt.bin]
+ *       Train a network on a synthetic dataset matching its input
+ *       geometry, with the spg-CNN scheduler (auto) or a fixed engine
+ *       assignment.
+ *
+ *   spgcnn characterize --n N --nf N --nc N --k N [--stride N]
+ *                [--sparsity F]
+ *       Print the paper's §3 characterization of one convolution:
+ *       AIT model, Fig. 1 region, engine recommendation, and the
+ *       modeled paper-machine behaviour.
+ *
+ *   spgcnn tune --n N --nf N --nc N --k N [--stride N] [--sparsity F]
+ *                [--batch N] [--extensions] [--threads N]
+ *       Measure every applicable engine on this machine and print the
+ *       scheduler's choice per phase.
+ *
+ *   spgcnn engines
+ *       List the available execution engines.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/tuner.hh"
+#include "data/suites.hh"
+#include "data/synthetic.hh"
+#include "nn/checkpoint.hh"
+#include "nn/trainer.hh"
+#include "perf/region.hh"
+#include "simcpu/conv_model.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace spg;
+
+namespace {
+
+/** Resolve --net into a config: a known name or a file path. */
+NetConfig
+resolveNet(const std::string &net)
+{
+    if (net == "mnist")
+        return parseNetConfig(mnistNetConfigText());
+    if (net == "cifar10")
+        return parseNetConfig(cifar10NetConfigText());
+    if (net == "imagenet100")
+        return parseNetConfig(imagenet100NetConfigText());
+    return parseNetConfigFile(net);
+}
+
+/** Make a synthetic dataset matching a network's input geometry. */
+Dataset
+datasetFor(const NetConfig &config, std::int64_t count)
+{
+    SyntheticSpec spec;
+    spec.name = config.name + "-synthetic";
+    spec.channels = config.channels;
+    spec.height = config.height;
+    spec.width = config.width;
+    spec.classes = config.classes > 0
+                       ? static_cast<int>(config.classes)
+                       : 10;
+    spec.count = count;
+    return makeSynthetic(spec);
+}
+
+ConvSpec
+specFromFlags(const CliParser &cli)
+{
+    ConvSpec spec = ConvSpec::square(
+        cli.getInt("n"), cli.getInt("nf"), cli.getInt("nc"),
+        cli.getInt("k"), cli.getInt("stride"));
+    spec.validate();
+    return spec;
+}
+
+int
+cmdTrain(int argc, char **argv)
+{
+    CliParser cli("spgcnn train");
+    cli.addString("net", "mnist",
+                  "mnist | cifar10 | imagenet100 | config file path");
+    cli.addInt("dataset-size", 256, "synthetic examples");
+    cli.addInt("epochs", 5, "training epochs");
+    cli.addInt("batch", 16, "minibatch size");
+    cli.addDouble("lr", 0.05, "learning rate");
+    cli.addString("mode", "auto", "auto (spg-CNN scheduler) | fixed");
+    cli.addString("fp", "gemm-in-parallel", "FP engine for fixed mode");
+    cli.addString("bp", "gemm-in-parallel", "BP engine for fixed mode");
+    cli.addBool("extensions", false,
+                "let the tuner consider extension engines");
+    cli.addInt("threads", 0, "worker threads (0 = hardware)");
+    cli.addString("save", "", "write a checkpoint after training");
+    cli.addString("load", "", "restore a checkpoint before training");
+    cli.parse(argc, argv);
+
+    NetConfig config = resolveNet(cli.getString("net"));
+    Network net(config, 1);
+    net.describe();
+    if (!cli.getString("load").empty())
+        loadCheckpoint(net, cli.getString("load"));
+
+    Dataset dataset = datasetFor(config, cli.getInt("dataset-size"));
+    TrainerOptions options;
+    options.epochs = static_cast<int>(cli.getInt("epochs"));
+    options.batch = cli.getInt("batch");
+    options.learning_rate = static_cast<float>(cli.getDouble("lr"));
+    options.tuner.use_extensions = cli.getBool("extensions");
+    std::string mode = cli.getString("mode");
+    if (mode == "fixed") {
+        options.mode = TrainerOptions::Mode::Fixed;
+        EngineAssignment fixed{cli.getString("fp"), cli.getString("bp"),
+                               cli.getString("bp")};
+        for (ConvLayer *conv : net.convLayers())
+            conv->setEngines(fixed);
+    } else if (mode != "auto") {
+        fatal("--mode must be auto or fixed, got '%s'", mode.c_str());
+    }
+
+    ThreadPool pool(static_cast<int>(cli.getInt("threads")));
+    Trainer trainer(net, dataset, options);
+    auto history = trainer.run(pool);
+
+    const auto &last = history.back();
+    std::printf("\nfinal: loss %.4f  acc %.3f  %.0f images/s\n",
+                last.mean_loss, last.accuracy,
+                trainer.overallThroughput());
+    auto convs = net.convLayers();
+    for (std::size_t i = 0; i < convs.size(); ++i) {
+        const auto &prof = convs[i]->profile();
+        std::printf("  conv%zu (%s): FP=%s BP=%s, error sparsity "
+                    "%.2f | time FP %.1fms BP %.1fms+%.1fms\n",
+                    i, convs[i]->spec().str().c_str(),
+                    last.conv_engines[i].fp.c_str(),
+                    last.conv_engines[i].bp_data.c_str(),
+                    last.conv_error_sparsity[i],
+                    prof.fp_seconds * 1e3,
+                    prof.bp_data_seconds * 1e3,
+                    prof.bp_weights_seconds * 1e3);
+    }
+
+    if (!cli.getString("save").empty()) {
+        saveCheckpoint(net, cli.getString("save"));
+        inform("checkpoint written to %s",
+               cli.getString("save").c_str());
+    }
+    return 0;
+}
+
+int
+cmdCharacterize(int argc, char **argv)
+{
+    CliParser cli("spgcnn characterize");
+    cli.addInt("n", 36, "input spatial size (square)");
+    cli.addInt("nf", 64, "output features");
+    cli.addInt("nc", 3, "input channels");
+    cli.addInt("k", 5, "kernel size");
+    cli.addInt("stride", 1, "stride");
+    cli.addDouble("sparsity", 0.85, "BP error sparsity");
+    cli.parse(argc, argv);
+
+    ConvSpec spec = specFromFlags(cli);
+    double sparsity = cli.getDouble("sparsity");
+
+    std::printf("convolution %s -> %lldx%lld, %.1f MFlops/image\n",
+                spec.str().c_str(),
+                static_cast<long long>(spec.outY()),
+                static_cast<long long>(spec.outX()),
+                static_cast<double>(spec.flops()) / 1e6);
+    std::printf("intrinsic AIT %.0f | unfolded AIT %.0f (r = %.2f)\n",
+                spec.intrinsicAit(), spec.unfoldAit(),
+                spec.unfoldRatio());
+    std::printf("Fig. 1 region: %s (dense) / %s (at sparsity %.2f)\n",
+                regionName(classifyRegion(spec, 0.0)).c_str(),
+                regionName(classifyRegion(spec, sparsity)).c_str(),
+                sparsity);
+    TechniqueChoice rule = recommendTechniques(spec, sparsity);
+    std::printf("paper rule: FP=%s  BP=%s\n", rule.fp.c_str(),
+                rule.bp.c_str());
+
+    MachineModel machine = MachineModel::xeonE5_2650();
+    TablePrinter sim("modeled Xeon E5-2650 per-core GFlops (FP)",
+                     {"engine", "1 core", "16 cores"});
+    for (const char *engine :
+         {"parallel-gemm", "gemm-in-parallel", "stencil"}) {
+        sim.addRow({engine,
+                    TablePrinter::fmt(
+                        modelConvPhase(machine, spec, Phase::Forward,
+                                       engine, 64, 1)
+                            .gflopsPerCore(),
+                        1),
+                    TablePrinter::fmt(
+                        modelConvPhase(machine, spec, Phase::Forward,
+                                       engine, 64, 16)
+                            .gflopsPerCore(),
+                        1)});
+    }
+    sim.print();
+    return 0;
+}
+
+int
+cmdTune(int argc, char **argv)
+{
+    CliParser cli("spgcnn tune");
+    cli.addInt("n", 36, "input spatial size (square)");
+    cli.addInt("nf", 64, "output features");
+    cli.addInt("nc", 3, "input channels");
+    cli.addInt("k", 5, "kernel size");
+    cli.addInt("stride", 1, "stride");
+    cli.addDouble("sparsity", 0.85, "BP error sparsity");
+    cli.addInt("batch", 8, "measurement minibatch");
+    cli.addBool("extensions", false, "include extension engines");
+    cli.addInt("threads", 0, "worker threads (0 = hardware)");
+    cli.parse(argc, argv);
+
+    ConvSpec spec = specFromFlags(cli);
+    TunerOptions topts;
+    topts.batch = cli.getInt("batch");
+    topts.use_extensions = cli.getBool("extensions");
+    Tuner tuner(topts);
+    ThreadPool pool(static_cast<int>(cli.getInt("threads")));
+    LayerPlan plan = tuner.tune(spec, cli.getDouble("sparsity"), pool);
+
+    TablePrinter table("measured engine times for " + spec.str() +
+                           " (" + std::to_string(pool.threads()) +
+                           " thread(s))",
+                       {"phase", "engine", "ms", "chosen"});
+    for (Phase phase :
+         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+        for (const auto &timing : plan.timings.at(phase)) {
+            table.addRow({phaseName(phase), timing.engine,
+                          TablePrinter::fmt(timing.seconds * 1e3, 3),
+                          timing.engine == plan.enginesFor(phase)
+                              ? "<=="
+                              : ""});
+        }
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdEngines()
+{
+    std::printf("paper-set engines:\n");
+    for (const auto &engine : makeAllEngines())
+        std::printf("  %s\n", engine->name().c_str());
+    std::printf("extensions:\n  sparse-weights\n  fft\n  winograd\n");
+    std::printf("oracle:\n  reference\n");
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: spgcnn <train|characterize|tune|engines> [flags]\n"
+        "run 'spgcnn <subcommand> --help' for the flag list\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    // Shift the subcommand out of argv for the flag parsers.
+    argv[1] = argv[0];
+    if (cmd == "train")
+        return cmdTrain(argc - 1, argv + 1);
+    if (cmd == "characterize")
+        return cmdCharacterize(argc - 1, argv + 1);
+    if (cmd == "tune")
+        return cmdTune(argc - 1, argv + 1);
+    if (cmd == "engines")
+        return cmdEngines();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    usage();
+    return 1;
+}
