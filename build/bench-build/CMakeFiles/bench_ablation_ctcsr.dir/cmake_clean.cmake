@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ctcsr"
+  "../bench/bench_ablation_ctcsr.pdb"
+  "CMakeFiles/bench_ablation_ctcsr.dir/bench_ablation_ctcsr.cc.o"
+  "CMakeFiles/bench_ablation_ctcsr.dir/bench_ablation_ctcsr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctcsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

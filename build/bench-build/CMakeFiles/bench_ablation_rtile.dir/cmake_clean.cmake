@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rtile"
+  "../bench/bench_ablation_rtile.pdb"
+  "CMakeFiles/bench_ablation_rtile.dir/bench_ablation_rtile.cc.o"
+  "CMakeFiles/bench_ablation_rtile.dir/bench_ablation_rtile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

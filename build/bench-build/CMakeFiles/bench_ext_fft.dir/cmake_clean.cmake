@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_fft"
+  "../bench/bench_ext_fft.pdb"
+  "CMakeFiles/bench_ext_fft.dir/bench_ext_fft.cc.o"
+  "CMakeFiles/bench_ext_fft.dir/bench_ext_fft.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

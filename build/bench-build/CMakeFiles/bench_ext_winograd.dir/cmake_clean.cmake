@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_winograd"
+  "../bench/bench_ext_winograd.pdb"
+  "CMakeFiles/bench_ext_winograd.dir/bench_ext_winograd.cc.o"
+  "CMakeFiles/bench_ext_winograd.dir/bench_ext_winograd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_wsparse"
+  "../bench/bench_ext_wsparse.pdb"
+  "CMakeFiles/bench_ext_wsparse.dir/bench_ext_wsparse.cc.o"
+  "CMakeFiles/bench_ext_wsparse.dir/bench_ext_wsparse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wsparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

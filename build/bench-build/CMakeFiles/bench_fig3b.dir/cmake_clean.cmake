@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3b"
+  "../bench/bench_fig3b.pdb"
+  "CMakeFiles/bench_fig3b.dir/bench_fig3b.cc.o"
+  "CMakeFiles/bench_fig3b.dir/bench_fig3b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

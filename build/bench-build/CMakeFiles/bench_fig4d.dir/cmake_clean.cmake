@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4d"
+  "../bench/bench_fig4d.pdb"
+  "CMakeFiles/bench_fig4d.dir/bench_fig4d.cc.o"
+  "CMakeFiles/bench_fig4d.dir/bench_fig4d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar10_training.dir/cifar10_training.cpp.o"
+  "CMakeFiles/cifar10_training.dir/cifar10_training.cpp.o.d"
+  "cifar10_training"
+  "cifar10_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar10_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

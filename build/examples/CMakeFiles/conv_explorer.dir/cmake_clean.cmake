@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_explorer.dir/conv_explorer.cpp.o"
+  "CMakeFiles/conv_explorer.dir/conv_explorer.cpp.o.d"
+  "conv_explorer"
+  "conv_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_study.dir/sparsity_study.cpp.o"
+  "CMakeFiles/sparsity_study.dir/sparsity_study.cpp.o.d"
+  "sparsity_study"
+  "sparsity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

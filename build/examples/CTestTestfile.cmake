@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_conv_explorer "/root/repo/build/examples/conv_explorer" "--n=12" "--nf=4" "--nc=2" "--k=3" "--batch=2")
+set_tests_properties(example_conv_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cifar10_training "/root/repo/build/examples/cifar10_training" "--epochs=1" "--examples=32" "--batch=8")
+set_tests_properties(example_cifar10_training PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparsity_study "/root/repo/build/examples/sparsity_study" "--epochs=1" "--examples=32")
+set_tests_properties(example_sparsity_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_training "/root/repo/build/examples/distributed_training" "--epochs=1" "--workers=2" "--global-batch=8")
+set_tests_properties(example_distributed_training PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("threading")
+subdirs("blas")
+subdirs("fft")
+subdirs("sparse")
+subdirs("conv")
+subdirs("perf")
+subdirs("simcpu")
+subdirs("core")
+subdirs("nn")
+subdirs("distrib")
+subdirs("data")

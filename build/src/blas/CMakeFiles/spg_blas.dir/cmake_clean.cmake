@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_blas.dir/gemm.cc.o"
+  "CMakeFiles/spg_blas.dir/gemm.cc.o.d"
+  "libspg_blas.a"
+  "libspg_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

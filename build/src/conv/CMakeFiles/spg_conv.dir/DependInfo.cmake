@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conv/conv_ref.cc" "src/conv/CMakeFiles/spg_conv.dir/conv_ref.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/conv_ref.cc.o.d"
+  "/root/repo/src/conv/conv_spec.cc" "src/conv/CMakeFiles/spg_conv.dir/conv_spec.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/conv_spec.cc.o.d"
+  "/root/repo/src/conv/engine.cc" "src/conv/CMakeFiles/spg_conv.dir/engine.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine.cc.o.d"
+  "/root/repo/src/conv/engine_fft.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_fft.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_fft.cc.o.d"
+  "/root/repo/src/conv/engine_gemm.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_gemm.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_gemm.cc.o.d"
+  "/root/repo/src/conv/engine_sparse.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_sparse.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_sparse.cc.o.d"
+  "/root/repo/src/conv/engine_sparse_weights.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_sparse_weights.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_sparse_weights.cc.o.d"
+  "/root/repo/src/conv/engine_stencil.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_stencil.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_stencil.cc.o.d"
+  "/root/repo/src/conv/engine_winograd.cc" "src/conv/CMakeFiles/spg_conv.dir/engine_winograd.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engine_winograd.cc.o.d"
+  "/root/repo/src/conv/engines.cc" "src/conv/CMakeFiles/spg_conv.dir/engines.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/engines.cc.o.d"
+  "/root/repo/src/conv/unfold.cc" "src/conv/CMakeFiles/spg_conv.dir/unfold.cc.o" "gcc" "src/conv/CMakeFiles/spg_conv.dir/unfold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/spg_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/spg_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spg_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

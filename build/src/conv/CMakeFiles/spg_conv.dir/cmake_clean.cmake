@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_conv.dir/conv_ref.cc.o"
+  "CMakeFiles/spg_conv.dir/conv_ref.cc.o.d"
+  "CMakeFiles/spg_conv.dir/conv_spec.cc.o"
+  "CMakeFiles/spg_conv.dir/conv_spec.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine.cc.o"
+  "CMakeFiles/spg_conv.dir/engine.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_fft.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_fft.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_gemm.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_gemm.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_sparse.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_sparse.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_sparse_weights.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_sparse_weights.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_stencil.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_stencil.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engine_winograd.cc.o"
+  "CMakeFiles/spg_conv.dir/engine_winograd.cc.o.d"
+  "CMakeFiles/spg_conv.dir/engines.cc.o"
+  "CMakeFiles/spg_conv.dir/engines.cc.o.d"
+  "CMakeFiles/spg_conv.dir/unfold.cc.o"
+  "CMakeFiles/spg_conv.dir/unfold.cc.o.d"
+  "libspg_conv.a"
+  "libspg_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

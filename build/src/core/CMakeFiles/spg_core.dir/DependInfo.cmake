@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/net_config.cc" "src/core/CMakeFiles/spg_core.dir/net_config.cc.o" "gcc" "src/core/CMakeFiles/spg_core.dir/net_config.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/spg_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/spg_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conv/CMakeFiles/spg_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/spg_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/spg_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/spg_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/spg_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_core.dir/net_config.cc.o"
+  "CMakeFiles/spg_core.dir/net_config.cc.o.d"
+  "CMakeFiles/spg_core.dir/tuner.cc.o"
+  "CMakeFiles/spg_core.dir/tuner.cc.o.d"
+  "libspg_core.a"
+  "libspg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

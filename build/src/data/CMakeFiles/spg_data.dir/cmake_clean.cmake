@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_data.dir/suites.cc.o"
+  "CMakeFiles/spg_data.dir/suites.cc.o.d"
+  "CMakeFiles/spg_data.dir/synthetic.cc.o"
+  "CMakeFiles/spg_data.dir/synthetic.cc.o.d"
+  "libspg_data.a"
+  "libspg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

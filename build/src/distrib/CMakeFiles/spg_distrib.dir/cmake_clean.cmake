@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_distrib.dir/data_parallel.cc.o"
+  "CMakeFiles/spg_distrib.dir/data_parallel.cc.o.d"
+  "libspg_distrib.a"
+  "libspg_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_fft.dir/fft.cc.o"
+  "CMakeFiles/spg_fft.dir/fft.cc.o.d"
+  "libspg_fft.a"
+  "libspg_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/spg_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/spg_nn.dir/conv_layer.cc.o"
+  "CMakeFiles/spg_nn.dir/conv_layer.cc.o.d"
+  "CMakeFiles/spg_nn.dir/fc_layer.cc.o"
+  "CMakeFiles/spg_nn.dir/fc_layer.cc.o.d"
+  "CMakeFiles/spg_nn.dir/network.cc.o"
+  "CMakeFiles/spg_nn.dir/network.cc.o.d"
+  "CMakeFiles/spg_nn.dir/simple_layers.cc.o"
+  "CMakeFiles/spg_nn.dir/simple_layers.cc.o.d"
+  "CMakeFiles/spg_nn.dir/trainer.cc.o"
+  "CMakeFiles/spg_nn.dir/trainer.cc.o.d"
+  "libspg_nn.a"
+  "libspg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

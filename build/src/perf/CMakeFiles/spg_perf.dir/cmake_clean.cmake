@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_perf.dir/region.cc.o"
+  "CMakeFiles/spg_perf.dir/region.cc.o.d"
+  "CMakeFiles/spg_perf.dir/roofline.cc.o"
+  "CMakeFiles/spg_perf.dir/roofline.cc.o.d"
+  "libspg_perf.a"
+  "libspg_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_simcpu.dir/conv_model.cc.o"
+  "CMakeFiles/spg_simcpu.dir/conv_model.cc.o.d"
+  "CMakeFiles/spg_simcpu.dir/machine.cc.o"
+  "CMakeFiles/spg_simcpu.dir/machine.cc.o.d"
+  "CMakeFiles/spg_simcpu.dir/simulate.cc.o"
+  "CMakeFiles/spg_simcpu.dir/simulate.cc.o.d"
+  "libspg_simcpu.a"
+  "libspg_simcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_simcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spg_simcpu.
+# This may be replaced when dependencies are built.

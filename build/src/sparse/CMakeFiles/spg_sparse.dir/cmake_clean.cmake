@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_sparse.dir/csr.cc.o"
+  "CMakeFiles/spg_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/spg_sparse.dir/sparse_mm.cc.o"
+  "CMakeFiles/spg_sparse.dir/sparse_mm.cc.o.d"
+  "libspg_sparse.a"
+  "libspg_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

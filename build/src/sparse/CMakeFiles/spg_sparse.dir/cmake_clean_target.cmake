@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspg_sparse.a"
+)

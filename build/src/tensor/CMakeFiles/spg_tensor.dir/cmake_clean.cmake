@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_tensor.dir/layout.cc.o"
+  "CMakeFiles/spg_tensor.dir/layout.cc.o.d"
+  "CMakeFiles/spg_tensor.dir/tensor.cc.o"
+  "CMakeFiles/spg_tensor.dir/tensor.cc.o.d"
+  "libspg_tensor.a"
+  "libspg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_threading.dir/thread_pool.cc.o"
+  "CMakeFiles/spg_threading.dir/thread_pool.cc.o.d"
+  "libspg_threading.a"
+  "libspg_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

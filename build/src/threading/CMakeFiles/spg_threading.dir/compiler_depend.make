@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spg_threading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spg_util.dir/cli.cc.o"
+  "CMakeFiles/spg_util.dir/cli.cc.o.d"
+  "CMakeFiles/spg_util.dir/logging.cc.o"
+  "CMakeFiles/spg_util.dir/logging.cc.o.d"
+  "CMakeFiles/spg_util.dir/table.cc.o"
+  "CMakeFiles/spg_util.dir/table.cc.o.d"
+  "libspg_util.a"
+  "libspg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_engines.dir/test_conv_engines.cc.o"
+  "CMakeFiles/test_conv_engines.dir/test_conv_engines.cc.o.d"
+  "test_conv_engines"
+  "test_conv_engines.pdb"
+  "test_conv_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_properties.dir/test_conv_properties.cc.o"
+  "CMakeFiles/test_conv_properties.dir/test_conv_properties.cc.o.d"
+  "test_conv_properties"
+  "test_conv_properties.pdb"
+  "test_conv_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_simcpu.dir/test_perf_simcpu.cc.o"
+  "CMakeFiles/test_perf_simcpu.dir/test_perf_simcpu.cc.o.d"
+  "test_perf_simcpu"
+  "test_perf_simcpu.pdb"
+  "test_perf_simcpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_simcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_weights.dir/test_sparse_weights.cc.o"
+  "CMakeFiles/test_sparse_weights.dir/test_sparse_weights.cc.o.d"
+  "test_sparse_weights"
+  "test_sparse_weights.pdb"
+  "test_sparse_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threading_stress.dir/test_threading_stress.cc.o"
+  "CMakeFiles/test_threading_stress.dir/test_threading_stress.cc.o.d"
+  "test_threading_stress"
+  "test_threading_stress.pdb"
+  "test_threading_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threading_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

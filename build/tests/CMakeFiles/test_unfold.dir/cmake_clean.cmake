@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unfold.dir/test_unfold.cc.o"
+  "CMakeFiles/test_unfold.dir/test_unfold.cc.o.d"
+  "test_unfold"
+  "test_unfold.pdb"
+  "test_unfold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

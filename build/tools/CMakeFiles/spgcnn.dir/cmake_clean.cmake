@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgcnn.dir/spgcnn.cc.o"
+  "CMakeFiles/spgcnn.dir/spgcnn.cc.o.d"
+  "spgcnn"
+  "spgcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_spgcnn_engines "/root/repo/build/tools/spgcnn" "engines")
+set_tests_properties(tool_spgcnn_engines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_spgcnn_characterize "/root/repo/build/tools/spgcnn" "characterize" "--n=28" "--nf=20" "--nc=1" "--k=5")
+set_tests_properties(tool_spgcnn_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_spgcnn_tune "/root/repo/build/tools/spgcnn" "tune" "--n=12" "--nf=4" "--nc=2" "--k=3" "--batch=2" "--threads=1")
+set_tests_properties(tool_spgcnn_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_spgcnn_train "/root/repo/build/tools/spgcnn" "train" "--net=mnist" "--dataset-size=48" "--epochs=1" "--mode=fixed" "--threads=1")
+set_tests_properties(tool_spgcnn_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
