@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Measures what the operand pre-packing layer buys on the Table 1
+ * characterization convolutions (single core, single image, FP):
+ *
+ *  - repack:    unfold to a dense U, then plain sgemm — the engines'
+ *               original per-image path, which re-packs W and U inside
+ *               the blocking loops on every call;
+ *  - prepacked: W packed ONCE outside the loop (what the weight cache
+ *               amortizes across a batch), dense unfold + sgemmPackedA;
+ *  - fused:     W packed once AND the unfold emitted directly in
+ *               B-panel format, so the GEMM runs with no packing at
+ *               all (sgemmPackedAB).
+ *
+ * All three compute bit-for-bit identical outputs (verified here per
+ * geometry). Results are printed as a table and written as
+ * machine-readable JSON (BENCH_gemm_pack.json by default) so future
+ * PRs can track the trajectory.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "blas/gemm.hh"
+#include "conv/unfold.hh"
+#include "data/suites.hh"
+#include "util/aligned.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+namespace {
+
+/** One timed call of fn() in seconds. */
+template <typename Fn>
+double
+timeOnce(Fn &&fn)
+{
+    Stopwatch watch;
+    fn();
+    return watch.seconds();
+}
+
+std::vector<int>
+parseIds(const std::string &csv)
+{
+    std::vector<int> ids;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            ids.push_back(std::stoi(item));
+    return ids;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("GEMM operand pre-packing: repack vs prepacked vs "
+                  "fused-unfold (measured, single core)");
+    addCommonFlags(cli);
+    cli.addString("ids", "0,2,5",
+                  "comma-separated Table 1 convolution ids");
+    cli.addInt("reps", 3, "timed repetitions (best-of)");
+    cli.addString("json-file", "BENCH_gemm_pack.json",
+                  "machine-readable output path ('' to skip)");
+    cli.parse(argc, argv);
+
+    int reps = static_cast<int>(cli.getInt("reps"));
+    TablePrinter table(
+        "GEMM pre-packing on Table 1 geometries (FP, 1 core, MEASURED)",
+        {"ID", "spec", "m x n x k", "repack ms", "prepacked ms",
+         "fused ms", "speedup prepacked", "speedup fused"});
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"gemm_pack\",\n  \"reps\": " << reps
+         << ",\n  \"geometries\": [";
+
+    bool first = true;
+    for (int id : parseIds(cli.getString("ids"))) {
+        const auto &entries = table1Convolutions();
+        auto it =
+            std::find_if(entries.begin(), entries.end(),
+                         [&](const auto &e) { return e.id == id; });
+        if (it == entries.end())
+            fatal("no Table 1 convolution with id %d", id);
+        const ConvSpec &spec = it->spec;
+        std::int64_t m = spec.gemmM(), n = spec.gemmN(),
+                     k = spec.gemmK();
+
+        Rng rng(1000 + id);
+        AlignedBuffer<float> in(spec.inputElems());
+        AlignedBuffer<float> w(spec.weightElems());
+        for (std::size_t i = 0; i < in.size(); ++i)
+            in.data()[i] = rng.uniform(-1.0f, 1.0f);
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w.data()[i] = rng.uniform(-0.5f, 0.5f);
+        AlignedBuffer<float> u(static_cast<std::size_t>(k) * n);
+        AlignedBuffer<float> panels(PackedMatrix::panelElemsB(k, n));
+        AlignedBuffer<float> out(static_cast<std::size_t>(m) * n);
+
+        PackedMatrix wpack =
+            PackedMatrix::packA(Trans::No, m, k, 1.0f, w.data(), k);
+        auto run_repack = [&] {
+            unfoldImage(spec, in.data(), u.data());
+            sgemm(Trans::No, Trans::No, m, n, k, 1.0f, w.data(), k,
+                  u.data(), n, 0.0f, out.data(), n);
+        };
+        auto run_prepacked = [&] {
+            unfoldImage(spec, in.data(), u.data());
+            sgemmPackedA(wpack, Trans::No, n, u.data(), n, 0.0f,
+                         out.data(), n);
+        };
+        auto run_fused = [&] {
+            unfoldImageToPanels(spec, in.data(), panels.data());
+            sgemmPackedAB(wpack,
+                          PackedMatrix::viewB(k, n, panels.data()),
+                          0.0f, out.data(), n);
+        };
+
+        // Warm up each variant once and check the packed paths are
+        // bit-for-bit identical to the repack baseline.
+        run_repack();
+        AlignedBuffer<float> out_ref(out.size());
+        std::copy(out.data(), out.data() + out.size(), out_ref.data());
+        auto check = [&](const char *variant) {
+            for (std::size_t i = 0; i < out.size(); ++i)
+                if (out.data()[i] != out_ref.data()[i])
+                    fatal("%s result diverged at %zu", variant, i);
+        };
+        run_prepacked();
+        check("prepacked");
+        run_fused();
+        check("fused");
+
+        // Interleave the timed reps so clock-frequency drift hits all
+        // variants equally; report the best rep of each.
+        double t_repack = 1e30, t_prepacked = 1e30, t_fused = 1e30;
+        for (int r = 0; r < reps; ++r) {
+            t_repack = std::min(t_repack, timeOnce(run_repack));
+            t_prepacked = std::min(t_prepacked, timeOnce(run_prepacked));
+            t_fused = std::min(t_fused, timeOnce(run_fused));
+        }
+
+        table.addRow({
+            TablePrinter::fmt(static_cast<long long>(id)),
+            spec.str(),
+            std::to_string(m) + "x" + std::to_string(n) + "x" +
+                std::to_string(k),
+            TablePrinter::fmt(t_repack * 1e3, 2),
+            TablePrinter::fmt(t_prepacked * 1e3, 2),
+            TablePrinter::fmt(t_fused * 1e3, 2),
+            TablePrinter::fmt(t_repack / t_prepacked, 3),
+            TablePrinter::fmt(t_repack / t_fused, 3),
+        });
+
+        json << (first ? "" : ",") << "\n    {\"id\": " << id
+             << ", \"spec\": \"" << spec.str() << "\", \"m\": " << m
+             << ", \"n\": " << n << ", \"k\": " << k
+             << ", \"seconds\": {\"repack\": " << t_repack
+             << ", \"prepacked\": " << t_prepacked
+             << ", \"fused\": " << t_fused
+             << "}, \"speedup\": {\"prepacked\": "
+             << t_repack / t_prepacked
+             << ", \"fused\": " << t_repack / t_fused << "}}";
+        first = false;
+    }
+    json << "\n  ]\n}\n";
+
+    emit(cli, table);
+    std::string path = cli.getString("json-file");
+    if (!path.empty()) {
+        std::ofstream f(path);
+        if (!f)
+            fatal("cannot write '%s'", path.c_str());
+        f << json.str();
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

@@ -170,14 +170,23 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
     std::int64_t batch = eo.shape()[0];
     std::int64_t w_count = spec.weightElems();
 
-    // Each worker accumulates into a private gradient buffer; the
-    // buffers are summed into dweights afterwards.
+    // Each worker accumulates into a private gradient slab; the slabs
+    // are summed into dweights afterwards. The slabs live in reusable
+    // per-engine scratch and each worker zeroes its own slab on first
+    // touch, so steady-state minibatches neither allocate nor
+    // zero-fill slabs of idle workers.
     int workers = pool.threads();
-    Tensor partial(Shape{workers, w_count});
-    std::vector<char> used(workers, 0);
+    std::size_t total =
+        static_cast<std::size_t>(workers) * w_count;
+    if (partialDw_.size() < total)
+        partialDw_ = AlignedBuffer<float>(total);
+    partialUsed_.assign(workers, 0);
     pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
-        float *dw = partial.data() + worker * w_count;
-        used[worker] = 1;
+        float *dw = partialDw_.data() + worker * w_count;
+        if (!partialUsed_[worker]) {
+            std::memset(dw, 0, sizeof(float) * w_count);
+            partialUsed_[worker] = 1;
+        }
         backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
                              in.data() + b * spec.inputElems(), dw,
                              seqMm);
@@ -185,9 +194,9 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
 
     dweights.zero();
     for (int w = 0; w < workers; ++w) {
-        if (!used[w])
+        if (!partialUsed_[w])
             continue;
-        const float *src = partial.data() + w * w_count;
+        const float *src = partialDw_.data() + w * w_count;
         float *dst = dweights.data();
         for (std::int64_t i = 0; i < w_count; ++i)
             dst[i] += src[i];

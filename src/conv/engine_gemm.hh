@@ -20,7 +20,10 @@
 #ifndef SPG_CONV_ENGINE_GEMM_HH
 #define SPG_CONV_ENGINE_GEMM_HH
 
+#include <vector>
+
 #include "conv/engine.hh"
+#include "util/aligned.hh"
 
 namespace spg {
 
@@ -58,6 +61,14 @@ class GemmInParallelEngine : public ConvEngine
     void backwardWeights(const ConvSpec &spec, const Tensor &eo,
                          const Tensor &in, Tensor &dweights,
                          ThreadPool &pool) const override;
+
+  private:
+    /** Reused per-worker partial-gradient slabs for backwardWeights;
+     *  grown on demand so steady-state training allocates nothing in
+     *  that path. Calls on ONE engine instance must not overlap
+     *  (matches how layers and the tuner drive engines). */
+    mutable AlignedBuffer<float> partialDw_;
+    mutable std::vector<unsigned char> partialUsed_;
 };
 
 } // namespace spg

@@ -1,0 +1,131 @@
+#include "conv/engine_gemm_packed.hh"
+
+#include <cstring>
+
+#include "blas/gemm.hh"
+#include "conv/packed_weights.hh"
+#include "conv/scratch.hh"
+#include "conv/unfold.hh"
+
+namespace spg {
+
+namespace {
+
+/** Fused per-image FP: unfold straight into B panels, then the
+ *  fully-packed O = Wpack * U'pack with zero in-loop packing. */
+template <typename PackedMmFn>
+void
+forwardImagePacked(const ConvSpec &spec, const float *in,
+                   const PackedMatrix &wpack, float *out, PackedMmFn &&mm)
+{
+    std::int64_t n = spec.gemmN(), k = spec.gemmK();
+    float *panels = ScratchArena::forThread().get(
+        kSlotPanelsB, PackedMatrix::panelElemsB(k, n));
+    unfoldImageToPanels(spec, in, panels);
+    mm(wpack, PackedMatrix::viewB(k, n, panels), out);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// UnfoldGemmPackedEngine: sequential over images, Parallel-GEMM per
+// image, packed operands.
+// ---------------------------------------------------------------------
+
+void
+UnfoldGemmPackedEngine::forward(const ConvSpec &spec, const Tensor &in,
+                                const Tensor &weights, Tensor &out,
+                                ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t n = spec.gemmN();
+    auto wpack = PackedWeightCache::global().getA(
+        weights.data(), Trans::No, spec.gemmM(), spec.gemmK());
+    auto mm = [&pool, n](const PackedMatrix &a, const PackedMatrix &b,
+                         float *c) {
+        parallelGemmPackedAB(pool, a, b, 0.0f, c, n);
+    };
+    for (std::int64_t b = 0; b < batch; ++b) {
+        forwardImagePacked(spec, in.data() + b * spec.inputElems(),
+                           *wpack, out.data() + b * spec.outputElems(),
+                           mm);
+    }
+}
+
+void
+UnfoldGemmPackedEngine::backwardData(const ConvSpec &spec,
+                                     const Tensor &eo,
+                                     const Tensor &weights, Tensor &ei,
+                                     ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t m = spec.gemmK(), n = spec.gemmN();
+    // U'grad = W^T * EO: the packed operand is W transposed.
+    auto wpack = PackedWeightCache::global().getA(
+        weights.data(), Trans::Yes, spec.gemmK(), spec.gemmM());
+    for (std::int64_t b = 0; b < batch; ++b) {
+        float *ugrad = ScratchArena::forThread().get(
+            kSlotUnfoldGrad, static_cast<std::size_t>(m) * n);
+        parallelGemmPackedA(pool, *wpack, Trans::No, n,
+                            eo.data() + b * spec.outputElems(), n, 0.0f,
+                            ugrad, n);
+        float *ei_b = ei.data() + b * spec.inputElems();
+        std::memset(ei_b, 0, sizeof(float) * spec.inputElems());
+        foldImageAccumulate(spec, ugrad, ei_b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// GemmInParallelPackedEngine: images across cores, each worker runs a
+// sequential fully-packed GEMM against the SHARED packed weights.
+// ---------------------------------------------------------------------
+
+void
+GemmInParallelPackedEngine::forward(const ConvSpec &spec,
+                                    const Tensor &in,
+                                    const Tensor &weights, Tensor &out,
+                                    ThreadPool &pool) const
+{
+    checkForwardShapes(spec, in, weights, out);
+    std::int64_t batch = in.shape()[0];
+    std::int64_t n = spec.gemmN();
+    auto wpack = PackedWeightCache::global().getA(
+        weights.data(), Trans::No, spec.gemmM(), spec.gemmK());
+    auto mm = [n](const PackedMatrix &a, const PackedMatrix &b,
+                  float *c) {
+        sgemmPackedAB(a, b, 0.0f, c, n);
+    };
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        forwardImagePacked(spec, in.data() + b * spec.inputElems(),
+                           *wpack, out.data() + b * spec.outputElems(),
+                           mm);
+    });
+}
+
+void
+GemmInParallelPackedEngine::backwardData(const ConvSpec &spec,
+                                         const Tensor &eo,
+                                         const Tensor &weights,
+                                         Tensor &ei,
+                                         ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t m = spec.gemmK(), n = spec.gemmN();
+    auto wpack = PackedWeightCache::global().getA(
+        weights.data(), Trans::Yes, spec.gemmK(), spec.gemmM());
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        float *ugrad = ScratchArena::forThread().get(
+            kSlotUnfoldGrad, static_cast<std::size_t>(m) * n);
+        sgemmPackedA(*wpack, Trans::No, n,
+                     eo.data() + b * spec.outputElems(), n, 0.0f, ugrad,
+                     n);
+        float *ei_b = ei.data() + b * spec.inputElems();
+        std::memset(ei_b, 0, sizeof(float) * spec.inputElems());
+        foldImageAccumulate(spec, ugrad, ei_b);
+    });
+}
+
+} // namespace spg

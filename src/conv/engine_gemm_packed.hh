@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Packed-operand variants of the two GEMM schedules.
+ *
+ * Both engines in engine_gemm.hh pay two avoidable costs per image:
+ * sgemm re-packs the SAME weight matrix into micro-kernel panels on
+ * every call, and forward propagation writes a dense im2col matrix
+ * that the GEMM's packB immediately re-reads and copies into panel
+ * format. The variants here remove both:
+ *
+ *  - Weights are packed once per (layer, phase) via PackedWeightCache
+ *    and reused across all images and minibatches, shared read-only
+ *    between workers.
+ *  - Forward propagation unfolds each image DIRECTLY into B-panel
+ *    format (unfoldImageToPanels), so the fully-packed GEMM runs with
+ *    no packing inside the blocking loops at all.
+ *
+ * Per-core AIT rises accordingly: the per-image weight-panel
+ * write+read round trip and the dense-unfold round trip disappear
+ * from the operand traffic (see simcpu/conv_model.cc for the model
+ * side of this accounting).
+ *
+ * BP-weights has no packed operand that is reused across images (the
+ * weights are the OUTPUT of that GEMM), so both variants inherit the
+ * unpacked implementation.
+ *
+ * The engines produce results bit-for-bit identical to their unpacked
+ * counterparts: the packed entry points run the exact same blocking
+ * and micro-kernel order, only skipping the pack copies.
+ */
+
+#ifndef SPG_CONV_ENGINE_GEMM_PACKED_HH
+#define SPG_CONV_ENGINE_GEMM_PACKED_HH
+
+#include "conv/engine_gemm.hh"
+
+namespace spg {
+
+/** Unfold+Parallel-GEMM with cached packed weights and fused unfold. */
+class UnfoldGemmPackedEngine : public UnfoldGemmEngine
+{
+  public:
+    std::string name() const override { return "parallel-gemm-packed"; }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+    void backwardData(const ConvSpec &spec, const Tensor &eo,
+                      const Tensor &weights, Tensor &ei,
+                      ThreadPool &pool) const override;
+};
+
+/** GEMM-in-Parallel with cached packed weights and fused unfold. */
+class GemmInParallelPackedEngine : public GemmInParallelEngine
+{
+  public:
+    std::string name() const override { return "gemm-in-parallel-packed"; }
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out,
+                 ThreadPool &pool) const override;
+    void backwardData(const ConvSpec &spec, const Tensor &eo,
+                      const Tensor &weights, Tensor &ei,
+                      ThreadPool &pool) const override;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_GEMM_PACKED_HH

@@ -12,6 +12,7 @@
 #include "conv/engine.hh"
 #include "conv/engine_fft.hh"
 #include "conv/engine_gemm.hh"
+#include "conv/engine_gemm_packed.hh"
 #include "conv/engine_sparse.hh"
 #include "conv/engine_sparse_weights.hh"
 #include "conv/engine_stencil.hh"
@@ -22,7 +23,7 @@ namespace spg {
 /**
  * @return one instance of every paper-set production engine (excludes
  * the reference oracle and extensions): parallel-gemm,
- * gemm-in-parallel, stencil, sparse.
+ * gemm-in-parallel, their packed-operand variants, stencil, sparse.
  */
 std::vector<std::unique_ptr<ConvEngine>> makeAllEngines();
 
@@ -36,7 +37,8 @@ std::vector<std::unique_ptr<ConvEngine>> makeExtendedEngines();
 /**
  * @return the engine with the given name(), or nullptr when unknown.
  * Recognized names: "reference", "parallel-gemm", "gemm-in-parallel",
- * "stencil", "sparse", "sparse-weights", "fft".
+ * "parallel-gemm-packed", "gemm-in-parallel-packed", "stencil",
+ * "sparse", "sparse-weights", "fft".
  */
 std::unique_ptr<ConvEngine> makeEngine(const std::string &name);
 

@@ -1,0 +1,87 @@
+#include "conv/packed_weights.hh"
+
+#include <cstring>
+
+namespace spg {
+
+namespace {
+
+/** Entries are few (one or two per conv layer per phase); past this
+ *  something is leaking keys, so start over rather than grow. */
+constexpr std::size_t kMaxEntries = 64;
+
+/** FNV-1a over the dense weight bytes. */
+std::uint64_t
+fingerprint(const float *w, std::int64_t count)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(w);
+    std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+PackedWeightCache &
+PackedWeightCache::global()
+{
+    static PackedWeightCache cache;
+    return cache;
+}
+
+std::shared_ptr<const PackedMatrix>
+PackedWeightCache::getA(const float *w, Trans ta, std::int64_t m,
+                        std::int64_t k)
+{
+    Key key{w, ta, m, k};
+    std::uint64_t fp = fingerprint(w, m * k);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.fingerprint == fp)
+            return it->second.packed;
+    }
+
+    std::int64_t lda = ta == Trans::No ? k : m;
+    auto packed = std::make_shared<const PackedMatrix>(
+        PackedMatrix::packA(ta, m, k, 1.0f, w, lda));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= kMaxEntries)
+        entries_.clear();
+    entries_[key] = Entry{fp, packed};
+    return packed;
+}
+
+void
+PackedWeightCache::invalidate(const float *w)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (std::get<0>(it->first) == w)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+PackedWeightCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+std::size_t
+PackedWeightCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace spg

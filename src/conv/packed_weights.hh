@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Process-wide cache of pre-packed convolution weight matrices.
+ *
+ * The GEMM engines multiply the SAME weight matrix W against every
+ * image of every minibatch; without caching, sgemm re-packs W into
+ * micro-kernel panels on every call. The cache packs once per
+ * (weights, transpose, geometry) and hands out shared read-only panel
+ * buffers, so steady-state forward/backward passes stream weights in
+ * panel format with zero packing work or traffic.
+ *
+ * Staleness is handled twice over:
+ *  - ConvLayer explicitly calls invalidate() whenever it mutates its
+ *    weights (SGD update, checkpoint restore) or dies (so a later
+ *    allocation reusing the address cannot alias a stale entry).
+ *  - get() additionally fingerprints the weight contents (FNV-1a over
+ *    the raw bytes) and re-packs on mismatch, which keeps direct
+ *    engine users (tests, benches, tuner probes) correct even when
+ *    they mutate weight tensors without telling the cache. The
+ *    fingerprint pass reads W once per get() — once per minibatch
+ *    phase, amortized across the whole batch, vs. the per-image
+ *    pack round trip it replaces.
+ *
+ * Returned values are shared_ptr<const PackedMatrix>: invalidation
+ * while a phase is in flight just drops the cache's reference; workers
+ * holding the pointer finish on the old panels safely.
+ */
+
+#ifndef SPG_CONV_PACKED_WEIGHTS_HH
+#define SPG_CONV_PACKED_WEIGHTS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "blas/gemm.hh"
+
+namespace spg {
+
+/** Global pack-once cache for GEMM weight operands. */
+class PackedWeightCache
+{
+  public:
+    /** @return the process-wide instance. */
+    static PackedWeightCache &global();
+
+    /**
+     * @return op(W) (m x k, with op per @p ta) packed as a GEMM A
+     * operand, packing it now if absent or if the cached entry's
+     * content fingerprint no longer matches @p w. lda is k for
+     * Trans::No and m for Trans::Yes (dense row-major W either way).
+     */
+    std::shared_ptr<const PackedMatrix>
+    getA(const float *w, Trans ta, std::int64_t m, std::int64_t k);
+
+    /** Drop every entry packed from the given weight storage. */
+    void invalidate(const float *w);
+
+    /** Drop everything (tests / benchmarks). */
+    void clear();
+
+    /** @return number of live entries (tests). */
+    std::size_t size() const;
+
+  private:
+    using Key = std::tuple<const float *, Trans, std::int64_t,
+                           std::int64_t>;
+    struct Entry
+    {
+        std::uint64_t fingerprint;
+        std::shared_ptr<const PackedMatrix> packed;
+    };
+
+    mutable std::mutex mu_;
+    std::map<Key, Entry> entries_;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_PACKED_WEIGHTS_HH

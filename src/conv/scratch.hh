@@ -60,7 +60,8 @@ enum ScratchSlot
     kSlotLayoutB = 4,      ///< layout-transform staging B
     kSlotLayoutC = 5,      ///< layout-transform staging C
     kSlotStencilIn = 6,    ///< strided-split input planes
-    kSlotStencilOut = 7    ///< stencil output staging
+    kSlotStencilOut = 7,   ///< stencil output staging
+    kSlotPanelsB = 8       ///< im2col emitted directly in B-panel format
 };
 
 } // namespace spg

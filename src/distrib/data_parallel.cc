@@ -71,6 +71,11 @@ DataParallelTrainer::averageGradientsAndStep(
                 (*other)[i] = (*master)[i];
         }
     }
+
+    // The averaging wrote through params(); let layers drop caches.
+    for (int w = 0; w < opts.workers; ++w)
+        for (std::size_t i = 0; i < replicas[w]->layerCount(); ++i)
+            replicas[w]->layer(i).paramsUpdated();
 }
 
 std::vector<DataParallelEpoch>

@@ -107,6 +107,10 @@ loadCheckpoint(Network &net, std::istream &in)
         if (!in)
             fatal("checkpoint: truncated tensor data");
     }
+
+    // Restored weights invalidate any derived caches (packed panels).
+    for (std::size_t i = 0; i < net.layerCount(); ++i)
+        net.layer(i).paramsUpdated();
 }
 
 void

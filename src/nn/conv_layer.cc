@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "conv/packed_weights.hh"
 #include "util/timer.hh"
 
 #include "util/logging.hh"
@@ -21,6 +22,14 @@ ConvLayer::ConvLayer(std::string label, const ConvSpec &spec, Rng &rng)
     weights_.fillGaussian(rng, stddev);
     for (auto &engine : makeAllEngines())
         engine_cache[engine->name()] = std::move(engine);
+    // A prior layer may have packed weights at this freshly-reused
+    // address; make sure no stale panels can alias the new tensor.
+    PackedWeightCache::global().invalidate(weights_.data());
+}
+
+ConvLayer::~ConvLayer()
+{
+    PackedWeightCache::global().invalidate(weights_.data());
 }
 
 std::string
@@ -86,6 +95,13 @@ ConvLayer::update(float learning_rate)
     const float *dw = dweights.data();
     for (std::int64_t i = 0; i < weights_.size(); ++i)
         w[i] -= learning_rate * dw[i];
+    PackedWeightCache::global().invalidate(weights_.data());
+}
+
+void
+ConvLayer::paramsUpdated()
+{
+    PackedWeightCache::global().invalidate(weights_.data());
 }
 
 } // namespace spg

@@ -39,6 +39,7 @@ class ConvLayer : public Layer
      * @param rng Weight initialization source (He-scaled gaussian).
      */
     ConvLayer(std::string label, const ConvSpec &spec, Rng &rng);
+    ~ConvLayer() override;
 
     std::string name() const override;
     Geometry inputGeometry() const override
@@ -61,6 +62,7 @@ class ConvLayer : public Layer
         return spec_.weightElems();
     }
     std::vector<Tensor *> params() override { return {&weights_}; }
+    void paramsUpdated() override;
 
     const ConvSpec &spec() const { return spec_; }
 

@@ -89,6 +89,14 @@ class Layer
      * order (used by checkpointing). Empty for parameterless layers.
      */
     virtual std::vector<Tensor *> params() { return {}; }
+
+    /**
+     * Notify the layer that its parameter tensors were just mutated
+     * through params() (checkpoint restore, parameter averaging) so it
+     * can drop caches derived from them (e.g. packed weight panels).
+     * update() implies this; external writers must call it themselves.
+     */
+    virtual void paramsUpdated() {}
 };
 
 } // namespace spg

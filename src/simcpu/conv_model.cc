@@ -11,7 +11,8 @@ namespace {
 
 constexpr double kFloat = 4.0;  ///< bytes per element
 
-/** Unfold+GEMM streaming traffic (elements) of one image, per phase. */
+/** Unfold+GEMM streaming traffic (elements) of one image, per phase,
+ *  exclusive of the in-GEMM operand packing (see packExtraElems). */
 double
 unfoldTrafficElems(const ConvSpec &spec, Phase phase)
 {
@@ -31,6 +32,48 @@ unfoldTrafficElems(const ConvSpec &spec, Phase phase)
                2 * spec.weightElems();
     }
     return 0;
+}
+
+/**
+ * The extra traffic the in-GEMM operand packing adds on top of the
+ * footprint already counted once per stream: the A-panel write (its
+ * re-reads are L2-resident and free under the model's conventions)
+ * plus the B-panel write AND kernel re-read (B panels are streamed, so
+ * the round trip hits memory). The packed engines elide exactly these
+ * terms — a cached weight operand drops its whole pack share, and the
+ * fused unfold emits panels directly so U never round-trips through a
+ * dense intermediate.
+ *
+ * @param a_elems Per-core footprint of the A operand.
+ * @param b_elems Per-core footprint of the B operand.
+ */
+double
+packExtraElems(double a_elems, double b_elems)
+{
+    return a_elems + 2.0 * b_elems;
+}
+
+/** Per-image GEMM operand footprints {A, B} for the unfold schedules. */
+void
+phaseOperandElems(const ConvSpec &spec, Phase phase, double &a_elems,
+                  double &b_elems)
+{
+    double u = static_cast<double>(spec.unfoldedElems());
+    switch (phase) {
+      case Phase::Forward:  // O = W * U'
+        a_elems = spec.weightElems();
+        b_elems = u;
+        return;
+      case Phase::BackwardData:  // U'grad = W^T * EO
+        a_elems = spec.weightElems();
+        b_elems = spec.outputElems();
+        return;
+      case Phase::BackwardWeights:  // dW += EO * U'^T
+        a_elems = spec.outputElems();
+        b_elems = u;
+        return;
+    }
+    a_elems = b_elems = 0;
 }
 
 /** The unfold/fold prologue that the baseline runs serially. */
@@ -117,11 +160,19 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                             ? dense_flops
                             : (1.0 - sparsity) * dense_flops;
 
-    if (engine == "parallel-gemm") {
+    if (engine == "parallel-gemm" || engine == "parallel-gemm-packed") {
         // Sequential over images: serial unfold/fold prologue + the
-        // partitioned MM, once per image; fork-join per image.
+        // partitioned MM, once per image; fork-join per image. The
+        // packed variant inherits the unpacked BP-weights path (the
+        // weights are that GEMM's OUTPUT, nothing to cache).
+        bool packed = engine == "parallel-gemm-packed" &&
+                      phase != Phase::BackwardWeights;
+        // The packed engine always partitions columns (kGemmNc blocks
+        // of the shared packed operands); the unpacked one prefers
+        // rows when there are enough of them.
         GemmPartition part =
-            (mm.m >= static_cast<std::int64_t>(cores) * 6 || mm.m >= mm.n)
+            !packed && (mm.m >= static_cast<std::int64_t>(cores) * 6 ||
+                        mm.m >= mm.n)
                 ? GemmPartition::Rows
                 : GemmPartition::Cols;
         double mc = part == GemmPartition::Rows
@@ -134,6 +185,21 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         mm_task.flops = gemmFlopsPerCore(mm.m, mm.n, mm.k, cores);
         mm_task.bytes =
             kFloat * gemmElementsPerCore(mm.m, mm.n, mm.k, cores, part);
+        double a_elems, b_elems;
+        phaseOperandElems(spec, phase, a_elems, b_elems);
+        double a_core =
+            part == GemmPartition::Rows ? a_elems / cores : a_elems;
+        double b_core =
+            part == GemmPartition::Cols ? b_elems / cores : b_elems;
+        if (!packed) {
+            // Every core re-packs its operand footprint per image.
+            mm_task.bytes += kFloat * packExtraElems(a_core, b_core);
+        } else if (phase == Phase::BackwardData) {
+            // Weights are cached packed, but the EO slab (B operand)
+            // still packs per call.
+            mm_task.bytes += kFloat * packExtraElems(0.0, b_core);
+        }
+        // Packed FP pays nothing: weights cached, unfold fused.
         mm_task.efficiency = machine.gemmEfficiency(mc, ncols, mm.k);
         SimTask pro;
         pro.bytes = kFloat * serialPrologueElems(spec, phase);
@@ -145,10 +211,19 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         return one;
     }
 
-    if (engine == "gemm-in-parallel") {
+    if (engine == "gemm-in-parallel" ||
+        engine == "gemm-in-parallel-packed") {
+        bool packed = engine == "gemm-in-parallel-packed" &&
+                      phase != Phase::BackwardWeights;
         SimTask task;
         task.flops = dense_flops;
         task.bytes = kFloat * unfoldTrafficElems(spec, phase);
+        double a_elems, b_elems;
+        phaseOperandElems(spec, phase, a_elems, b_elems);
+        if (!packed)
+            task.bytes += kFloat * packExtraElems(a_elems, b_elems);
+        else if (phase == Phase::BackwardData)
+            task.bytes += kFloat * packExtraElems(0.0, b_elems);
         task.efficiency = machine.gemmEfficiency(
             static_cast<double>(mm.m), static_cast<double>(mm.n),
             static_cast<double>(mm.k));

@@ -95,11 +95,13 @@ TEST(Tuner, PicksSupportedEnginesForEveryPhase)
     EXPECT_NE(plan.bp_data_engine, "stencil"); // stencil is FP-only
     EXPECT_DOUBLE_EQ(plan.tuned_sparsity, 0.9);
 
-    // FP candidates: parallel-gemm, gemm-in-parallel, stencil.
-    EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 3u);
-    // BP candidates: parallel-gemm, gemm-in-parallel, sparse.
-    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 3u);
-    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 3u);
+    // FP candidates: parallel-gemm, gemm-in-parallel, their packed
+    // variants, and stencil.
+    EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 5u);
+    // BP candidates: parallel-gemm, gemm-in-parallel, the packed
+    // variants, and sparse.
+    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 5u);
+    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 5u);
     for (const auto &[phase, timings] : plan.timings) {
         for (const auto &timing : timings)
             EXPECT_GT(timing.seconds, 0.0) << phaseName(phase);

@@ -165,6 +165,22 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+TEST(Gemm, TransCombosOddSizesBetaSweep)
+{
+    // All four Trans combinations x sizes with m, n, k deliberately
+    // NOT multiples of kGemmMr/kGemmNr/kGemmKc x beta in {0, 1, 0.5},
+    // sequential and parallel, against the naive oracle.
+    const GemmCase odd[] = {{7, 19, 5}, {11, 37, 13}, {5, 33, 257}};
+    for (const GemmCase &shape : odd)
+        for (Trans ta : {Trans::No, Trans::Yes})
+            for (Trans tb : {Trans::No, Trans::Yes})
+                for (float beta : {0.0f, 1.0f, 0.5f})
+                    for (bool parallel : {false, true})
+                        expectGemmMatchesNaive(ta, tb, shape.m, shape.n,
+                                               shape.k, 1.0f, beta,
+                                               parallel);
+}
+
 TEST(Gemm, LargeBlockedCrossesAllBlockBoundaries)
 {
     // Exercise kMc/kKc/kNc boundaries: sizes straddling 120/256/2048.

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Pre-packed-operand SGEMM: the sgemmPacked* entry points must be
+ * bit-for-bit identical to the repack-every-call sgemm (same blocking,
+ * same micro-kernel order, only the pack copies skipped) and must
+ * match gemmNaive within the usual tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+
+#include "blas/gemm.hh"
+#include "tensor/tensor.hh"
+#include "threading/thread_pool.hh"
+#include "util/aligned.hh"
+#include "util/random.hh"
+
+namespace spg {
+namespace {
+
+Tensor
+randomMatrix(std::int64_t m, std::int64_t n, std::uint64_t seed)
+{
+    Tensor t(Shape{m, n});
+    Rng rng(seed);
+    t.fillUniform(rng, -1.0f, 1.0f);
+    return t;
+}
+
+/** Deliberately odd sizes: none a multiple of kGemmMr/kGemmNr/kGemmKc,
+ *  plus shapes straddling the kMc/kKc/kNc block boundaries. */
+struct PackedCase
+{
+    std::int64_t m, n, k;
+};
+
+const PackedCase kPackedCases[] = {
+    {1, 1, 1},     {5, 7, 3},      {7, 17, 9},    {13, 31, 29},
+    {6, 32, 256},  {121, 257, 129}, {125, 2053, 259},
+};
+
+class PackedGemm
+    : public ::testing::TestWithParam<std::tuple<int, int, int, float>>
+{
+  protected:
+    PackedCase shape() const
+    {
+        return kPackedCases[std::get<0>(GetParam())];
+    }
+    Trans ta() const
+    {
+        return std::get<1>(GetParam()) ? Trans::Yes : Trans::No;
+    }
+    Trans tb() const
+    {
+        return std::get<2>(GetParam()) ? Trans::Yes : Trans::No;
+    }
+    float beta() const { return std::get<3>(GetParam()); }
+};
+
+TEST_P(PackedGemm, MatchesUnpackedBitForBitAndNaive)
+{
+    auto [m, n, k] = shape();
+    float alpha = 0.75f;
+    std::int64_t lda = ta() == Trans::No ? k : m;
+    std::int64_t ldb = tb() == Trans::No ? n : k;
+    Tensor a = randomMatrix(ta() == Trans::No ? m : k, lda, 21 + m);
+    Tensor b = randomMatrix(tb() == Trans::No ? k : n, ldb, 22 + n);
+    Tensor c0 = randomMatrix(m, n, 23 + k);
+
+    Tensor c_plain = c0.clone();
+    sgemm(ta(), tb(), m, n, k, alpha, a.data(), lda, b.data(), ldb,
+          beta(), c_plain.data(), n);
+
+    Tensor c_naive = c0.clone();
+    gemmNaive(ta(), tb(), m, n, k, alpha, a.data(), lda, b.data(), ldb,
+              beta(), c_naive.data(), n);
+
+    PackedMatrix pa =
+        PackedMatrix::packA(ta(), m, k, alpha, a.data(), lda);
+    PackedMatrix pb = PackedMatrix::packB(tb(), k, n, b.data(), ldb);
+
+    Tensor c_pa = c0.clone();
+    sgemmPackedA(pa, tb(), n, b.data(), ldb, beta(), c_pa.data(), n);
+    EXPECT_EQ(maxAbsDiff(c_plain, c_pa), 0.0f) << "packed A";
+
+    Tensor c_pb = c0.clone();
+    sgemmPackedB(ta(), m, alpha, a.data(), lda, pb, beta(), c_pb.data(),
+                 n);
+    EXPECT_EQ(maxAbsDiff(c_plain, c_pb), 0.0f) << "packed B";
+
+    Tensor c_pab = c0.clone();
+    sgemmPackedAB(pa, pb, beta(), c_pab.data(), n);
+    EXPECT_EQ(maxAbsDiff(c_plain, c_pab), 0.0f) << "packed AB";
+
+    float tol = 1e-3f * static_cast<float>(k) / 64.0f + 1e-4f;
+    EXPECT_LT(maxAbsDiff(c_naive, c_pab), tol) << "vs naive";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedGemm,
+    ::testing::Combine(
+        ::testing::Range(0,
+                         static_cast<int>(std::size(kPackedCases))),
+        ::testing::Values(0, 1), ::testing::Values(0, 1),
+        ::testing::Values(0.0f, 1.0f, 0.5f)),
+    [](const auto &info) {
+        const PackedCase &shape = kPackedCases[std::get<0>(info.param)];
+        std::string name = "m" + std::to_string(shape.m) + "n" +
+                           std::to_string(shape.n) + "k" +
+                           std::to_string(shape.k);
+        name += std::get<1>(info.param) ? "_tA" : "";
+        name += std::get<2>(info.param) ? "_tB" : "";
+        float beta = std::get<3>(info.param);
+        name += beta == 0.0f ? "_b0" : beta == 1.0f ? "_b1" : "_bhalf";
+        return name;
+    });
+
+TEST(PackedMatrix, ViewMatchesOwningPackByteForByte)
+{
+    std::int64_t m = 37, n = 53, k = 41;
+    Tensor a = randomMatrix(m, k, 31);
+    Tensor b = randomMatrix(k, n, 32);
+
+    PackedMatrix owned_a =
+        PackedMatrix::packA(Trans::No, m, k, 1.0f, a.data(), k);
+    AlignedBuffer<float> buf_a(PackedMatrix::panelElemsA(m, k));
+    packMatrixAInto(Trans::No, m, k, 1.0f, a.data(), k, buf_a.data());
+    EXPECT_EQ(std::memcmp(owned_a.panels(), buf_a.data(),
+                          buf_a.size() * sizeof(float)),
+              0);
+
+    PackedMatrix owned_b =
+        PackedMatrix::packB(Trans::No, k, n, b.data(), n);
+    AlignedBuffer<float> buf_b(PackedMatrix::panelElemsB(k, n));
+    packMatrixBInto(Trans::No, k, n, b.data(), n, buf_b.data());
+    EXPECT_EQ(std::memcmp(owned_b.panels(), buf_b.data(),
+                          buf_b.size() * sizeof(float)),
+              0);
+
+    // Views over the caller buffers multiply identically.
+    PackedMatrix view_a = PackedMatrix::viewA(m, k, buf_a.data());
+    PackedMatrix view_b = PackedMatrix::viewB(k, n, buf_b.data());
+    Tensor c_owned(Shape{m, n}), c_view(Shape{m, n});
+    sgemmPackedAB(owned_a, owned_b, 0.0f, c_owned.data(), n);
+    sgemmPackedAB(view_a, view_b, 0.0f, c_view.data(), n);
+    EXPECT_EQ(maxAbsDiff(c_owned, c_view), 0.0f);
+}
+
+TEST(PackedMatrix, AccessorsAndAlphaBaking)
+{
+    std::int64_t m = 9, k = 11;
+    Tensor a = randomMatrix(m, k, 33);
+    PackedMatrix pa =
+        PackedMatrix::packA(Trans::No, m, k, 2.0f, a.data(), k);
+    EXPECT_EQ(pa.kind(), PackedMatrix::Kind::A);
+    EXPECT_EQ(pa.rows(), m);
+    EXPECT_EQ(pa.cols(), k);
+    EXPECT_FALSE(pa.empty());
+    EXPECT_TRUE(PackedMatrix().empty());
+
+    // alpha is baked at pack time: C = 2A * B.
+    std::int64_t n = 5;
+    Tensor b = randomMatrix(k, n, 34);
+    Tensor c_ref(Shape{m, n}), c(Shape{m, n});
+    gemmNaive(Trans::No, Trans::No, m, n, k, 2.0f, a.data(), k, b.data(),
+              n, 0.0f, c_ref.data(), n);
+    sgemmPackedA(pa, Trans::No, n, b.data(), n, 0.0f, c.data(), n);
+    EXPECT_LT(maxAbsDiff(c_ref, c), 1e-3f);
+}
+
+TEST(ParallelPackedGemm, MatchesSequentialPacked)
+{
+    ThreadPool pool(4);
+    for (auto [m, n, k] :
+         {PackedCase{7, 4099, 37}, PackedCase{63, 2048, 130},
+          PackedCase{121, 513, 67}, PackedCase{3, 129, 200}}) {
+        Tensor a = randomMatrix(m, k, 41 + m);
+        Tensor b = randomMatrix(k, n, 42 + n);
+        PackedMatrix pa =
+            PackedMatrix::packA(Trans::No, m, k, 1.0f, a.data(), k);
+        PackedMatrix pb =
+            PackedMatrix::packB(Trans::No, k, n, b.data(), n);
+
+        Tensor c_seq(Shape{m, n}), c_par(Shape{m, n});
+        sgemmPackedA(pa, Trans::No, n, b.data(), n, 0.0f, c_seq.data(),
+                     n);
+        parallelGemmPackedA(pool, pa, Trans::No, n, b.data(), n, 0.0f,
+                            c_par.data(), n);
+        EXPECT_EQ(maxAbsDiff(c_seq, c_par), 0.0f)
+            << "packed A m=" << m << " n=" << n << " k=" << k;
+
+        Tensor c_ab(Shape{m, n});
+        parallelGemmPackedAB(pool, pa, pb, 0.0f, c_ab.data(), n);
+        EXPECT_EQ(maxAbsDiff(c_seq, c_ab), 0.0f)
+            << "packed AB m=" << m << " n=" << n << " k=" << k;
+    }
+}
+
+} // namespace
+} // namespace spg
