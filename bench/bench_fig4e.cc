@@ -15,6 +15,7 @@
 #include "bench/bench_common.hh"
 #include "conv/engines.hh"
 #include "data/suites.hh"
+#include "sparse/sparse_plan.hh"
 #include "util/random.hh"
 #include "util/timer.hh"
 
@@ -24,8 +25,8 @@ namespace {
 
 /** Measured single-core goodput (GFlops/s of non-zero work). */
 double
-measuredGoodput(const ConvSpec &spec, double sparsity,
-                std::int64_t batch)
+measuredGoodput(const std::string &engine_name, const ConvSpec &spec,
+                double sparsity, std::int64_t batch)
 {
     ThreadPool pool(1);
     Rng rng(7);
@@ -39,11 +40,15 @@ measuredGoodput(const ConvSpec &spec, double sparsity,
     eo.sparsify(rng, sparsity);
     double nnz_frac = 1.0 - eo.sparsity();
 
-    SparseBpEngine engine;
+    auto engine = makeEngine(engine_name);
     Tensor dw(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
     double seconds = bestTimeSeconds(2, [&] {
-        engine.backwardData(spec, eo, w, ei, pool);
-        engine.backwardWeights(spec, eo, in, dw, pool);
+        // Each rep is one training minibatch: the encode-once engine
+        // re-encodes in BP-data (a fresh EO would miss) and reuses the
+        // plan in BP-weights.
+        SparsePlanCache::global().invalidate(eo.data());
+        engine->backwardData(spec, eo, w, ei, pool);
+        engine->backwardWeights(spec, eo, in, dw, pool);
     });
     // Non-zero flops of both BP phases.
     double useful = 2.0 * nnz_frac * batch *
@@ -64,8 +69,12 @@ main(int argc, char **argv)
     cli.addInt("measure-flops-limit", 8,
                "skip measured column above this many GFlops per image "
                "batch");
+    cli.addString("sparse-engine", "sparse",
+                  "sparse BP engine to model and measure (sparse | "
+                  "sparse-cached)");
     cli.parse(argc, argv);
     std::int64_t batch = cli.getInt("batch");
+    std::string engine_name = cli.getString("sparse-engine");
 
     MachineModel machine = MachineModel::xeonE5_2650();
     const double sweep[] = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.97};
@@ -85,7 +94,7 @@ main(int argc, char **argv)
             for (Phase phase :
                  {Phase::BackwardData, Phase::BackwardWeights}) {
                 SimResult r = modelConvPhase(machine, entry.spec, phase,
-                                             "sparse", batch, 16,
+                                             engine_name, batch, 16,
                                              sparsity);
                 goodput += r.useful_flops;
                 seconds += r.seconds;
@@ -98,8 +107,8 @@ main(int argc, char **argv)
                         flops_limit;
         row.push_back(cli.getBool("measure") && feasible
                           ? TablePrinter::fmt(
-                                measuredGoodput(entry.spec, 0.85,
-                                                measure_batch),
+                                measuredGoodput(engine_name, entry.spec,
+                                                0.85, measure_batch),
                                 1)
                           : "-");
         table.addRow(row);

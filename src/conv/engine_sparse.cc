@@ -7,6 +7,7 @@
 #include "conv/scratch.hh"
 #include "sparse/csr.hh"
 #include "sparse/sparse_mm.hh"
+#include "sparse/sparse_plan.hh"
 #include "tensor/layout.hh"
 #include "util/logging.hh"
 
@@ -19,22 +20,30 @@ namespace {
 constexpr std::int64_t kDefaultFeatureTile = 64;
 
 /**
- * Replay the non-zeros of one image's error gradients through the
- * pointer-shifting loop. Shared by BP-data and BP-weights: the only
- * difference is which side of the AXPY is indexed by the feature
- * (weights for BP-data, output gradient for BP-weights).
+ * Replay one image's non-zero error gradients through the
+ * pointer-shifting loop for BP-data, accumulating into the
+ * channel-fastest input-gradient staging buffer.
+ *
+ * The weight-row and destination base pointers are hoisted out of the
+ * (ky, kx) loops — per non-zero only the feature offset varies — and
+ * adjacent kx destinations are register-blocked in pairs via axpy2.
+ * The two destinations of a pair are disjoint nc-length vectors and
+ * each receives its non-zeros in the same (ascending p) order as the
+ * unblocked loop, so results stay bit-for-bit identical.
  *
  * @param spec Layer geometry.
  * @param ct Error gradients as CT-CSR over the (OyOx) x Nf matrix.
- * @param body Callable (f, val, ky, kx, dst_spatial_offset) invoked
- *        for every (non-zero, kernel coordinate) pair, where
- *        dst_spatial_offset = (y'*sy + ky) * Nx + (x'*sx + kx).
+ * @param wt Weights channel-fastest, [ky][kx][f][c].
+ * @param ei_t Zeroed (Ny*Nx) x Nc channel-fastest staging buffer.
  */
-template <typename Body>
 void
-replayNonZeros(const ConvSpec &spec, const CtCsrMatrix &ct, Body &&body)
+replayDataImage(const ConvSpec &spec, const CtCsrMatrix &ct,
+                const float *wt, float *ei_t)
 {
     std::int64_t ox = spec.outX();
+    std::int64_t nc = spec.nc;
+    std::int64_t wf_stride = spec.nf * nc;
+    std::int64_t dst_pitch = spec.nx * nc;
     for (std::int64_t t = 0; t < ct.tileCount(); ++t) {
         const CsrMatrix &tile = ct.tile(t);
         std::int64_t f0 = ct.tileColOffset(t);
@@ -47,14 +56,96 @@ replayNonZeros(const ConvSpec &spec, const CtCsrMatrix &ct, Body &&body)
                 continue;
             std::int64_t yp = row / ox;
             std::int64_t xp = row % ox;
-            std::int64_t base =
-                yp * spec.sy * spec.nx + xp * spec.sx;
+            float *dst_row =
+                ei_t + (yp * spec.sy * spec.nx + xp * spec.sx) * nc;
             // Pointer shifting: one non-zero list, Fy*Fx destinations.
             for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
-                for (std::int64_t kx = 0; kx < spec.fx; ++kx) {
-                    std::int64_t dst = base + ky * spec.nx + kx;
+                const float *wky = wt + ky * spec.fx * wf_stride;
+                float *dky = dst_row + ky * dst_pitch;
+                std::int64_t kx = 0;
+                for (; kx + 2 <= spec.fx; kx += 2) {
+                    const float *w0 = wky + kx * wf_stride;
+                    const float *w1 = w0 + wf_stride;
+                    float *d0 = dky + kx * nc;
+                    float *d1 = d0 + nc;
                     for (std::int64_t p = begin; p < end; ++p) {
-                        body(f0 + cidx[p], vals[p], ky, kx, dst);
+                        std::int64_t off =
+                            (f0 + cidx[p]) * nc;
+                        axpy2(nc, vals[p], w0 + off, d0, w1 + off, d1);
+                    }
+                }
+                for (; kx < spec.fx; ++kx) {
+                    const float *w0 = wky + kx * wf_stride;
+                    float *d0 = dky + kx * nc;
+                    for (std::int64_t p = begin; p < end; ++p) {
+                        std::int64_t off =
+                            (f0 + cidx[p]) * nc;
+                        axpy(nc, vals[p], w0 + off, d0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Replay one image's non-zero error gradients for BP-weights,
+ * accumulating into a private dW' slab in [ky][kx][f][c] layout.
+ * Mirror of replayDataImage: the input rows take the weights' side of
+ * the AXPY and the dW' rows take the destination side; the same
+ * hoisting and kx pairing applies, with identical bit-for-bit
+ * guarantees (the two destinations of a pair live in disjoint kx
+ * slices of dW').
+ *
+ * @param spec Layer geometry.
+ * @param ct Error gradients as CT-CSR over the (OyOx) x Nf matrix.
+ * @param in_t Input channel-fastest, (Ny*Nx) x Nc.
+ * @param dw Private dW' accumulator, [ky][kx][f][c].
+ */
+void
+replayWeightsImage(const ConvSpec &spec, const CtCsrMatrix &ct,
+                   const float *in_t, float *dw)
+{
+    std::int64_t ox = spec.outX();
+    std::int64_t nc = spec.nc;
+    std::int64_t wf_stride = spec.nf * nc;
+    std::int64_t src_pitch = spec.nx * nc;
+    for (std::int64_t t = 0; t < ct.tileCount(); ++t) {
+        const CsrMatrix &tile = ct.tile(t);
+        std::int64_t f0 = ct.tileColOffset(t);
+        const auto &vals = tile.vals();
+        const auto &cidx = tile.colIdx();
+        const auto &rptr = tile.rowPtr();
+        for (std::int64_t row = 0; row < tile.rows(); ++row) {
+            std::int64_t begin = rptr[row], end = rptr[row + 1];
+            if (begin == end)
+                continue;
+            std::int64_t yp = row / ox;
+            std::int64_t xp = row % ox;
+            const float *src_row =
+                in_t + (yp * spec.sy * spec.nx + xp * spec.sx) * nc;
+            for (std::int64_t ky = 0; ky < spec.fy; ++ky) {
+                float *dw_ky = dw + ky * spec.fx * wf_stride;
+                const float *sky = src_row + ky * src_pitch;
+                std::int64_t kx = 0;
+                for (; kx + 2 <= spec.fx; kx += 2) {
+                    float *y0 = dw_ky + kx * wf_stride;
+                    float *y1 = y0 + wf_stride;
+                    const float *x0 = sky + kx * nc;
+                    const float *x1 = x0 + nc;
+                    for (std::int64_t p = begin; p < end; ++p) {
+                        std::int64_t off =
+                            (f0 + cidx[p]) * nc;
+                        axpy2(nc, vals[p], x0, y0 + off, x1, y1 + off);
+                    }
+                }
+                for (; kx < spec.fx; ++kx) {
+                    float *y0 = dw_ky + kx * wf_stride;
+                    const float *x0 = sky + kx * nc;
+                    for (std::int64_t p = begin; p < end; ++p) {
+                        std::int64_t off =
+                            (f0 + cidx[p]) * nc;
+                        axpy(nc, vals[p], x0, y0 + off);
                     }
                 }
             }
@@ -70,6 +161,39 @@ SparseBpEngine::effectiveFeatureTile(std::int64_t nf) const
     if (featureTile > 0)
         return std::min(featureTile, nf);
     return std::min(kDefaultFeatureTile, nf);
+}
+
+float *
+SparseBpEngine::acquirePartials(int workers, std::int64_t w_count) const
+{
+    std::size_t total =
+        static_cast<std::size_t>(workers) * w_count;
+    if (partialDw_.size() < total)
+        partialDw_ = AlignedBuffer<float>(total);
+    partialUsed_.assign(workers, 0);
+    return partialDw_.data();
+}
+
+bool
+SparseBpEngine::claimWorkerSlab(int worker) const
+{
+    if (partialUsed_[worker])
+        return false;
+    partialUsed_[worker] = 1;
+    return true;
+}
+
+void
+SparseBpEngine::reducePartials(int workers, std::int64_t w_count,
+                               float *dst) const
+{
+    // fma(1, x, y) == x + y exactly, so the vectorized reduction is
+    // bit-for-bit the scalar += loop it replaces.
+    for (int w = 0; w < workers; ++w) {
+        if (!partialUsed_[w])
+            continue;
+        axpy(w_count, 1.0f, partialDw_.data() + w * w_count, dst);
+    }
 }
 
 void
@@ -89,7 +213,6 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
     weightsToKkfc(weights.data(), spec.nf, spec.nc, spec.fy, spec.fx,
                   wkkfc.data());
     const float *wt = wkkfc.data();
-    std::int64_t wf_stride = spec.nf * spec.nc;
 
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         ScratchArena &arena = ScratchArena::forThread();
@@ -107,14 +230,7 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
         std::memset(ei_t, 0,
                     sizeof(float) * spatial_in * spec.nc);
 
-        std::int64_t nc = spec.nc;
-        replayNonZeros(spec, ct,
-                       [&](std::int64_t f, float val, std::int64_t ky,
-                           std::int64_t kx, std::int64_t dst) {
-            const float *wrow =
-                wt + (ky * spec.fx + kx) * wf_stride + f * nc;
-            axpy(nc, val, wrow, ei_t + dst * nc);
-        });
+        replayDataImage(spec, ct, wt, ei_t);
 
         hwcToChw(ei_t, spec.ny, spec.nx, spec.nc,
                  ei.data() + b * spec.inputElems());
@@ -132,12 +248,12 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
     std::int64_t spatial_in = spec.ny * spec.nx;
     std::int64_t tile_w = effectiveFeatureTile(spec.nf);
     std::int64_t w_count = spec.weightElems();
-    std::int64_t wf_stride = spec.nf * spec.nc;
 
-    // Per-worker private dW' accumulators in [ky][kx][f][c] layout.
+    // Per-worker private dW' accumulators in [ky][kx][f][c] layout,
+    // reused across calls; each worker zeroes its own slab on first
+    // touch so idle workers cost nothing.
     int workers = pool.threads();
-    Tensor partial(Shape{workers, w_count});
-    std::vector<char> used(workers, 0);
+    float *partials = acquirePartials(workers, w_count);
 
     pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
         ScratchArena &arena = ScratchArena::forThread();
@@ -154,29 +270,91 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
         chwToHwc(in.data() + b * spec.inputElems(), spec.nc, spec.ny,
                  spec.nx, in_t);
 
-        float *dw = partial.data() + worker * w_count;
-        used[worker] = 1;
+        float *dw = partials + worker * w_count;
+        if (claimWorkerSlab(worker))
+            std::memset(dw, 0, sizeof(float) * w_count);
 
-        std::int64_t nc = spec.nc;
-        replayNonZeros(spec, ct,
-                       [&](std::int64_t f, float val, std::int64_t ky,
-                           std::int64_t kx, std::int64_t src) {
-            float *dwrow =
-                dw + (ky * spec.fx + kx) * wf_stride + f * nc;
-            axpy(nc, val, in_t + src * nc, dwrow);
-        });
+        replayWeightsImage(spec, ct, in_t, dw);
     });
 
     // Reduce private accumulators, then restore [f][c][ky][kx].
     Tensor dw_kkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
-    for (int w = 0; w < workers; ++w) {
-        if (!used[w])
-            continue;
-        const float *src = partial.data() + w * w_count;
-        float *dst = dw_kkfc.data();
-        for (std::int64_t i = 0; i < w_count; ++i)
-            dst[i] += src[i];
-    }
+    reducePartials(workers, w_count, dw_kkfc.data());
+    weightsFromKkfc(dw_kkfc.data(), spec.fy, spec.fx, spec.nf, spec.nc,
+                    dweights.data());
+}
+
+void
+SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
+                                   const Tensor &weights, Tensor &ei,
+                                   ThreadPool &pool) const
+{
+    checkBackwardShapes(spec, eo, weights, ei);
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::int64_t spatial_in = spec.ny * spec.nx;
+    std::int64_t tile_w = effectiveFeatureTile(spec.nf);
+
+    // Encode-once: fused CHW -> CT-CSR, shared with backwardWeights.
+    std::shared_ptr<const SparsePlan> plan =
+        SparsePlanCache::global().get(eo.data(), batch, spec.nf, oy, ox,
+                                      tile_w, pool);
+
+    Tensor wkkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    weightsToKkfc(weights.data(), spec.nf, spec.nc, spec.fy, spec.fx,
+                  wkkfc.data());
+    const float *wt = wkkfc.data();
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        ScratchArena &arena = ScratchArena::forThread();
+        float *ei_t = arena.get(
+            kSlotLayoutC, static_cast<std::size_t>(spatial_in) * spec.nc);
+        std::memset(ei_t, 0,
+                    sizeof(float) * spatial_in * spec.nc);
+
+        replayDataImage(spec, plan->images[b], wt, ei_t);
+
+        hwcToChw(ei_t, spec.ny, spec.nx, spec.nc,
+                 ei.data() + b * spec.inputElems());
+    });
+}
+
+void
+SparseBpCachedEngine::backwardWeights(const ConvSpec &spec,
+                                      const Tensor &eo, const Tensor &in,
+                                      Tensor &dweights,
+                                      ThreadPool &pool) const
+{
+    std::int64_t batch = eo.shape()[0];
+    std::int64_t oy = spec.outY(), ox = spec.outX();
+    std::int64_t spatial_in = spec.ny * spec.nx;
+    std::int64_t tile_w = effectiveFeatureTile(spec.nf);
+    std::int64_t w_count = spec.weightElems();
+
+    // Hits when backwardData already encoded this minibatch.
+    std::shared_ptr<const SparsePlan> plan =
+        SparsePlanCache::global().get(eo.data(), batch, spec.nf, oy, ox,
+                                      tile_w, pool);
+
+    int workers = pool.threads();
+    float *partials = acquirePartials(workers, w_count);
+
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
+        ScratchArena &arena = ScratchArena::forThread();
+        float *in_t = arena.get(
+            kSlotLayoutB, static_cast<std::size_t>(spatial_in) * spec.nc);
+        chwToHwc(in.data() + b * spec.inputElems(), spec.nc, spec.ny,
+                 spec.nx, in_t);
+
+        float *dw = partials + worker * w_count;
+        if (claimWorkerSlab(worker))
+            std::memset(dw, 0, sizeof(float) * w_count);
+
+        replayWeightsImage(spec, plan->images[b], in_t, dw);
+    });
+
+    Tensor dw_kkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    reducePartials(workers, w_count, dw_kkfc.data());
     weightsFromKkfc(dw_kkfc.data(), spec.fy, spec.fx, spec.nf, spec.nc,
                     dweights.data());
 }

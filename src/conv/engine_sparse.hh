@@ -36,6 +36,7 @@
 #define SPG_CONV_ENGINE_SPARSE_HH
 
 #include "conv/engine.hh"
+#include "util/aligned.hh"
 
 namespace spg {
 
@@ -69,8 +70,49 @@ class SparseBpEngine : public ConvEngine
     /** @return the feature tile width used for the given Nf. */
     std::int64_t effectiveFeatureTile(std::int64_t nf) const;
 
-  private:
+  protected:
+    /**
+     * BP-weights shared tail: per-worker private dW' slabs in
+     * [ky][kx][f][c] layout, reused across calls (workers zero their
+     * own slab on first touch). reducePartials sums the used slabs
+     * into dst with the vectorized axpy.
+     */
+    float *acquirePartials(int workers, std::int64_t w_count) const;
+    bool claimWorkerSlab(int worker) const;
+    void reducePartials(int workers, std::int64_t w_count,
+                        float *dst) const;
+
     std::int64_t featureTile;
+
+  private:
+    mutable AlignedBuffer<float> partialDw_;
+    mutable std::vector<unsigned char> partialUsed_;
+};
+
+/**
+ * Encode-once variant of the sparse BP engine (the "fast path" of the
+ * goodput axis): the error gradients are compressed to CT-CSR ONCE per
+ * minibatch via SparsePlanCache — with the fused CtCsrMatrix::fromChw
+ * builder, so the dense HWC staging transpose is never written — and
+ * BP-data and BP-weights replay the same shared read-only plan.
+ * Results are bit-for-bit identical to SparseBpEngine (same non-zero
+ * replay order).
+ */
+class SparseBpCachedEngine : public SparseBpEngine
+{
+  public:
+    explicit SparseBpCachedEngine(std::int64_t feature_tile = 0)
+        : SparseBpEngine(feature_tile)
+    {}
+
+    std::string name() const override { return "sparse-cached"; }
+
+    void backwardData(const ConvSpec &spec, const Tensor &eo,
+                      const Tensor &weights, Tensor &ei,
+                      ThreadPool &pool) const override;
+    void backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                         const Tensor &in, Tensor &dweights,
+                         ThreadPool &pool) const override;
 };
 
 } // namespace spg

@@ -12,6 +12,7 @@ makeAllEngines()
     engines.push_back(std::make_unique<GemmInParallelPackedEngine>());
     engines.push_back(std::make_unique<StencilEngine>());
     engines.push_back(std::make_unique<SparseBpEngine>());
+    engines.push_back(std::make_unique<SparseBpCachedEngine>());
     return engines;
 }
 
@@ -42,6 +43,8 @@ makeEngine(const std::string &name)
         return std::make_unique<StencilEngine>();
     if (name == "sparse")
         return std::make_unique<SparseBpEngine>();
+    if (name == "sparse-cached")
+        return std::make_unique<SparseBpCachedEngine>();
     if (name == "sparse-weights")
         return std::make_unique<SparseWeightsFpEngine>();
     if (name == "fft")

@@ -29,6 +29,9 @@ struct EngineTiming
 {
     std::string engine;
     double seconds = 0;
+    /** CT-CSR encode share of `seconds` (encode-once sparse engine
+     *  only; zero when the phase replayed a cached plan). */
+    double encode_seconds = 0;
 };
 
 /** The tuner's decision for one layer. */
@@ -95,10 +98,10 @@ class Tuner
     const TunerOptions &options() const { return opts; }
 
   private:
-    double measure(const ConvEngine &engine, Phase phase,
-                   const ConvSpec &spec, const Tensor &in,
-                   const Tensor &weights, const Tensor &eo,
-                   ThreadPool &pool) const;
+    EngineTiming measure(const ConvEngine &engine, Phase phase,
+                         const ConvSpec &spec, const Tensor &in,
+                         const Tensor &weights, const Tensor &eo,
+                         ThreadPool &pool) const;
 
     TunerOptions opts;
     std::vector<std::unique_ptr<ConvEngine>> engines;

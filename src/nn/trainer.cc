@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sparse/sparse_plan.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/timer.hh"
@@ -67,6 +68,8 @@ Trainer::run(ThreadPool &pool)
 
         EpochStats stats;
         stats.epoch = epoch;
+        SparsePlanCache::Stats plans_before =
+            SparsePlanCache::global().stats();
         Stopwatch watch;
         double loss_sum = 0, acc_sum = 0;
         std::int64_t steps = 0, images = 0;
@@ -87,6 +90,12 @@ Trainer::run(ThreadPool &pool)
         SPG_ASSERT(steps > 0);
 
         stats.seconds = watch.seconds();
+        SparsePlanCache::Stats plans_after =
+            SparsePlanCache::global().stats();
+        stats.sparse_encodes = plans_after.encodes - plans_before.encodes;
+        stats.sparse_plan_hits = plans_after.hits - plans_before.hits;
+        stats.sparse_encode_seconds =
+            plans_after.encode_seconds - plans_before.encode_seconds;
         stats.mean_loss = loss_sum / steps;
         stats.accuracy = acc_sum / steps;
         stats.images_per_second = images / stats.seconds;
@@ -122,6 +131,13 @@ Trainer::run(ThreadPool &pool)
             inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s",
                    epoch, stats.mean_loss, stats.accuracy,
                    stats.images_per_second);
+            if (stats.sparse_encodes > 0) {
+                verbose("  sparse plans: %lld encodes (%.1f ms), "
+                        "%lld reuses",
+                        static_cast<long long>(stats.sparse_encodes),
+                        stats.sparse_encode_seconds * 1e3,
+                        static_cast<long long>(stats.sparse_plan_hits));
+            }
         }
         history.push_back(std::move(stats));
     }

@@ -55,6 +55,13 @@ struct EpochStats
     std::vector<double> conv_error_sparsity;
     /** Engines deployed per conv layer after any re-tuning. */
     std::vector<EngineAssignment> conv_engines;
+
+    /** Encode-once sparse BP accounting for the epoch's training steps
+     *  (SparsePlanCache deltas): CT-CSR plans built, plan reuses, and
+     *  wall time spent encoding — reported separately from compute. */
+    std::int64_t sparse_encodes = 0;
+    std::int64_t sparse_plan_hits = 0;
+    double sparse_encode_seconds = 0;
 };
 
 /** Runs SGD over a dataset. */

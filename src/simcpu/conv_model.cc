@@ -252,20 +252,32 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                                useful_one * batch);
     }
 
-    if (engine == "sparse") {
+    if (engine == "sparse" || engine == "sparse-cached") {
         SPG_ASSERT(phase != Phase::Forward);
         double eo = spec.outputElems();
         double nnz = (1.0 - sparsity) * eo;
         double flops = 2.0 * nnz * spec.fy * spec.fx * spec.nc;
         double elems;
         if (phase == Phase::BackwardData) {
-            // EO transform (r+w) + CSR build (r EO', w 2nnz) +
-            // W' transform (~3|W|) + EI staging (zero+write+readback
-            // +write = 4|EI|).
+            // sparse: EO transform (r+w) + CSR build (r EO', w 2nnz).
+            // sparse-cached: fingerprint (r EO) + fused two-pass
+            // CHW->CT-CSR build (counts r EO + fill r EO, w 2nnz) —
+            // the dense HWC staging round trip is gone, but the fused
+            // builder reads the source twice, so the totals coincide.
+            // Both: + W' transform (~3|W|) + EI staging (zero+write+
+            // readback+write = 4|EI|).
             elems = 3.0 * eo + 2.0 * nnz + 3.0 * spec.weightElems() +
                     4.0 * spec.inputElems();
-        } else {
+        } else if (engine == "sparse") {
+            // Re-encodes EO from scratch, same as BP-data.
             elems = 3.0 * eo + 2.0 * nnz + 3.0 * spec.inputElems() +
+                    4.0 * spec.weightElems();
+        } else {
+            // Encode-once: BP-weights replays the plan built by
+            // BP-data, so the encode traffic is charged ONCE per
+            // minibatch, not twice — only the fingerprint check (r EO)
+            // and the plan read (2nnz) remain here.
+            elems = eo + 2.0 * nnz + 3.0 * spec.inputElems() +
                     4.0 * spec.weightElems();
         }
         SimTask task;

@@ -14,6 +14,13 @@ CsrMatrix::fromDense(const float *dense, std::int64_t rows,
     CsrMatrix m;
     m.rows_ = rows;
     m.cols_ = cols;
+    // Count first so the value/index vectors are sized exactly once
+    // instead of regrowing through push_back.
+    std::int64_t nnz = 0;
+    for (std::int64_t i = 0; i < rows * cols; ++i)
+        nnz += dense[i] != 0.0f;
+    m.values.reserve(nnz);
+    m.cols_idx.reserve(nnz);
     m.row_ptr.reserve(rows + 1);
     m.row_ptr.push_back(0);
     for (std::int64_t i = 0; i < rows; ++i) {
@@ -75,6 +82,73 @@ CtCsrMatrix::fromDense(const float *dense, std::int64_t rows,
         m.tiles_.push_back(CsrMatrix::fromDense(band.data(), rows, w));
     }
     return m;
+}
+
+CtCsrMatrix
+CtCsrMatrix::fromChw(const float *chw, std::int64_t c, std::int64_t h,
+                     std::int64_t w, std::int64_t tile_width)
+{
+    CtCsrMatrix m;
+    m.encodeFromChw(chw, c, h, w, tile_width);
+    return m;
+}
+
+void
+CtCsrMatrix::encodeFromChw(const float *chw, std::int64_t c,
+                           std::int64_t h, std::int64_t w,
+                           std::int64_t tile_w)
+{
+    SPG_ASSERT(tile_w >= 1 && c >= 0 && h >= 0 && w >= 0);
+    std::int64_t rows = h * w;
+    rows_ = rows;
+    cols_ = c;
+    tile_width = tile_w;
+    std::int64_t num_tiles = (c + tile_w - 1) / tile_w;
+    tiles_.resize(num_tiles);
+
+    // The matrix element (row, col) lives at chw[col * rows + row], so
+    // each tile's column band is a contiguous run of source planes and
+    // both passes stream the source sequentially — the dense [H][W][C]
+    // staging transpose of chwToHwc + fromDense is never written.
+    for (std::int64_t t = 0; t < num_tiles; ++t) {
+        std::int64_t c0 = t * tile_w;
+        std::int64_t width = std::min(tile_w, c - c0);
+        CsrMatrix &tile = tiles_[t];
+        tile.rows_ = rows;
+        tile.cols_ = width;
+
+        // Pass 1 (counts): row_ptr[i + 1] accumulates row i's count,
+        // then a prefix sum turns counts into offsets.
+        tile.row_ptr.assign(rows + 1, 0);
+        for (std::int64_t j = 0; j < width; ++j) {
+            const float *plane = chw + (c0 + j) * rows;
+            for (std::int64_t i = 0; i < rows; ++i)
+                tile.row_ptr[i + 1] += plane[i] != 0.0f;
+        }
+        for (std::int64_t i = 0; i < rows; ++i)
+            tile.row_ptr[i + 1] += tile.row_ptr[i];
+        std::int64_t nnz = tile.row_ptr[rows];
+        tile.values.resize(nnz);
+        tile.cols_idx.resize(nnz);
+
+        // Pass 2 (fill): row_ptr[i] doubles as row i's write cursor.
+        // Ascending j gives ascending column order within each row,
+        // matching the row-major scan of fromDense exactly.
+        for (std::int64_t j = 0; j < width; ++j) {
+            const float *plane = chw + (c0 + j) * rows;
+            for (std::int64_t i = 0; i < rows; ++i) {
+                if (plane[i] != 0.0f) {
+                    std::int64_t p = tile.row_ptr[i]++;
+                    tile.values[p] = plane[i];
+                    tile.cols_idx[p] = static_cast<std::int32_t>(j);
+                }
+            }
+        }
+        // The cursors ended one row ahead; shift back into offsets.
+        for (std::int64_t i = rows; i > 0; --i)
+            tile.row_ptr[i] = tile.row_ptr[i - 1];
+        tile.row_ptr[0] = 0;
+    }
 }
 
 void

@@ -65,6 +65,10 @@ class CsrMatrix
     std::vector<float> values;
     std::vector<std::int32_t> cols_idx;
     std::vector<std::int64_t> row_ptr;
+
+    // The fused CHW encoder fills tiles in place, reusing their
+    // storage across minibatches.
+    friend class CtCsrMatrix;
 };
 
 /**
@@ -88,6 +92,33 @@ class CtCsrMatrix
     static CtCsrMatrix fromDense(const float *dense, std::int64_t rows,
                                  std::int64_t cols,
                                  std::int64_t tile_width);
+
+    /**
+     * Fused encode from a [C][H][W] tensor of the matrix whose rows
+     * are the H*W spatial positions and whose columns are the C
+     * channels — i.e. the feature-fastest view the sparse BP kernel
+     * consumes — WITHOUT materializing the dense [H][W][C] transpose.
+     * Produces tiles byte-identical (rowPtr/colIdx/vals) to
+     * chwToHwc + fromDense.
+     *
+     * @param chw Source tensor, row-major [c][h][w].
+     * @param c Channel (matrix column) count.
+     * @param h Plane height.
+     * @param w Plane width.
+     * @param tile_width Column band width (>= 1).
+     */
+    static CtCsrMatrix fromChw(const float *chw, std::int64_t c,
+                               std::int64_t h, std::int64_t w,
+                               std::int64_t tile_width);
+
+    /**
+     * In-place variant of fromChw: re-encode into this matrix, reusing
+     * the tile vectors as arena storage. A counts-then-fill two-pass
+     * layout sizes every vector exactly once, so steady-state
+     * re-encodes of same-shaped tensors perform no heap allocation.
+     */
+    void encodeFromChw(const float *chw, std::int64_t c, std::int64_t h,
+                       std::int64_t w, std::int64_t tile_width);
 
     /** Scatter back into a zeroed dense row-major buffer. */
     void toDense(float *dense) const;

@@ -26,6 +26,20 @@ namespace spg {
 void axpy(std::int64_t n, float alpha, const float *x, float *y);
 
 /**
+ * Two independent AXPYs sharing one scalar:
+ * y0[0..n) += alpha * x0[0..n) and y1[0..n) += alpha * x1[0..n).
+ *
+ * Register-blocked across the two destination streams, so the sparse
+ * BP replay can retire adjacent pointer-shift destinations (the
+ * (kx, kx+1) pair of the Fy*Fx loop) with twice the FMA-level
+ * parallelism of back-to-back axpy calls. Element-wise the operations
+ * are identical to two axpy calls, so results are bit-for-bit equal.
+ * The (x0, y0) and (x1, y1) spans must not overlap each other.
+ */
+void axpy2(std::int64_t n, float alpha, const float *x0, float *y0,
+           const float *x1, float *y1);
+
+/**
  * C += A * B with A in CSR.
  *
  * @param a Sparse matrix, m x k.

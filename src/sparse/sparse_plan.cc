@@ -1,0 +1,163 @@
+#include "sparse/sparse_plan.hh"
+
+#include <cstring>
+
+#include "util/timer.hh"
+
+namespace spg {
+
+namespace {
+
+/** A handful of conv layers times up to three phases is the working
+ *  set; past this something is leaking keys, so start over. */
+constexpr std::size_t kMaxEntries = 64;
+
+/**
+ * Content hash over the raw error-gradient bytes. Error tensors are
+ * megabytes (unlike the kilobyte weight tensors PackedWeightCache
+ * guards with byte-serial FNV-1a), and the hash runs on every get(),
+ * so a byte-at-a-time multiply chain would cost more than the encode
+ * it saves. Four independent FNV-style lanes over 64-bit words hide
+ * the multiply latency and run near load bandwidth; every byte still
+ * feeds the result, so any in-place mutation changes the hash.
+ */
+std::uint64_t
+fingerprint(const float *eo, std::int64_t count)
+{
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t lane[4] = {14695981039346656037ull,
+                             0x9ae16a3b2f90404full,
+                             0xc949d7c7509e6557ull,
+                             0xff51afd7ed558ccdull};
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(eo);
+    std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        std::uint64_t word[4];
+        std::memcpy(word, bytes + i, 32);
+        for (int l = 0; l < 4; ++l) {
+            lane[l] ^= word[l];
+            lane[l] *= kPrime;
+        }
+    }
+    for (; i < n; ++i) {
+        lane[0] ^= bytes[i];
+        lane[0] *= kPrime;
+    }
+    std::uint64_t h = lane[0];
+    for (int l = 1; l < 4; ++l)
+        h = (h ^ lane[l]) * kPrime + (h >> 29);
+    return h;
+}
+
+} // namespace
+
+std::int64_t
+SparsePlan::nnz() const
+{
+    std::int64_t total = 0;
+    for (const auto &m : images)
+        total += m.nnz();
+    return total;
+}
+
+SparsePlanCache &
+SparsePlanCache::global()
+{
+    static SparsePlanCache cache;
+    return cache;
+}
+
+std::shared_ptr<const SparsePlan>
+SparsePlanCache::get(const float *eo, std::int64_t batch,
+                     std::int64_t features, std::int64_t h,
+                     std::int64_t w, std::int64_t tile_width,
+                     ThreadPool &pool)
+{
+    Key key{eo, batch, features, h, w, tile_width};
+    std::int64_t image_elems = features * h * w;
+    std::uint64_t fp = fingerprint(eo, batch * image_elems);
+
+    std::shared_ptr<SparsePlan> plan;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            if (it->second.fingerprint == fp) {
+                ++stats_.hits;
+                return it->second.plan;
+            }
+            // Stale entry: if nobody else holds the plan, recycle its
+            // per-image matrices as arena storage for the re-encode.
+            if (it->second.plan.use_count() == 1)
+                plan = std::move(it->second.plan);
+            entries_.erase(it);
+        }
+    }
+
+    if (!plan)
+        plan = std::make_shared<SparsePlan>();
+    plan->batch = batch;
+    plan->rows = h * w;
+    plan->cols = features;
+    plan->tile_width = tile_width;
+    plan->images.resize(batch);
+
+    Stopwatch watch;
+    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        plan->images[b].encodeFromChw(eo + b * image_elems, features, h,
+                                      w, tile_width);
+    });
+    double seconds = watch.seconds();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.encodes += 1;
+    stats_.encode_seconds += seconds;
+    if (entries_.size() >= kMaxEntries)
+        entries_.clear();
+    entries_[key] = Entry{fp, plan};
+    return plan;
+}
+
+void
+SparsePlanCache::invalidate(const float *eo)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (std::get<0>(it->first) == eo)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+SparsePlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+std::size_t
+SparsePlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+SparsePlanCache::Stats
+SparsePlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+SparsePlanCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats{};
+}
+
+} // namespace spg

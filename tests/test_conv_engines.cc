@@ -14,6 +14,7 @@
 
 #include "conv/engines.hh"
 #include "conv/packed_weights.hh"
+#include "sparse/sparse_plan.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 
@@ -113,7 +114,8 @@ INSTANTIATE_TEST_SUITE_P(
                           std::string("gemm-in-parallel"),
                           std::string("parallel-gemm-packed"),
                           std::string("gemm-in-parallel-packed"),
-                          std::string("stencil"), std::string("sparse")),
+                          std::string("stencil"), std::string("sparse"),
+                          std::string("sparse-cached")),
         ::testing::Values(0.0, 0.85, 0.99)),
     [](const auto &info) {
         int idx = std::get<0>(info.param);
@@ -132,13 +134,13 @@ TEST(ConvEngines, RegistryKnowsAllNames)
     for (const char *name :
          {"reference", "parallel-gemm", "gemm-in-parallel",
           "parallel-gemm-packed", "gemm-in-parallel-packed", "stencil",
-          "sparse"}) {
+          "sparse", "sparse-cached"}) {
         auto e = makeEngine(name);
         ASSERT_NE(e, nullptr) << name;
         EXPECT_EQ(e->name(), name);
     }
     EXPECT_EQ(makeEngine("no-such-engine"), nullptr);
-    EXPECT_EQ(makeAllEngines().size(), 6u);
+    EXPECT_EQ(makeAllEngines().size(), 7u);
 }
 
 TEST(ConvEngines, PhaseSupportMatrix)
@@ -151,6 +153,11 @@ TEST(ConvEngines, PhaseSupportMatrix)
     EXPECT_FALSE(makeEngine("sparse")->supports(Phase::Forward));
     EXPECT_TRUE(makeEngine("sparse")->supports(Phase::BackwardData));
     EXPECT_TRUE(makeEngine("sparse")->supports(Phase::BackwardWeights));
+    EXPECT_FALSE(makeEngine("sparse-cached")->supports(Phase::Forward));
+    EXPECT_TRUE(
+        makeEngine("sparse-cached")->supports(Phase::BackwardData));
+    EXPECT_TRUE(
+        makeEngine("sparse-cached")->supports(Phase::BackwardWeights));
 }
 
 TEST(ConvEngines, PackedEnginesMatchUnpackedBitForBit)
@@ -217,6 +224,76 @@ TEST(ConvEngines, PackedEngineSeesInPlaceWeightMutation)
     EXPECT_TRUE(allClose(out, out_ref, 1e-3f, 1e-4f))
         << "stale packed weights served after mutation";
     PackedWeightCache::global().clear();
+}
+
+TEST(ConvEngines, SparseCachedMatchesSparseBitForBit)
+{
+    // The encode-once engine builds its CT-CSR plan with the fused
+    // CHW builder and replays it for both BP phases; the replay order
+    // is identical to the per-call encoder, so results must be EXACTLY
+    // equal, not just close.
+    SparsePlanCache::global().clear();
+    SparsePlanCache::global().resetStats();
+    ConvSpec spec{14, 12, 3, 7, 3, 3, 1, 1};
+    std::int64_t batch = 3;
+    Rng rng(79);
+    ThreadPool pool(3);
+    Tensor in(Shape{batch, spec.nc, spec.ny, spec.nx});
+    Tensor w(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    Tensor eo(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+    in.fillUniform(rng);
+    w.fillUniform(rng, -0.5f, 0.5f);
+    eo.fillUniform(rng);
+    eo.sparsify(rng, 0.9);
+
+    auto plain = makeEngine("sparse");
+    auto cached = makeEngine("sparse-cached");
+
+    Tensor ei_a(Shape{batch, spec.nc, spec.ny, spec.nx});
+    Tensor ei_b(Shape{batch, spec.nc, spec.ny, spec.nx});
+    plain->backwardData(spec, eo, w, ei_a, pool);
+    cached->backwardData(spec, eo, w, ei_b, pool);
+    EXPECT_EQ(maxAbsDiff(ei_a, ei_b), 0.0f) << "BP-data";
+
+    Tensor dw_a(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    Tensor dw_b(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    plain->backwardWeights(spec, eo, in, dw_a, pool);
+    cached->backwardWeights(spec, eo, in, dw_b, pool);
+    EXPECT_EQ(maxAbsDiff(dw_a, dw_b), 0.0f) << "BP-weights";
+
+    // BP-data encoded once; BP-weights reused the plan.
+    SparsePlanCache::Stats stats = SparsePlanCache::global().stats();
+    EXPECT_EQ(stats.encodes, 1);
+    EXPECT_EQ(stats.hits, 1);
+    SparsePlanCache::global().clear();
+}
+
+TEST(ConvEngines, SparseCachedSeesInPlaceErrorMutation)
+{
+    // Training overwrites the error tensor every minibatch without
+    // notifying the cache; the content fingerprint must force a
+    // re-encode rather than replay the stale plan.
+    SparsePlanCache::global().clear();
+    ConvSpec spec{10, 10, 2, 4, 3, 3, 1, 1};
+    Rng rng(80);
+    ThreadPool pool(2);
+    Tensor w(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    w.fillUniform(rng);
+    Tensor eo(Shape{2, spec.nf, spec.outY(), spec.outX()});
+    eo.fillUniform(rng);
+    eo.sparsify(rng, 0.8);
+
+    auto cached = makeEngine("sparse-cached");
+    Tensor ei(Shape{2, spec.nc, spec.ny, spec.nx});
+    cached->backwardData(spec, eo, w, ei, pool);  // caches the plan
+
+    eo[0] += 1.0f;  // in-place mutation, same pointer and dims
+    Tensor ei_ref(Shape{2, spec.nc, spec.ny, spec.nx});
+    ReferenceEngine().backwardData(spec, eo, w, ei_ref, pool);
+    cached->backwardData(spec, eo, w, ei, pool);
+    EXPECT_TRUE(allClose(ei, ei_ref, 1e-3f, 1e-4f))
+        << "stale sparse plan served after mutation";
+    SparsePlanCache::global().clear();
 }
 
 TEST(ConvEngines, StencilAblationVariantsMatchReference)

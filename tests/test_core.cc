@@ -99,9 +99,9 @@ TEST(Tuner, PicksSupportedEnginesForEveryPhase)
     // variants, and stencil.
     EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 5u);
     // BP candidates: parallel-gemm, gemm-in-parallel, the packed
-    // variants, and sparse.
-    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 5u);
-    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 5u);
+    // variants, sparse, and sparse-cached.
+    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 6u);
+    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 6u);
     for (const auto &[phase, timings] : plan.timings) {
         for (const auto &timing : timings)
             EXPECT_GT(timing.seconds, 0.0) << phaseName(phase);

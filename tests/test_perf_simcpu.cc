@@ -254,6 +254,46 @@ TEST(ConvModel, SparseCrossoverNearPaperThreshold)
     }
 }
 
+TEST(ConvModel, EncodeOnceSparseChargesEncodeTrafficOnce)
+{
+    // The encode-once engine pays the CT-CSR build in BP-data (the
+    // fused builder trades the HWC staging round trip for a second
+    // source read, so that phase models identically) and only the
+    // fingerprint check + plan read in BP-weights. The traffic saving
+    // only shows in modeled TIME when the phase is memory-bound, so we
+    // require a strict win on at least one layer at extreme sparsity
+    // and no regression anywhere.
+    MachineModel m = MachineModel::xeonE5_2650();
+    int strict_wins = 0;
+    for (const auto &entry : table1Convolutions()) {
+        for (double sparsity : {0.5, 0.9, 0.99}) {
+            double d_plain =
+                modelConvPhase(m, entry.spec, Phase::BackwardData,
+                               "sparse", 64, 16, sparsity)
+                    .seconds;
+            double d_cached =
+                modelConvPhase(m, entry.spec, Phase::BackwardData,
+                               "sparse-cached", 64, 16, sparsity)
+                    .seconds;
+            EXPECT_DOUBLE_EQ(d_cached, d_plain) << "ID " << entry.id;
+
+            double w_plain =
+                modelConvPhase(m, entry.spec, Phase::BackwardWeights,
+                               "sparse", 64, 16, sparsity)
+                    .seconds;
+            double w_cached =
+                modelConvPhase(m, entry.spec, Phase::BackwardWeights,
+                               "sparse-cached", 64, 16, sparsity)
+                    .seconds;
+            EXPECT_LE(w_cached, w_plain)
+                << "ID " << entry.id << " s=" << sparsity;
+            if (sparsity == 0.99 && w_cached < w_plain)
+                ++strict_wins;
+        }
+    }
+    EXPECT_GT(strict_wins, 0);
+}
+
 TEST(ConvModel, GoodputDropsAtExtremeSparsity)
 {
     // The Fig. 4e shape: goodput holds to ~90% sparsity, then the

@@ -9,6 +9,7 @@
 
 #include "sparse/csr.hh"
 #include "sparse/sparse_mm.hh"
+#include "tensor/layout.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 
@@ -157,6 +158,116 @@ TEST(SparseMm, GoodputFlopsModel)
 {
     EXPECT_EQ(sparseMmFlops(10, 8), 160);
     EXPECT_EQ(sparseMmFlops(0, 100), 0);
+}
+
+TEST(SparseMm, Axpy2MatchesTwoAxpyCallsExactly)
+{
+    // axpy2 interleaves two independent destination streams; each
+    // stream's per-element operations are the same as a plain axpy, so
+    // the results must be bit-for-bit equal.
+    std::vector<float> x0(53), x1(53), a0(53), a1(53), b0(53), b1(53);
+    Rng rng(10);
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+        x0[i] = rng.uniform(-1.0f, 1.0f);
+        x1[i] = rng.uniform(-1.0f, 1.0f);
+        a0[i] = b0[i] = rng.uniform(-1.0f, 1.0f);
+        a1[i] = b1[i] = rng.uniform(-1.0f, 1.0f);
+    }
+    std::int64_t n = static_cast<std::int64_t>(x0.size());
+    axpy(n, 1.7f, x0.data(), a0.data());
+    axpy(n, 1.7f, x1.data(), a1.data());
+    axpy2(n, 1.7f, x0.data(), b0.data(), x1.data(), b1.data());
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+        EXPECT_EQ(a0[i], b0[i]) << i;
+        EXPECT_EQ(a1[i], b1[i]) << i;
+    }
+}
+
+/** Encode a [C][H][W] tensor both ways — fused fromChw, and the
+ *  transpose-then-compress path it replaces — and require the stored
+ *  arrays to be BYTE-IDENTICAL per tile. */
+void
+expectFromChwMatchesStaged(const Tensor &chw, std::int64_t c,
+                           std::int64_t h, std::int64_t w,
+                           std::int64_t tile)
+{
+    auto fused = CtCsrMatrix::fromChw(chw.data(), c, h, w, tile);
+
+    Tensor hwc(Shape{h * w, c});
+    chwToHwc(chw.data(), c, h, w, hwc.data());
+    auto staged = CtCsrMatrix::fromDense(hwc.data(), h * w, c, tile);
+
+    ASSERT_EQ(fused.rows(), staged.rows()) << "tile " << tile;
+    ASSERT_EQ(fused.cols(), staged.cols()) << "tile " << tile;
+    ASSERT_EQ(fused.tileCount(), staged.tileCount()) << "tile " << tile;
+    EXPECT_EQ(fused.nnz(), staged.nnz()) << "tile " << tile;
+    for (std::int64_t t = 0; t < fused.tileCount(); ++t) {
+        const CsrMatrix &ft = fused.tile(t);
+        const CsrMatrix &st = staged.tile(t);
+        EXPECT_EQ(ft.rowPtr(), st.rowPtr()) << "tile " << tile << " band "
+                                            << t;
+        EXPECT_EQ(ft.colIdx(), st.colIdx()) << "tile " << tile << " band "
+                                            << t;
+        EXPECT_EQ(ft.vals(), st.vals()) << "tile " << tile << " band "
+                                        << t;
+    }
+}
+
+TEST(CtCsr, FromChwMatchesStagedEncode)
+{
+    std::int64_t c = 20, h = 7, w = 9;
+    Tensor chw(Shape{c, h, w});
+    Rng rng(11);
+    chw.fillUniform(rng);
+    chw.sparsify(rng, 0.8);
+    // Tile dividing C, not dividing C, wider than C, and degenerate 1.
+    for (std::int64_t tile : {1, 4, 7, 20, 64})
+        expectFromChwMatchesStaged(chw, c, h, w, tile);
+}
+
+TEST(CtCsr, FromChwAllZero)
+{
+    std::int64_t c = 6, h = 4, w = 5;
+    Tensor chw(Shape{c, h, w});
+    auto ct = CtCsrMatrix::fromChw(chw.data(), c, h, w, 4);
+    EXPECT_EQ(ct.nnz(), 0);
+    expectFromChwMatchesStaged(chw, c, h, w, 4);
+}
+
+TEST(CtCsr, FromChwSingleNonZero)
+{
+    std::int64_t c = 6, h = 4, w = 5;
+    Tensor chw(Shape{c, h, w});
+    chw.at(4, 2, 3) = -2.5f;  // feature 4, spatial position (2,3)
+    for (std::int64_t tile : {1, 4, 6, 100}) {
+        auto ct = CtCsrMatrix::fromChw(chw.data(), c, h, w, tile);
+        EXPECT_EQ(ct.nnz(), 1) << "tile " << tile;
+        expectFromChwMatchesStaged(chw, c, h, w, tile);
+    }
+}
+
+TEST(CtCsr, EncodeFromChwReusesStorage)
+{
+    // Re-encoding into an existing matrix (the plan cache's recycling
+    // path) must produce the same result as a fresh build, including
+    // after a geometry change.
+    Rng rng(12);
+    Tensor big(Shape{16, 6, 8});
+    big.fillUniform(rng);
+    big.sparsify(rng, 0.5);
+    CtCsrMatrix m = CtCsrMatrix::fromChw(big.data(), 16, 6, 8, 5);
+
+    Tensor small(Shape{5, 3, 4});
+    small.fillUniform(rng);
+    small.sparsify(rng, 0.9);
+    m.encodeFromChw(small.data(), 5, 3, 4, 2);
+    auto fresh = CtCsrMatrix::fromChw(small.data(), 5, 3, 4, 2);
+    ASSERT_EQ(m.tileCount(), fresh.tileCount());
+    for (std::int64_t t = 0; t < m.tileCount(); ++t) {
+        EXPECT_EQ(m.tile(t).rowPtr(), fresh.tile(t).rowPtr());
+        EXPECT_EQ(m.tile(t).colIdx(), fresh.tile(t).colIdx());
+        EXPECT_EQ(m.tile(t).vals(), fresh.tile(t).vals());
+    }
 }
 
 TEST(Csr, RowPtrInvariants)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite in one command.
+#
+#   tools/check.sh                                  plain build + ctest
+#   SPG_SANITIZE=address,undefined tools/check.sh   sanitized build + ctest
+#
+# Sanitized builds use their own tree (build-address-undefined/ etc.)
+# so they never pollute the primary build/ directory. Extra arguments
+# are forwarded to ctest, e.g. `tools/check.sh -R sparse`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+cmake_args=()
+if [[ -n "${SPG_SANITIZE:-}" ]]; then
+    build_dir="build-$(echo "$SPG_SANITIZE" | tr ',' '-')"
+    cmake_args+=("-DSPG_SANITIZE=${SPG_SANITIZE}")
+fi
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+cd "$build_dir"
+exec ctest --output-on-failure -j "$(nproc)" "$@"
