@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Fork-join overhead of the lock-free runtime (threading/thread_pool)
+ * against the pre-rewrite mutex/condition-variable pool, measured two
+ * ways:
+ *
+ *  - dispatch: ns per parallelForDynamic region over trivial bodies at
+ *    several pool sizes and region extents — isolates the wake/join
+ *    protocol itself (the cost the paper's fork-join term charges);
+ *  - step: one FP + BP-data + BP-weights pass of the smallest Table 1
+ *    convolution under a GEMM-in-Parallel-style per-image schedule,
+ *    run identically on both pools — shows the protocol difference is
+ *    visible end-to-end on a small layer, where region bodies are
+ *    short and dispatch overhead is not amortized.
+ *
+ * Results are printed as tables and written as machine-readable JSON
+ * (BENCH_pool.json by default) so future PRs can track the trajectory.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "blas/gemm.hh"
+#include "conv/unfold.hh"
+#include "data/suites.hh"
+#include "threading/thread_pool.hh"
+#include "util/aligned.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace spg;
+
+namespace {
+
+/**
+ * The pre-rewrite pool, kept verbatim as the measured baseline: one
+ * std::function broadcast under a mutex, EVERY worker woken for every
+ * region regardless of extent, join on a second condition variable.
+ */
+class LegacyPool
+{
+  public:
+    explicit LegacyPool(int num_threads)
+    {
+        SPG_ASSERT(num_threads >= 1);
+        total_threads = num_threads;
+        int spawn = num_threads - 1;
+        workers.reserve(spawn);
+        for (int i = 0; i < spawn; ++i)
+            workers.emplace_back([this, i] { workerLoop(i + 1); });
+    }
+
+    ~LegacyPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        cv_start.notify_all();
+        for (auto &w : workers)
+            w.join();
+    }
+
+    LegacyPool(const LegacyPool &) = delete;
+    LegacyPool &operator=(const LegacyPool &) = delete;
+
+    int threads() const { return total_threads; }
+
+    template <typename Fn>
+    void parallelForDynamic(std::int64_t n, const Fn &fn)
+    {
+        if (n <= 0)
+            return;
+        std::atomic<std::int64_t> next{0};
+        runOnAll([&](int worker) {
+            for (;;) {
+                std::int64_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i, worker);
+            }
+        });
+    }
+
+  private:
+    void workerLoop(int index)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::function<void(int)> body;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv_start.wait(lock,
+                              [&] { return stopping || epoch != seen; });
+                if (stopping)
+                    return;
+                seen = epoch;
+                body = current;
+            }
+            body(index);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (--pending == 0)
+                    cv_done.notify_all();
+            }
+        }
+    }
+
+    void runOnAll(const std::function<void(int)> &body)
+    {
+        if (workers.empty()) {
+            body(0);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            SPG_ASSERT(pending == 0);
+            current = body;
+            pending = static_cast<int>(workers.size());
+            ++epoch;
+        }
+        cv_start.notify_all();
+        body(0);
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_done.wait(lock, [&] { return pending == 0; });
+    }
+
+    int total_threads;
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::function<void(int)> current;
+    std::uint64_t epoch = 0;
+    int pending = 0;
+    bool stopping = false;
+};
+
+/** ns per parallelForDynamic region with a near-empty body. */
+template <typename Pool>
+double
+dispatchNsPerRegion(Pool &pool, std::int64_t n, int iters)
+{
+    std::atomic<std::int64_t> sink{0};
+    auto body = [&](std::int64_t i, int) {
+        sink.fetch_add(i + 1, std::memory_order_relaxed);
+    };
+    for (int r = 0; r < 16; ++r)
+        pool.parallelForDynamic(n, body);
+    Stopwatch watch;
+    for (int r = 0; r < iters; ++r)
+        pool.parallelForDynamic(n, body);
+    double s = watch.seconds();
+    if (sink.load(std::memory_order_relaxed) < 0)
+        fatal("impossible sink value");
+    return s / iters * 1e9;
+}
+
+/** Per-worker scratch of the GEMM-in-Parallel step replica. */
+struct WorkerScratch
+{
+    AlignedBuffer<float> u, out, ugrad, ei, dw;
+
+    explicit WorkerScratch(const ConvSpec &spec)
+        : u(static_cast<std::size_t>(spec.gemmK()) * spec.gemmN()),
+          out(spec.outputElems()),
+          ugrad(static_cast<std::size_t>(spec.gemmK()) * spec.gemmN()),
+          ei(spec.inputElems()), dw(spec.weightElems())
+    {
+    }
+};
+
+/**
+ * One FP + BP-data + BP-weights pass over the batch, one whole image
+ * per task — the gemm-in-parallel engines' schedule, parameterized on
+ * the pool so the legacy baseline runs the identical workload.
+ */
+template <typename Pool>
+double
+stepSeconds(Pool &pool, const ConvSpec &spec, std::int64_t batch,
+            int reps, const float *in, const float *w, const float *eo,
+            std::vector<WorkerScratch> &scratch)
+{
+    std::int64_t m = spec.gemmM(), n = spec.gemmN(), k = spec.gemmK();
+    auto step = [&] {
+        pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
+            WorkerScratch &s = scratch[static_cast<std::size_t>(worker)];
+            const float *image = in + b * spec.inputElems();
+            // FP: O = W * U.
+            unfoldImage(spec, image, s.u.data());
+            sgemm(Trans::No, Trans::No, m, n, k, 1.0f, w, k, s.u.data(),
+                  n, 0.0f, s.out.data(), n);
+            // BP-data: Ugrad = W^T * EO, folded back to the input.
+            sgemm(Trans::Yes, Trans::No, k, n, m, 1.0f, w, k, eo, n,
+                  0.0f, s.ugrad.data(), n);
+            std::fill(s.ei.data(), s.ei.data() + s.ei.size(), 0.0f);
+            foldImageAccumulate(spec, s.ugrad.data(), s.ei.data());
+            // BP-weights: dW = EO * U^T.
+            sgemm(Trans::No, Trans::Yes, m, k, n, 1.0f, eo, n,
+                  s.u.data(), n, 0.0f, s.dw.data(), k);
+        });
+    };
+    step();  // warm up
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch watch;
+        step();
+        best = std::min(best, watch.seconds());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Fork-join runtime: lock-free pool vs legacy "
+                  "mutex/CV pool (measured)");
+    addCommonFlags(cli);
+    cli.addInt("iters", 2000, "dispatch-latency regions per data point");
+    cli.addInt("reps", 5, "step-timing repetitions (best-of)");
+    cli.addInt("pool", 4, "pool size of the end-to-end step");
+    cli.addInt("step-batch", 16, "minibatch of the end-to-end step");
+    cli.addString("pools", "2,4,8",
+                  "comma-separated pool sizes for the dispatch sweep");
+    cli.addString("json-file", "BENCH_pool.json",
+                  "machine-readable output path ('' to skip)");
+    cli.parse(argc, argv);
+
+    int iters = static_cast<int>(cli.getInt("iters"));
+    int reps = static_cast<int>(cli.getInt("reps"));
+
+    std::vector<int> pool_sizes;
+    {
+        std::stringstream ss(cli.getString("pools"));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                pool_sizes.push_back(std::stoi(item));
+    }
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pool\",\n  \"host_cores\": "
+         << std::thread::hardware_concurrency()
+         << ",\n  \"iters\": " << iters << ",\n  \"dispatch\": [";
+
+    TablePrinter dispatch_table(
+        "Fork-join dispatch latency, trivial bodies (MEASURED)",
+        {"threads", "n", "legacy ns", "lock-free ns", "speedup"});
+    bool first = true;
+    for (int p : pool_sizes) {
+        LegacyPool legacy(p);
+        ThreadPool pool(p);
+        for (std::int64_t n :
+             {std::int64_t{1}, static_cast<std::int64_t>(p),
+              std::int64_t{64}}) {
+            double t_legacy = dispatchNsPerRegion(legacy, n, iters);
+            double t_new = dispatchNsPerRegion(pool, n, iters);
+            dispatch_table.addRow({
+                TablePrinter::fmt(static_cast<long long>(p)),
+                TablePrinter::fmt(static_cast<long long>(n)),
+                TablePrinter::fmt(t_legacy, 0),
+                TablePrinter::fmt(t_new, 0),
+                TablePrinter::fmt(t_legacy / t_new, 2),
+            });
+            json << (first ? "" : ",") << "\n    {\"threads\": " << p
+                 << ", \"n\": " << n << ", \"legacy_ns\": " << t_legacy
+                 << ", \"lockfree_ns\": " << t_new
+                 << ", \"speedup\": " << t_legacy / t_new << "}";
+            first = false;
+        }
+    }
+    json << "\n  ],";
+
+    // End-to-end: the smallest Table 1 convolution (least FP
+    // arithmetic) is where region bodies are shortest and the
+    // dispatch protocol matters most.
+    const auto &entries = table1Convolutions();
+    const Table1Entry *smallest = &entries.front();
+    for (const auto &e : entries) {
+        auto flops = [](const ConvSpec &s) {
+            return 2.0 * s.gemmM() * s.gemmN() * s.gemmK();
+        };
+        if (flops(e.spec) < flops(smallest->spec))
+            smallest = &e;
+    }
+    const ConvSpec &spec = smallest->spec;
+    int step_threads = static_cast<int>(cli.getInt("pool"));
+    std::int64_t step_batch = cli.getInt("step-batch");
+
+    Rng rng(4242);
+    AlignedBuffer<float> in(spec.inputElems() * step_batch);
+    AlignedBuffer<float> w(spec.weightElems());
+    AlignedBuffer<float> eo(spec.outputElems());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = rng.uniform(-1.0f, 1.0f);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = rng.uniform(-0.5f, 0.5f);
+    for (std::size_t i = 0; i < eo.size(); ++i)
+        eo.data()[i] = rng.uniform(-1.0f, 1.0f);
+    std::vector<WorkerScratch> scratch;
+    scratch.reserve(step_threads);
+    for (int i = 0; i < step_threads; ++i)
+        scratch.emplace_back(spec);
+
+    double t_step_legacy, t_step_new;
+    {
+        LegacyPool legacy(step_threads);
+        t_step_legacy = stepSeconds(legacy, spec, step_batch, reps,
+                                    in.data(), w.data(), eo.data(),
+                                    scratch);
+    }
+    {
+        ThreadPool pool(step_threads);
+        t_step_new = stepSeconds(pool, spec, step_batch, reps, in.data(),
+                                 w.data(), eo.data(), scratch);
+    }
+
+    TablePrinter step_table(
+        "FP+BP step, smallest Table 1 layer, per-image tasks (MEASURED)",
+        {"ID", "spec", "threads", "batch", "legacy ms", "lock-free ms",
+         "speedup"});
+    step_table.addRow({
+        TablePrinter::fmt(static_cast<long long>(smallest->id)),
+        spec.str(),
+        TablePrinter::fmt(static_cast<long long>(step_threads)),
+        TablePrinter::fmt(static_cast<long long>(step_batch)),
+        TablePrinter::fmt(t_step_legacy * 1e3, 2),
+        TablePrinter::fmt(t_step_new * 1e3, 2),
+        TablePrinter::fmt(t_step_legacy / t_step_new, 3),
+    });
+
+    json << "\n  \"step\": {\"layer_id\": " << smallest->id
+         << ", \"spec\": \"" << spec.str()
+         << "\", \"threads\": " << step_threads
+         << ", \"batch\": " << step_batch
+         << ", \"legacy_s\": " << t_step_legacy
+         << ", \"lockfree_s\": " << t_step_new
+         << ", \"speedup\": " << t_step_legacy / t_step_new << "}\n}\n";
+
+    emit(cli, dispatch_table);
+    step_table.print();
+    std::string path = cli.getString("json-file");
+    if (!path.empty()) {
+        std::ofstream f(path);
+        if (!f)
+            fatal("cannot write '%s'", path.c_str());
+        f << json.str();
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

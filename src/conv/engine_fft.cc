@@ -40,10 +40,9 @@ FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
         std::int64_t fcount = std::min(block, spec.nf - f0);
 
         // Kernel spectra of this feature block, shared by all images.
-        pool.parallelForDynamic(
-            fcount * spec.nc, [&](std::int64_t idx, int) {
-                std::int64_t bf = idx / spec.nc;
-                std::int64_t c = idx % spec.nc;
+        pool.parallelFor2D(
+            fcount, spec.nc,
+            [&](std::int64_t bf, std::int64_t c, int) {
                 Complex *dst =
                     w_spectra.data() + (bf * spec.nc + c) * plane;
                 const float *w = weights.data() +
@@ -51,7 +50,8 @@ FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
                                      spec.fx;
                 padRealToComplex(w, spec.fy, spec.fx, p, dst);
                 fft2dInplace(dst, p, p);
-            });
+            },
+            /*grain=*/spec.nc); // claim one feature's channel row
 
         pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
             // Input spectra for this image (all channels).
@@ -87,7 +87,7 @@ FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
                             row[x * spec.sx].real();
                 }
             }
-        });
+        }, /*grain=*/1);
     }
 }
 

@@ -144,7 +144,7 @@ GemmInParallelEngine::forward(const ConvSpec &spec, const Tensor &in,
         forwardImage(spec, in.data() + b * spec.inputElems(),
                      weights.data(), out.data() + b * spec.outputElems(),
                      seqMm);
-    });
+    }, /*grain=*/1);
 }
 
 void
@@ -158,7 +158,7 @@ GemmInParallelEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
         backwardDataImage(spec, eo.data() + b * spec.outputElems(),
                           weights.data(),
                           ei.data() + b * spec.inputElems(), seqMm);
-    });
+    }, /*grain=*/1);
 }
 
 void
@@ -190,7 +190,7 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
         backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
                              in.data() + b * spec.inputElems(), dw,
                              seqMm);
-    });
+    }, /*grain=*/1);
 
     dweights.zero();
     for (int w = 0; w < workers; ++w) {

@@ -101,7 +101,7 @@ GemmInParallelPackedEngine::forward(const ConvSpec &spec,
         forwardImagePacked(spec, in.data() + b * spec.inputElems(),
                            *wpack, out.data() + b * spec.outputElems(),
                            mm);
-    });
+    }, /*grain=*/1);
 }
 
 void
@@ -125,7 +125,7 @@ GemmInParallelPackedEngine::backwardData(const ConvSpec &spec,
         float *ei_b = ei.data() + b * spec.inputElems();
         std::memset(ei_b, 0, sizeof(float) * spec.inputElems());
         foldImageAccumulate(spec, ugrad, ei_b);
-    });
+    }, /*grain=*/1);
 }
 
 } // namespace spg

@@ -234,7 +234,7 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 
         hwcToChw(ei_t, spec.ny, spec.nx, spec.nc,
                  ei.data() + b * spec.inputElems());
-    });
+    }, /*grain=*/1);
 }
 
 void
@@ -275,7 +275,7 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
             std::memset(dw, 0, sizeof(float) * w_count);
 
         replayWeightsImage(spec, ct, in_t, dw);
-    });
+    }, /*grain=*/1);
 
     // Reduce private accumulators, then restore [f][c][ky][kx].
     Tensor dw_kkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
@@ -316,7 +316,7 @@ SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 
         hwcToChw(ei_t, spec.ny, spec.nx, spec.nc,
                  ei.data() + b * spec.inputElems());
-    });
+    }, /*grain=*/1);
 }
 
 void
@@ -351,7 +351,7 @@ SparseBpCachedEngine::backwardWeights(const ConvSpec &spec,
             std::memset(dw, 0, sizeof(float) * w_count);
 
         replayWeightsImage(spec, plan->images[b], in_t, dw);
-    });
+    }, /*grain=*/1);
 
     Tensor dw_kkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
     reducePartials(workers, w_count, dw_kkfc.data());

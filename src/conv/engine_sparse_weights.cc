@@ -56,7 +56,7 @@ SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
                 }
             }
         }
-    });
+    }, /*grain=*/1);
 }
 
 } // namespace spg

@@ -334,43 +334,58 @@ StencilEngine::forward(const ConvSpec &spec, const Tensor &in,
     for (std::int64_t kx = 0; kx < spec.fx; ++kx)
         xoff[kx] = transform ? (kx % spec.sx) * xp + kx / spec.sx : kx;
 
-    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-        const float *image = in.data() + b * spec.inputElems();
-        float *out_image = out.data() + b * spec.outputElems();
-
-        const float *planes = image;
-        if (transform) {
-            float *staging = ScratchArena::forThread().get(
-                kSlotStencilIn, static_cast<std::size_t>(spec.nc) *
-                                    spec.ny * spec.sx * xp);
-            for (std::int64_t c = 0; c < spec.nc; ++c) {
-                stridedSplitX(image + c * spec.ny * spec.nx, spec.ny,
-                              spec.nx, spec.sx,
-                              staging + c * spec.ny * spec.sx * xp);
+    std::int64_t plane_elems = spec.ny * row_stride;
+    auto computePlane = [&](std::int64_t b, std::int64_t f,
+                            const float *image, const float *planes) {
+        float *out_plane =
+            out.data() + b * spec.outputElems() + f * oy * ox;
+        std::memset(out_plane, 0, sizeof(float) * oy * ox);
+        for (std::int64_t c = 0; c < spec.nc; ++c) {
+            const float *w = weights.data() +
+                             (f * spec.nc + c) * spec.fy * spec.fx;
+            if (scalar_strided) {
+                stencilPlaneScalarStrided(image + c * spec.ny * spec.nx,
+                                          spec.nx, w, spec.fy, spec.fx,
+                                          spec.sy, spec.sx, oy, ox,
+                                          out_plane);
+            } else {
+                stencilPlane(planes + c * plane_elems, row_stride,
+                             xoff.data(), w, spec.fy, spec.fx, spec.sy,
+                             oy, ox, out_plane, tile);
             }
-            planes = staging;
         }
+    };
 
-        std::int64_t plane_elems = spec.ny * row_stride;
-        for (std::int64_t f = 0; f < spec.nf; ++f) {
-            float *out_plane = out_image + f * oy * ox;
-            std::memset(out_plane, 0, sizeof(float) * oy * ox);
-            for (std::int64_t c = 0; c < spec.nc; ++c) {
-                const float *w = weights.data() +
-                                 (f * spec.nc + c) * spec.fy * spec.fx;
-                if (scalar_strided) {
-                    stencilPlaneScalarStrided(
-                        image + c * spec.ny * spec.nx, spec.nx, w,
-                        spec.fy, spec.fx, spec.sy, spec.sx, oy, ox,
-                        out_plane);
-                } else {
-                    stencilPlane(planes + c * plane_elems, row_stride,
-                                 xoff.data(), w, spec.fy, spec.fx,
-                                 spec.sy, oy, ox, out_plane, tile);
+    if (transform) {
+        // The strided-split staging buffer is per-image scratch, so
+        // keep image-granular scheduling (grain 1: whole images).
+        pool.parallelForDynamic(
+            batch,
+            [&](std::int64_t b, int) {
+                const float *image = in.data() + b * spec.inputElems();
+                float *staging = ScratchArena::forThread().get(
+                    kSlotStencilIn, static_cast<std::size_t>(spec.nc) *
+                                        spec.ny * spec.sx * xp);
+                for (std::int64_t c = 0; c < spec.nc; ++c) {
+                    stridedSplitX(image + c * spec.ny * spec.nx, spec.ny,
+                                  spec.nx, spec.sx,
+                                  staging + c * spec.ny * spec.sx * xp);
                 }
-            }
-        }
-    });
+                for (std::int64_t f = 0; f < spec.nf; ++f)
+                    computePlane(b, f, image, staging);
+            },
+            /*grain=*/1);
+    } else {
+        // (image × output-feature) space: output planes are disjoint,
+        // and the 2D decomposition exposes nf-fold more parallelism
+        // than the batch dimension alone for small minibatches.
+        pool.parallelFor2D(batch, spec.nf,
+                           [&](std::int64_t b, std::int64_t f, int) {
+                               const float *image =
+                                   in.data() + b * spec.inputElems();
+                               computePlane(b, f, image, image);
+                           });
+    }
 }
 
 } // namespace spg

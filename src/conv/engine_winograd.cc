@@ -139,13 +139,17 @@ WinogradEngine::forward(const ConvSpec &spec, const Tensor &in,
     // the blocked SGEMM instead of per-tile scalar loops.
     std::vector<float> u(16 * static_cast<std::size_t>(spec.nf) *
                          spec.nc);
-    pool.parallelForDynamic(spec.nf * spec.nc, [&](std::int64_t i, int) {
-        float tile_u[16];
-        transformKernel(weights.data() + i * 9, tile_u);
-        for (int comp = 0; comp < 16; ++comp)
-            u[(static_cast<std::size_t>(comp) * spec.nf * spec.nc) + i] =
-                tile_u[comp];
-    });
+    pool.parallelFor2D(
+        spec.nf, spec.nc,
+        [&](std::int64_t f, std::int64_t c, int) {
+            std::int64_t i = f * spec.nc + c;
+            float tile_u[16];
+            transformKernel(weights.data() + i * 9, tile_u);
+            for (int comp = 0; comp < 16; ++comp)
+                u[(static_cast<std::size_t>(comp) * spec.nf * spec.nc) +
+                  i] = tile_u[comp];
+        },
+        /*grain=*/spec.nc); // one f-row of cheap transforms per claim
 
     std::int64_t fc = spec.nf * spec.nc;
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
@@ -222,7 +226,7 @@ WinogradEngine::forward(const ConvSpec &spec, const Tensor &in,
                     plane[y * ox + x] = directOutput(
                         spec, image, weights.data(), f, y, x);
         }
-    });
+    }, /*grain=*/1);
 }
 
 } // namespace spg

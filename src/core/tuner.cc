@@ -51,6 +51,7 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
     bool encode_once = engine.name() == "sparse-cached";
     SparsePlanCache &plans = SparsePlanCache::global();
     SparsePlanCache::Stats before = plans.stats();
+    PoolStats sched_before = pool.stats();
 
     switch (phase) {
       case Phase::Forward: {
@@ -85,11 +86,19 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
             timing.encode_seconds =
                 (after.encode_seconds - before.encode_seconds) / encodes;
     }
+
+    // Schedule telemetry across all reps of this measurement: how the
+    // pool actually distributed the work, and how uneven it was.
+    PoolStats sched = pool.stats().delta(sched_before);
+    timing.imbalance = sched.imbalance();
+    timing.chunk_map = sched.chunkMap();
     return timing;
 }
 
-LayerPlan
-Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
+void
+Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
+                  const ConvSpec &spec, double sparsity,
+                  ThreadPool &pool) const
 {
     spec.validate();
     Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(spec.nf * 131 +
@@ -102,10 +111,9 @@ Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
     eo.fillUniform(rng);
     eo.sparsify(rng, sparsity);
 
-    LayerPlan plan;
     plan.tuned_sparsity = sparsity;
-    for (Phase phase :
-         {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
+    for (Phase phase : phases) {
+        plan.timings[phase].clear();
         double best = std::numeric_limits<double>::infinity();
         std::string best_name;
         for (const auto &engine : engines) {
@@ -136,6 +144,34 @@ Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
         verbose("tuned conv %s %s -> %s (%.3f ms)", spec.str().c_str(),
                 phaseName(phase), best_name.c_str(), best * 1e3);
     }
+}
+
+LayerPlan
+Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
+{
+    LayerPlan plan;
+    tunePhases(plan,
+               {Phase::Forward, Phase::BackwardData,
+                Phase::BackwardWeights},
+               spec, sparsity, pool);
+    return plan;
+}
+
+LayerPlan
+Tuner::retuneBp(const LayerPlan &previous, const ConvSpec &spec,
+                double sparsity, ThreadPool &pool) const
+{
+    if (previous.fp_engine.empty())
+        return tune(spec, sparsity, pool);
+    LayerPlan plan;
+    // FP carried forward: choice and measurements stay valid because
+    // forward cost does not depend on the error-gradient sparsity.
+    plan.fp_engine = previous.fp_engine;
+    auto it = previous.timings.find(Phase::Forward);
+    if (it != previous.timings.end())
+        plan.timings[Phase::Forward] = it->second;
+    tunePhases(plan, {Phase::BackwardData, Phase::BackwardWeights}, spec,
+               sparsity, pool);
     return plan;
 }
 

@@ -32,6 +32,13 @@ struct EngineTiming
     /** CT-CSR encode share of `seconds` (encode-once sparse engine
      *  only; zero when the phase replayed a cached plan). */
     double encode_seconds = 0;
+    /** Pool schedule imbalance over the measurement: max/mean
+     *  per-worker busy time (1.0 = perfectly balanced). */
+    double imbalance = 1.0;
+    /** Iteration-space items each pool worker executed during the
+     *  measurement — the schedule that actually ran, which simcpu can
+     *  charge instead of an idealized even split. */
+    std::vector<std::int64_t> chunk_map;
 };
 
 /** The tuner's decision for one layer. */
@@ -88,6 +95,16 @@ class Tuner
                    ThreadPool &pool) const;
 
     /**
+     * Re-tune only the BP phases, carrying the FP choice and its
+     * timings forward from `previous`. FP profitability does not
+     * depend on the error sparsity, so a shouldRetune()-triggered
+     * re-tune need not re-measure it. Falls back to a full tune when
+     * `previous` has no FP decision.
+     */
+    LayerPlan retuneBp(const LayerPlan &previous, const ConvSpec &spec,
+                       double sparsity, ThreadPool &pool) const;
+
+    /**
      * @return true when a plan tuned at `plan.tuned_sparsity` should
      * be re-tuned given the currently observed sparsity and the epoch
      * index (paper §4.4's periodic re-check).
@@ -102,6 +119,10 @@ class Tuner
                          const ConvSpec &spec, const Tensor &in,
                          const Tensor &weights, const Tensor &eo,
                          ThreadPool &pool) const;
+
+    void tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
+                    const ConvSpec &spec, double sparsity,
+                    ThreadPool &pool) const;
 
     TunerOptions opts;
     std::vector<std::unique_ptr<ConvEngine>> engines;

@@ -62,12 +62,15 @@ PoolLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
     if (mode == Mode::Max)
         argmax.assign(batch * out_stride, 0);
 
-    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-        const float *img = in.data() + b * in_stride;
-        float *dst = out.data() + b * out_stride;
-        std::int32_t *am =
-            mode == Mode::Max ? argmax.data() + b * out_stride : nullptr;
-        for (std::int64_t c = 0; c < geom.c; ++c) {
+    // (image × channel) space: each task owns one output plane, which
+    // exposes channel-level parallelism even for tiny minibatches.
+    pool.parallelFor2D(
+        batch, geom.c, [&](std::int64_t b, std::int64_t c, int) {
+            const float *img = in.data() + b * in_stride;
+            float *dst = out.data() + b * out_stride;
+            std::int32_t *am = mode == Mode::Max
+                                   ? argmax.data() + b * out_stride
+                                   : nullptr;
             const float *plane = img + c * geom.h * geom.w;
             for (std::int64_t y = 0; y < og.h; ++y) {
                 for (std::int64_t x = 0; x < og.w; ++x) {
@@ -97,8 +100,7 @@ PoolLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 void
@@ -111,11 +113,12 @@ PoolLayer::backward(const Tensor &, const Tensor &, const Tensor &eo,
     std::int64_t out_stride = og.elems();
     ei.zero();
 
-    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-        const float *go = eo.data() + b * out_stride;
-        float *gi = ei.data() + b * in_stride;
-        for (std::int64_t c = 0; c < geom.c; ++c) {
-            float *plane = gi + c * geom.h * geom.w;
+    // Scatter targets stay inside the (b, c) input plane (argmax
+    // indices are plane-relative), so the 2D tasks write disjointly.
+    pool.parallelFor2D(
+        batch, geom.c, [&](std::int64_t b, std::int64_t c, int) {
+            const float *go = eo.data() + b * out_stride;
+            float *plane = ei.data() + b * in_stride + c * geom.h * geom.w;
             for (std::int64_t y = 0; y < og.h; ++y) {
                 for (std::int64_t x = 0; x < og.w; ++x) {
                     float e = go[(c * og.h + y) * og.w + x];
@@ -135,8 +138,7 @@ PoolLayer::backward(const Tensor &, const Tensor &, const Tensor &eo,
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 } // namespace spg

@@ -30,13 +30,13 @@ Trainer::Trainer(Network &network, const Dataset &dataset,
 void
 Trainer::tuneAll(ThreadPool &pool, double sparsity_hint)
 {
-    tuned_at.clear();
+    plans.clear();
     for (ConvLayer *conv : network.convLayers()) {
         LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool);
         conv->setEngines(EngineAssignment{plan.fp_engine,
                                           plan.bp_data_engine,
                                           plan.bp_weights_engine});
-        tuned_at.push_back(sparsity_hint);
+        plans.push_back(std::move(plan));
     }
 }
 
@@ -70,6 +70,10 @@ Trainer::run(ThreadPool &pool)
         stats.epoch = epoch;
         SparsePlanCache::Stats plans_before =
             SparsePlanCache::global().stats();
+        std::vector<ConvLayer::PhaseProfile> prof_before;
+        for (ConvLayer *conv : network.convLayers())
+            prof_before.push_back(conv->profile());
+        PoolStats sched_before = pool.stats();
         Stopwatch watch;
         double loss_sum = 0, acc_sum = 0;
         std::int64_t steps = 0, images = 0;
@@ -90,6 +94,22 @@ Trainer::run(ThreadPool &pool)
         SPG_ASSERT(steps > 0);
 
         stats.seconds = watch.seconds();
+        // Phase breakdown and schedule telemetry cover the training
+        // steps only — snapshots are taken before any re-tuning below.
+        stats.pool_imbalance = pool.stats().delta(sched_before).imbalance();
+        {
+            auto convs = network.convLayers();
+            for (std::size_t i = 0; i < convs.size(); ++i) {
+                const ConvLayer::PhaseProfile &p = convs[i]->profile();
+                stats.fp_seconds +=
+                    p.fp_seconds - prof_before[i].fp_seconds;
+                stats.bp_data_seconds +=
+                    p.bp_data_seconds - prof_before[i].bp_data_seconds;
+                stats.bp_weights_seconds +=
+                    p.bp_weights_seconds -
+                    prof_before[i].bp_weights_seconds;
+            }
+        }
         SparsePlanCache::Stats plans_after =
             SparsePlanCache::global().stats();
         stats.sparse_encodes = plans_after.encodes - plans_before.encodes;
@@ -111,16 +131,16 @@ Trainer::run(ThreadPool &pool)
             auto convs = network.convLayers();
             for (std::size_t i = 0; i < convs.size(); ++i) {
                 double observed = stats.conv_error_sparsity[i];
-                LayerPlan current;
-                current.tuned_sparsity = tuned_at[i];
-                if (tuner.shouldRetune(current, observed, epoch + 1)) {
-                    LayerPlan plan = tuner.tune(convs[i]->spec(),
-                                                observed, pool);
+                if (tuner.shouldRetune(plans[i], observed, epoch + 1)) {
+                    // FP profitability cannot drift with sparsity, so
+                    // only the BP phases are re-measured; the plan
+                    // keeps the FP choice and timings.
+                    plans[i] = tuner.retuneBp(plans[i], convs[i]->spec(),
+                                              observed, pool);
                     convs[i]->setEngines(
-                        EngineAssignment{plan.fp_engine,
-                                         plan.bp_data_engine,
-                                         plan.bp_weights_engine});
-                    tuned_at[i] = observed;
+                        EngineAssignment{plans[i].fp_engine,
+                                         plans[i].bp_data_engine,
+                                         plans[i].bp_weights_engine});
                 }
             }
         }
@@ -131,6 +151,13 @@ Trainer::run(ThreadPool &pool)
             inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s",
                    epoch, stats.mean_loss, stats.accuracy,
                    stats.images_per_second);
+            verbose("  phases: fp %.1f ms  bp-data %.1f ms  "
+                    "bp-weights %.1f ms  encode %.1f ms  "
+                    "pool imbalance %.2f",
+                    stats.fp_seconds * 1e3, stats.bp_data_seconds * 1e3,
+                    stats.bp_weights_seconds * 1e3,
+                    stats.sparse_encode_seconds * 1e3,
+                    stats.pool_imbalance);
             if (stats.sparse_encodes > 0) {
                 verbose("  sparse plans: %lld encodes (%.1f ms), "
                         "%lld reuses",

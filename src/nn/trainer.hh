@@ -62,6 +62,15 @@ struct EpochStats
     std::int64_t sparse_encodes = 0;
     std::int64_t sparse_plan_hits = 0;
     double sparse_encode_seconds = 0;
+
+    /** Phase-time breakdown over the epoch's conv layers (ConvLayer
+     *  profile deltas, summed across layers). */
+    double fp_seconds = 0;
+    double bp_data_seconds = 0;
+    double bp_weights_seconds = 0;
+    /** Pool schedule imbalance over the epoch's training steps:
+     *  max/mean per-worker busy time (1.0 = perfectly balanced). */
+    double pool_imbalance = 1.0;
 };
 
 /** Runs SGD over a dataset. */
@@ -95,8 +104,9 @@ class Trainer
     const Dataset &dataset;
     TrainerOptions opts;
     Tuner tuner;
-    /** Sparsity each conv layer's current plan was tuned at. */
-    std::vector<double> tuned_at;
+    /** Each conv layer's current plan (FP timings carried across
+     *  BP-only re-tunes). */
+    std::vector<LayerPlan> plans;
     double overall_ips = 0;
 };
 

@@ -149,10 +149,19 @@ modelGemmInParallelMm(const MachineModel &machine, std::int64_t m,
 SimResult
 modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                Phase phase, const std::string &engine, std::int64_t batch,
-               int cores, double sparsity)
+               int cores, double sparsity,
+               const std::vector<std::int64_t> *chunk_map)
 {
     spec.validate();
     SPG_ASSERT(batch >= 1 && cores >= 1);
+    // Image-parallel engines distribute per-image tasks; a measured
+    // chunk map replaces the idealized even split for them.
+    auto scheduleImages = [&](const SimTask &task, double useful) {
+        if (chunk_map && !chunk_map->empty())
+            return simulateScheduled(machine, task, batch, *chunk_map,
+                                     {}, useful);
+        return simulateUniform(machine, task, batch, cores, {}, useful);
+    };
     sparsity = std::clamp(sparsity, 0.0, 1.0);
     PhaseMm mm = phaseMm(spec, phase);
     double dense_flops = 2.0 * mm.m * mm.n * mm.k;
@@ -227,8 +236,7 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         task.efficiency = machine.gemmEfficiency(
             static_cast<double>(mm.m), static_cast<double>(mm.n),
             static_cast<double>(mm.k));
-        return simulateUniform(machine, task, batch, cores, {},
-                               useful_one * batch);
+        return scheduleImages(task, useful_one * batch);
     }
 
     if (engine == "stencil") {
@@ -248,8 +256,7 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         task.flops = dense_flops;
         task.bytes = kFloat * elems;
         task.efficiency = machine.stencil_efficiency;
-        return simulateUniform(machine, task, batch, cores, {},
-                               useful_one * batch);
+        return scheduleImages(task, useful_one * batch);
     }
 
     if (engine == "sparse" || engine == "sparse-cached") {
@@ -284,8 +291,7 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         task.flops = flops;
         task.bytes = kFloat * elems;
         task.efficiency = machine.axpy_efficiency;
-        return simulateUniform(machine, task, batch, cores, {},
-                               flops * batch);
+        return scheduleImages(task, flops * batch);
     }
 
     panic("no performance model for engine '%s'", engine.c_str());

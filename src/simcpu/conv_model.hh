@@ -71,13 +71,22 @@ SimResult modelGemmInParallelMm(const MachineModel &machine,
  * @param cores Active cores.
  * @param sparsity Fraction of zeros in the output-error gradients
  *        (ignored for FP).
+ * @param chunk_map Optional MEASURED per-core item counts (e.g.
+ *        EngineTiming::chunk_map recorded by the tuner). When given,
+ *        the image-parallel engines (gemm-in-parallel, stencil,
+ *        sparse) charge this schedule via simulateScheduled() instead
+ *        of an idealized even split; its size overrides `cores`.
+ *        Parallel-GEMM partitions a single MM rather than scheduling
+ *        items, so it ignores the map.
  * @return Simulated result; useful_flops reflects goodput (non-zero
  *         work) for BP phases.
  */
 SimResult modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                          Phase phase, const std::string &engine,
                          std::int64_t batch, int cores,
-                         double sparsity = 0.0);
+                         double sparsity = 0.0,
+                         const std::vector<std::int64_t> *chunk_map =
+                             nullptr);
 
 /**
  * @return per-image time (seconds) of a complete training step of one

@@ -75,4 +75,47 @@ simulateUniform(const MachineModel &machine, const SimTask &task,
     return simulate(machine, per_core, serial, useful_flops);
 }
 
+SimResult
+simulateScheduled(const MachineModel &machine, const SimTask &task,
+                  std::int64_t count,
+                  const std::vector<std::int64_t> &chunk_map,
+                  const std::vector<SimTask> &serial, double useful_flops)
+{
+    SPG_ASSERT(!chunk_map.empty());
+    std::int64_t weight_sum = 0;
+    for (std::int64_t w : chunk_map) {
+        SPG_ASSERT(w >= 0);
+        weight_sum += w;
+    }
+    int cores = static_cast<int>(chunk_map.size());
+    if (weight_sum == 0 || count <= 0)
+        return simulateUniform(machine, task, count, cores, serial,
+                               useful_flops);
+
+    // Scale the measured items to `count` tasks: floor the shares,
+    // then hand the remainder to the largest fractional parts.
+    std::vector<std::int64_t> items(chunk_map.size());
+    std::vector<std::pair<double, std::size_t>> frac;
+    std::int64_t assigned = 0;
+    for (std::size_t i = 0; i < chunk_map.size(); ++i) {
+        double share = static_cast<double>(chunk_map[i]) * count /
+                       static_cast<double>(weight_sum);
+        items[i] = static_cast<std::int64_t>(share);
+        assigned += items[i];
+        frac.emplace_back(share - static_cast<double>(items[i]), i);
+    }
+    std::sort(frac.begin(), frac.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (std::size_t k = 0; assigned < count; ++k, ++assigned)
+        ++items[frac[k % frac.size()].second];
+
+    // Every pool worker occupies a stream — idle ones too; the whole
+    // point is charging the measured (possibly lopsided) assignment.
+    std::vector<std::vector<SimTask>> per_core(chunk_map.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        for (std::int64_t j = 0; j < items[i]; ++j)
+            per_core[i].push_back(task);
+    return simulate(machine, per_core, serial, useful_flops);
+}
+
 } // namespace spg

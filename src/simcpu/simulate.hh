@@ -76,6 +76,20 @@ SimResult simulateUniform(const MachineModel &machine, const SimTask &task,
                           const std::vector<SimTask> &serial = {},
                           double useful_flops = -1.0);
 
+/**
+ * Distribute `count` identical tasks over the cores in proportion to a
+ * MEASURED per-core chunk map (e.g. PoolStats::chunkMap() recorded by
+ * the tuner) instead of an idealized even split, and simulate. Workers
+ * with zero measured items get idle streams; rounding assigns leftover
+ * items to the largest fractional shares (largest remainder), so the
+ * per-core totals sum exactly to `count`.
+ */
+SimResult simulateScheduled(const MachineModel &machine,
+                            const SimTask &task, std::int64_t count,
+                            const std::vector<std::int64_t> &chunk_map,
+                            const std::vector<SimTask> &serial = {},
+                            double useful_flops = -1.0);
+
 } // namespace spg
 
 #endif // SPG_SIMCPU_SIMULATE_HH

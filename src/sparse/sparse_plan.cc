@@ -108,7 +108,7 @@ SparsePlanCache::get(const float *eo, std::int64_t batch,
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         plan->images[b].encodeFromChw(eo + b * image_elems, features, h,
                                       w, tile_width);
-    });
+    }, /*grain=*/1);
     double seconds = watch.seconds();
 
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,10 +1,104 @@
 #include "threading/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.hh"
 
 namespace spg {
+
+namespace {
+
+/** Idle spins a worker performs before parking on the condvar. */
+constexpr int kIdleSpins = 2048;
+/** Spins the dispatcher performs in joinRegion before parking. */
+constexpr int kJoinSpins = 2048;
+
+thread_local int tl_depth = 0;   ///< > 0 while inside a region body
+thread_local int tl_worker = 0;  ///< participant index of this thread
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin-wait step that yields the core periodically; on a host with
+ *  fewer cores than pool threads, pure pausing would starve the very
+ *  thread being waited on. */
+inline void
+relaxOrYield(int spin)
+{
+    if ((spin & 63) == 63)
+        std::this_thread::yield();
+    else
+        cpuRelax();
+}
+
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+PoolStats
+PoolStats::delta(const PoolStats &earlier) const
+{
+    PoolStats d = *this;
+    d.regions = regions - earlier.regions;
+    for (std::size_t i = 0;
+         i < d.workers.size() && i < earlier.workers.size(); ++i) {
+        d.workers[i].busy_ns -= earlier.workers[i].busy_ns;
+        d.workers[i].chunks -= earlier.workers[i].chunks;
+        d.workers[i].steals -= earlier.workers[i].steals;
+        d.workers[i].items -= earlier.workers[i].items;
+    }
+    return d;
+}
+
+double
+PoolStats::imbalance() const
+{
+    if (workers.empty())
+        return 1.0;
+    std::uint64_t max_busy = 0, sum_busy = 0;
+    for (const Worker &w : workers) {
+        max_busy = std::max(max_busy, w.busy_ns);
+        sum_busy += w.busy_ns;
+    }
+    if (sum_busy == 0)
+        return 1.0;
+    double mean = static_cast<double>(sum_busy) /
+                  static_cast<double>(workers.size());
+    return static_cast<double>(max_busy) / mean;
+}
+
+std::vector<std::int64_t>
+PoolStats::chunkMap() const
+{
+    std::vector<std::int64_t> map(workers.size());
+    for (std::size_t i = 0; i < workers.size(); ++i)
+        map[i] = workers[i].items;
+    return map;
+}
+
+std::vector<std::int64_t>
+PoolStats::lastChunkMap() const
+{
+    std::vector<std::int64_t> map(workers.size());
+    for (std::size_t i = 0; i < workers.size(); ++i)
+        map[i] = workers[i].last_items;
+    return map;
+}
 
 ThreadPool::ThreadPool(int num_threads)
 {
@@ -13,6 +107,7 @@ ThreadPool::ThreadPool(int num_threads)
         num_threads = hw ? static_cast<int>(hw) : 1;
     }
     total_threads = num_threads;
+    slots = std::make_unique<Slot[]>(num_threads);
     // The calling thread participates, so spawn one fewer worker.
     int spawn = num_threads - 1;
     workers.reserve(spawn);
@@ -24,7 +119,7 @@ ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lock(mutex);
-        stopping = true;
+        stopping.store(true, std::memory_order_seq_cst);
     }
     cv_start.notify_all();
     for (auto &w : workers)
@@ -36,77 +131,295 @@ ThreadPool::workerLoop(int index)
 {
     std::uint64_t seen = 0;
     for (;;) {
-        std::function<void(int)> body;
-        {
+        // Fast wait: spin on the epoch so back-to-back regions never
+        // touch the mutex, then park.
+        bool ready = false;
+        for (int spin = 0; spin < kIdleSpins; ++spin) {
+            if (stopping.load(std::memory_order_relaxed))
+                return;
+            std::uint64_t e = epoch.load(std::memory_order_acquire);
+            if ((e & 1) == 0 && e != seen) {
+                ready = true;
+                break;
+            }
+            cpuRelax();
+        }
+        if (!ready) {
             std::unique_lock<std::mutex> lock(mutex);
-            cv_start.wait(lock, [&] { return stopping || epoch != seen; });
-            if (stopping)
+            parked.fetch_add(1, std::memory_order_seq_cst);
+            cv_start.wait(lock, [&] {
+                if (stopping.load(std::memory_order_relaxed))
+                    return true;
+                std::uint64_t e = epoch.load(std::memory_order_seq_cst);
+                return (e & 1) == 0 && e != seen;
+            });
+            parked.fetch_sub(1, std::memory_order_relaxed);
+            if (stopping.load(std::memory_order_relaxed))
                 return;
-            seen = epoch;
-            body = current;
         }
-        body(index);
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            if (--pending == 0)
-                cv_done.notify_all();
+        // Admission: advertise presence, then re-read the epoch. The
+        // dispatcher closes the gate (odd epoch) and drains entrants
+        // before touching the region descriptor, so an even epoch read
+        // *after* the increment proves setup is complete.
+        entrants.fetch_add(1, std::memory_order_seq_cst);
+        std::uint64_t e = epoch.load(std::memory_order_seq_cst);
+        if ((e & 1) == 0 && e != seen) {
+            seen = e;
+            participate(index);
         }
+        entrants.fetch_sub(1, std::memory_order_seq_cst);
     }
 }
 
 void
-ThreadPool::runOnAll(const std::function<void(int)> &body)
+ThreadPool::runChunk(std::int64_t begin, std::int64_t end, int worker)
 {
-    if (workers.empty()) {
-        body(0);
-        return;
+    switch (kind) {
+    case Kind::Range:
+        range_fn(begin, end, worker);
+        break;
+    case Kind::Index:
+        for (std::int64_t i = begin; i < end; ++i)
+            index_fn(i, worker);
+        break;
+    case Kind::Index2D:
+        for (std::int64_t i = begin; i < end; ++i)
+            fn2d(i / job_n1, i % job_n1, worker);
+        break;
     }
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        SPG_ASSERT(pending == 0);
-        current = body;
-        pending = static_cast<int>(workers.size());
-        ++epoch;
-    }
-    cv_start.notify_all();
-    body(0);
-    std::unique_lock<std::mutex> lock(mutex);
-    cv_done.wait(lock, [&] { return pending == 0; });
 }
 
 void
-ThreadPool::parallelFor(std::int64_t n,
-                        const std::function<void(std::int64_t, std::int64_t,
-                                                 int)> &fn)
+ThreadPool::participate(int self)
 {
-    if (n <= 0)
-        return;
-    int p = std::min<std::int64_t>(total_threads, n);
-    std::int64_t chunk = (n + p - 1) / p;
-    runOnAll([&](int worker) {
-        std::int64_t begin = static_cast<std::int64_t>(worker) * chunk;
-        std::int64_t end = std::min(begin + chunk, n);
-        if (begin < end)
-            fn(begin, end, worker);
-    });
-}
+    Slot &mine = slots[self];
+    const std::int64_t grain = job_grain;
+    const std::int64_t target = job_n;
 
-void
-ThreadPool::parallelForDynamic(std::int64_t n,
-                               const std::function<void(std::int64_t,
-                                                        int)> &fn)
-{
-    if (n <= 0)
-        return;
-    std::atomic<std::int64_t> next{0};
-    runOnAll([&](int worker) {
+    std::uint64_t nchunks = 0, nsteals = 0;
+    std::int64_t nitems = 0;
+
+    int prev_worker = tl_worker;
+    tl_worker = self;
+    ++tl_depth;
+    std::uint64_t t0 = nowNs();
+    for (int v = 0; v < total_threads; ++v) {
+        int victim = self + v;
+        if (victim >= total_threads)
+            victim -= total_threads;
+        Slot &s = slots[victim];
+        if (s.pos.load(std::memory_order_relaxed) >= s.limit)
+            continue;
         for (;;) {
-            std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            fn(i, worker);
+            std::int64_t b =
+                s.pos.fetch_add(grain, std::memory_order_acq_rel);
+            if (b >= s.limit)
+                break;
+            std::int64_t e = std::min(b + grain, s.limit);
+            runChunk(b, e, self);
+            ++nchunks;
+            if (victim != self)
+                ++nsteals;
+            nitems += e - b;
         }
+    }
+    std::uint64_t busy = nowNs() - t0;
+    --tl_depth;
+    tl_worker = prev_worker;
+
+    if (nitems == 0)
+        return;
+    // One telemetry flush and one done increment per participation —
+    // timing per chunk would tax fine grains (two clock reads plus a
+    // seq_cst RMW per chunk). The flush precedes the increment: the
+    // joiner's acquire of the final count orders these writes before
+    // any stats() taken after the join.
+    mine.busy_ns += busy;
+    mine.chunks += nchunks;
+    mine.steals += nsteals;
+    mine.items += nitems;
+    mine.last_items = nitems;
+    mine.last_busy_ns = busy;
+    std::int64_t prev = done.fetch_add(nitems, std::memory_order_seq_cst);
+    if (prev + nitems == target &&
+        joiner_waiting.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv_done.notify_all();
+    }
+}
+
+void
+ThreadPool::runSerial(std::int64_t n)
+{
+    // Top-level serial execution (single-thread pool, or a single
+    // chunk): no workers are woken, the caller runs everything.
+    for (int i = 0; i < total_threads; ++i) {
+        slots[i].last_items = 0;
+        slots[i].last_busy_ns = 0;
+    }
+    ++regions_;
+    std::uint64_t t0 = nowNs();
+    ++tl_depth;
+    runChunk(0, n, 0);
+    --tl_depth;
+    std::uint64_t ns = nowNs() - t0;
+    Slot &s0 = slots[0];
+    s0.busy_ns += ns;
+    s0.chunks += 1;
+    s0.items += n;
+    s0.last_items = n;
+    s0.last_busy_ns = ns;
+}
+
+void
+ThreadPool::joinRegion(std::int64_t n)
+{
+    for (int spin = 0; spin < kJoinSpins; ++spin) {
+        if (done.load(std::memory_order_acquire) >= n)
+            return;
+        relaxOrYield(spin);
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    joiner_waiting.store(true, std::memory_order_seq_cst);
+    cv_done.wait(lock, [&] {
+        return done.load(std::memory_order_seq_cst) >= n;
     });
+    joiner_waiting.store(false, std::memory_order_relaxed);
+}
+
+void
+ThreadPool::dispatch(std::int64_t n, std::int64_t grain)
+{
+    // Preconditions: n > 0, grain >= 1, descriptor fields (kind, task
+    // refs, job_n1) NOT yet written — they are only safe to write
+    // inside the gated window below.
+    std::int64_t nchunks = (n + grain - 1) / grain;
+    if (workers.empty() || nchunks <= 1) {
+        runSerial(n);
+        return;
+    }
+    const int p = total_threads;
+
+    // Close the gate: an odd epoch turns away late arrivals, then
+    // drain any straggler still inside participate() from the last
+    // region before mutating the descriptor or the slots.
+    epoch.fetch_add(1, std::memory_order_seq_cst);
+    for (int spin = 0; entrants.load(std::memory_order_seq_cst) != 0;
+         ++spin)
+        relaxOrYield(spin);
+
+    job_n = n;
+    job_grain = grain;
+    int parts = static_cast<int>(std::min<std::int64_t>(p, nchunks));
+    std::int64_t cbase = nchunks / parts;
+    std::int64_t crem = nchunks % parts;
+    std::int64_t c0 = 0;
+    for (int i = 0; i < p; ++i) {
+        Slot &s = slots[i];
+        if (i < parts) {
+            std::int64_t c1 = c0 + cbase + (i < crem ? 1 : 0);
+            s.pos.store(c0 * grain, std::memory_order_relaxed);
+            s.limit = std::min(c1 * grain, n);
+            c0 = c1;
+        } else {
+            s.pos.store(0, std::memory_order_relaxed);
+            s.limit = 0;
+        }
+        s.last_items = 0;
+        s.last_busy_ns = 0;
+    }
+    done.store(0, std::memory_order_relaxed);
+    ++regions_;
+
+    // Publish, then wake only as many parked workers as there are
+    // sub-ranges beyond the caller's. Workers still spinning see the
+    // new epoch without any notification.
+    epoch.fetch_add(1, std::memory_order_seq_cst);
+    int want = parts - 1;
+    if (want > 0 && parked.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (want >= static_cast<int>(workers.size()))
+            cv_start.notify_all();
+        else
+            for (int i = 0; i < want; ++i)
+                cv_start.notify_one();
+    }
+
+    participate(0);
+    joinRegion(n);
+}
+
+void
+ThreadPool::parallelFor(std::int64_t n, RangeTask fn)
+{
+    if (n <= 0)
+        return;
+    if (tl_depth > 0) {
+        // Nested region: run inline on the calling worker.
+        fn(0, n, tl_worker);
+        return;
+    }
+    // One chunk per thread, boundaries identical to the classic
+    // static split chunk = ceil(n / p).
+    std::int64_t grain = (n + total_threads - 1) / total_threads;
+    kind = Kind::Range;
+    range_fn = fn;
+    job_n1 = 1;
+    dispatch(n, grain);
+}
+
+void
+ThreadPool::parallelForDynamic(std::int64_t n, IndexTask fn,
+                               std::int64_t grain)
+{
+    if (n <= 0)
+        return;
+    if (tl_depth > 0) {
+        for (std::int64_t i = 0; i < n; ++i)
+            fn(i, tl_worker);
+        return;
+    }
+    kind = Kind::Index;
+    index_fn = fn;
+    job_n1 = 1;
+    dispatch(n, std::max<std::int64_t>(grain, 1));
+}
+
+void
+ThreadPool::parallelFor2D(std::int64_t n0, std::int64_t n1,
+                          Index2dTask fn, std::int64_t grain)
+{
+    if (n0 <= 0 || n1 <= 0)
+        return;
+    if (tl_depth > 0) {
+        for (std::int64_t i0 = 0; i0 < n0; ++i0)
+            for (std::int64_t i1 = 0; i1 < n1; ++i1)
+                fn(i0, i1, tl_worker);
+        return;
+    }
+    kind = Kind::Index2D;
+    fn2d = fn;
+    job_n1 = n1;
+    dispatch(n0 * n1, std::max<std::int64_t>(grain, 1));
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats s;
+    s.regions = regions_;
+    s.workers.resize(total_threads);
+    for (int i = 0; i < total_threads; ++i) {
+        const Slot &slot = slots[i];
+        PoolStats::Worker &w = s.workers[i];
+        w.busy_ns = slot.busy_ns;
+        w.chunks = slot.chunks;
+        w.steals = slot.steals;
+        w.items = slot.items;
+        w.last_items = slot.last_items;
+        w.last_busy_ns = slot.last_busy_ns;
+    }
+    return s;
 }
 
 ThreadPool &

@@ -1,6 +1,6 @@
 /**
  * @file
- * A persistent worker thread pool with a fork-join parallelFor.
+ * A persistent worker thread pool with a low-overhead fork-join.
  *
  * Both execution schedules the paper contrasts are built on this pool:
  *
@@ -11,9 +11,34 @@
  *  - GEMM-in-Parallel gives each worker a WHOLE single-threaded GEMM on
  *    a different training input (paper §4.1), preserving per-core AIT.
  *
- * The pool is task-based: parallelFor(n, fn) splits [0, n) into
- * contiguous chunks, runs them on the workers (and the calling thread),
- * and joins. Workers are created once and parked between calls.
+ * The runtime is designed for the fork-join-per-layer-per-phase cadence
+ * of CNN training, where small layers dispatch thousands of regions per
+ * epoch and dispatch overhead dominates:
+ *
+ *  - Dispatch is lock-free: an atomic epoch/generation handshake
+ *    publishes each region; the mutex is only taken to park/unpark.
+ *    Workers spin briefly before parking so back-to-back regions skip
+ *    the condition variable entirely, and a dispatch wakes only as many
+ *    workers as the iteration space has chunks.
+ *  - Tasks are passed as a non-allocating FunctionRef (pointer + thunk)
+ *    instead of std::function, so a fork-join performs no heap
+ *    allocation.
+ *  - Scheduling is chunked work stealing: each participant claims
+ *    grain-sized ranges from its own contiguous sub-range via a
+ *    cache-line-private atomic cursor and steals from victims once
+ *    exhausted. parallelFor uses one chunk per thread, reproducing the
+ *    classic static partition bit for bit; parallelForDynamic and
+ *    parallelFor2D take an explicit grain.
+ *  - Nested use is supported: a parallelFor issued from inside a
+ *    region runs inline (serially) on the calling worker, like nested
+ *    parallelism disabled in OpenMP.
+ *  - Per-worker telemetry (busy time, chunks, steals, items, and the
+ *    last region's chunk map) is recorded into PoolStats so the tuner
+ *    and the simulator can consume the schedule that actually ran.
+ *
+ * A pool accepts one region at a time: regions must be dispatched from
+ * a single thread at a time (nested calls are safe; concurrent calls
+ * from unrelated threads are not).
  */
 
 #ifndef SPG_THREADING_THREAD_POOL_HH
@@ -22,12 +47,93 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace spg {
+
+/**
+ * Non-owning view of a callable: one object pointer plus one thunk.
+ * Binding a lambda allocates nothing; the referenced callable must
+ * outlive the call (trivially true for a fork-join that joins before
+ * returning).
+ */
+template <typename Sig> class FunctionRef;
+
+template <typename R, typename... Args> class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+    FunctionRef(F &&f)
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          thunk([](void *o, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(o))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    explicit operator bool() const { return thunk != nullptr; }
+
+    R operator()(Args... args) const
+    {
+        return thunk(obj, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj = nullptr;
+    R (*thunk)(void *, Args...) = nullptr;
+};
+
+/** fn(begin, end, worker): half-open range task. */
+using RangeTask = FunctionRef<void(std::int64_t, std::int64_t, int)>;
+/** fn(i, worker): single-index task. */
+using IndexTask = FunctionRef<void(std::int64_t, int)>;
+/** fn(i0, i1, worker): 2D index task. */
+using Index2dTask = FunctionRef<void(std::int64_t, std::int64_t, int)>;
+
+/**
+ * Per-worker execution telemetry. Cumulative fields count since
+ * construction (or the reference snapshot passed to delta()); last_*
+ * fields describe the most recent region only. Snapshots must be taken
+ * between regions, not while one is in flight.
+ */
+struct PoolStats
+{
+    struct Worker
+    {
+        std::uint64_t busy_ns = 0;  ///< time inside task bodies
+        std::uint64_t chunks = 0;   ///< chunks executed
+        std::uint64_t steals = 0;   ///< chunks claimed from a victim
+        std::int64_t items = 0;     ///< iteration-space items executed
+        std::int64_t last_items = 0;      ///< items in the last region
+        std::uint64_t last_busy_ns = 0;   ///< busy time in the last region
+    };
+
+    std::vector<Worker> workers;
+    std::uint64_t regions = 0;  ///< fork-joins dispatched
+
+    /** Cumulative counters minus an earlier snapshot (last_* kept). */
+    PoolStats delta(const PoolStats &earlier) const;
+
+    /** max/mean busy time over workers that ran anything (>= 1.0). */
+    double imbalance() const;
+
+    /** Items executed per worker — the measured schedule. */
+    std::vector<std::int64_t> chunkMap() const;
+
+    /** Chunk map of the most recent region only. */
+    std::vector<std::int64_t> lastChunkMap() const;
+};
 
 /**
  * Fixed-size pool of worker threads executing range tasks.
@@ -50,50 +156,99 @@ class ThreadPool
     int threads() const { return total_threads; }
 
     /**
-     * Run fn(begin, end, worker_index) over a partition of [0, n) into
-     * one contiguous chunk per thread, and wait for completion. The
-     * calling thread executes chunk 0. Recursive use is not supported.
-     *
-     * @param n Iteration-space extent.
-     * @param fn Callable (int64_t begin, int64_t end, int worker).
+     * Run fn(begin, end, worker) over a partition of [0, n) into one
+     * contiguous chunk per thread and wait for completion. Chunk
+     * boundaries match the classic static split (chunk = ceil(n / p)),
+     * so consumers observe bit-identical range partitions; idle
+     * participants may steal a chunk, in which case fn sees the
+     * claiming participant's index (indices stay distinct and
+     * < threads()).
      */
-    void parallelFor(std::int64_t n,
-                     const std::function<void(std::int64_t, std::int64_t,
-                                              int)> &fn);
+    void parallelFor(std::int64_t n, RangeTask fn);
 
     /**
-     * Run fn(i, worker_index) for every i in [0, n) with dynamic
-     * (work-stealing-style atomic counter) scheduling. Better for
-     * heterogeneous task costs such as per-image GEMMs.
+     * Run fn(i, worker) for every i in [0, n) with chunked
+     * work-stealing scheduling. grain is the number of consecutive
+     * indices claimed at once: 1 suits heavyweight heterogeneous items
+     * (whole-image GEMMs); coarser grains amortize claim traffic for
+     * cheap items.
      */
-    void parallelForDynamic(std::int64_t n,
-                            const std::function<void(std::int64_t, int)> &fn);
+    void parallelForDynamic(std::int64_t n, IndexTask fn,
+                            std::int64_t grain = 1);
+
+    /**
+     * Run fn(i0, i1, worker) for every pair in [0, n0) x [0, n1),
+     * work-stealing over the flattened space. grain counts flattened
+     * items; pass n1 to claim whole i0-rows at a time.
+     */
+    void parallelFor2D(std::int64_t n0, std::int64_t n1, Index2dTask fn,
+                       std::int64_t grain = 1);
+
+    /**
+     * Telemetry snapshot. Call between regions only (concurrent calls
+     * while a region runs race with worker-side counter updates).
+     */
+    PoolStats stats() const;
 
     /** Process-wide pool sized to the hardware concurrency. */
     static ThreadPool &global();
 
   private:
-    struct Task
+    /** Per-participant claim cursor + telemetry, cache-line private. */
+    struct alignas(64) Slot
     {
-        std::function<void(int)> body;  ///< body(worker_index)
-        std::uint64_t epoch = 0;
+        std::atomic<std::int64_t> pos{0};  ///< next unclaimed item
+        std::int64_t limit = 0;            ///< end of this sub-range
+        // Telemetry: written only by the participant owning the slot
+        // during a region, read by stats() between regions.
+        std::uint64_t busy_ns = 0;
+        std::uint64_t chunks = 0;
+        std::uint64_t steals = 0;
+        std::int64_t items = 0;
+        std::int64_t last_items = 0;
+        std::uint64_t last_busy_ns = 0;
     };
 
-    void workerLoop(int index);
+    enum class Kind { Range, Index, Index2D };
 
-    /** Dispatch body(worker) on all workers + caller, then join. */
-    void runOnAll(const std::function<void(int)> &body);
+    void workerLoop(int index);
+    void participate(int self);
+    void runChunk(std::int64_t begin, std::int64_t end, int worker);
+    void dispatch(std::int64_t n, std::int64_t grain);
+    void runSerial(std::int64_t n);
+    void joinRegion(std::int64_t n);
 
     int total_threads;
     std::vector<std::thread> workers;
+    std::unique_ptr<Slot[]> slots;
 
-    std::mutex mutex;
+    // Region descriptor: written during the gated setup window, read
+    // by admitted participants only.
+    Kind kind = Kind::Range;
+    RangeTask range_fn;
+    IndexTask index_fn;
+    Index2dTask fn2d;
+    std::int64_t job_n1 = 1;     ///< inner extent for Index2D decode
+    std::int64_t job_n = 0;      ///< total items in the region
+    std::int64_t job_grain = 1;  ///< items per claim
+    std::uint64_t regions_ = 0;
+
+    /** Region generation: odd while setup is in progress, even when a
+     *  region is published. Workers run when it is even and new. */
+    std::atomic<std::uint64_t> epoch{0};
+    /** Items completed in the current region (the join condition). */
+    std::atomic<std::int64_t> done{0};
+    /** Workers currently inside participate(); setup waits for 0. */
+    std::atomic<int> entrants{0};
+    /** Workers blocked on cv_start (wakeup elision when 0). */
+    std::atomic<int> parked{0};
+    /** Set while the dispatcher is blocked on cv_done. */
+    std::atomic<bool> joiner_waiting{false};
+    std::atomic<bool> stopping{false};
+
+    std::mutex mutex;  ///< parking only; never held on the hot path
     std::condition_variable cv_start;
     std::condition_variable cv_done;
-    std::function<void(int)> current;
-    std::uint64_t epoch = 0;
-    int pending = 0;
-    bool stopping = false;
 };
 
 } // namespace spg

@@ -1,13 +1,29 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace spg {
 
 namespace {
 
-std::atomic<LogLevel> global_level{LogLevel::Normal};
+/** Initial level, overridable via SPG_LOG=quiet|normal|verbose. */
+LogLevel
+envLevel()
+{
+    const char *env = std::getenv("SPG_LOG");
+    if (env == nullptr)
+        return LogLevel::Normal;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(env, "verbose") == 0)
+        return LogLevel::Verbose;
+    return LogLevel::Normal;
+}
+
+std::atomic<LogLevel> global_level{envLevel()};
 std::mutex emit_mutex;
 
 } // namespace

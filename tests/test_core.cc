@@ -148,6 +148,68 @@ TEST(Tuner, RetunePolicy)
     EXPECT_FALSE(tuner.shouldRetune(plan, 0.55, 1));
 }
 
+TEST(Tuner, RecordsScheduleTelemetry)
+{
+    TunerOptions opts;
+    opts.reps = 1;
+    opts.batch = 2;
+    Tuner tuner(opts);
+    ThreadPool pool(2);
+    ConvSpec spec{10, 10, 2, 4, 3, 3, 1, 1};
+    LayerPlan plan = tuner.tune(spec, 0.5, pool);
+    for (const auto &[phase, timings] : plan.timings) {
+        for (const auto &t : timings) {
+            EXPECT_GE(t.imbalance, 1.0)
+                << phaseName(phase) << " " << t.engine;
+            ASSERT_EQ(t.chunk_map.size(),
+                      static_cast<std::size_t>(pool.threads()))
+                << phaseName(phase) << " " << t.engine;
+            std::int64_t items = 0;
+            for (std::int64_t c : t.chunk_map)
+                items += c;
+            // The image-parallel engines dispatch one region per
+            // batch, so their measurements must record a schedule;
+            // parallel-gemm may run a tiny MM without the pool.
+            if (t.engine.find("in-parallel") != std::string::npos ||
+                t.engine.find("sparse") != std::string::npos ||
+                t.engine == "stencil") {
+                EXPECT_GT(items, 0)
+                    << phaseName(phase) << " " << t.engine;
+            }
+        }
+    }
+}
+
+TEST(Tuner, RetuneBpCarriesFpForward)
+{
+    TunerOptions opts;
+    opts.reps = 1;
+    opts.batch = 2;
+    Tuner tuner(opts);
+    ThreadPool pool(2);
+    ConvSpec spec{12, 12, 3, 8, 3, 3, 1, 1};
+    LayerPlan first = tuner.tune(spec, 0.0, pool);
+    LayerPlan re = tuner.retuneBp(first, spec, 0.9, pool);
+
+    // FP choice and measurements are carried forward, not re-measured.
+    EXPECT_EQ(re.fp_engine, first.fp_engine);
+    const auto &fp0 = first.timings.at(Phase::Forward);
+    const auto &fp1 = re.timings.at(Phase::Forward);
+    ASSERT_EQ(fp1.size(), fp0.size());
+    for (std::size_t i = 0; i < fp0.size(); ++i) {
+        EXPECT_EQ(fp1[i].engine, fp0[i].engine);
+        EXPECT_DOUBLE_EQ(fp1[i].seconds, fp0[i].seconds);
+    }
+
+    // The BP phases ARE re-measured at the observed sparsity.
+    EXPECT_DOUBLE_EQ(re.tuned_sparsity, 0.9);
+    EXPECT_FALSE(re.bp_data_engine.empty());
+    EXPECT_EQ(re.timings.at(Phase::BackwardData).size(),
+              first.timings.at(Phase::BackwardData).size());
+    EXPECT_EQ(re.timings.at(Phase::BackwardWeights).size(),
+              first.timings.at(Phase::BackwardWeights).size());
+}
+
 
 TEST(Tuner, ExtensionsRespectGeometryGates)
 {

@@ -168,6 +168,71 @@ TEST(Simulate, UniformDistributesRoundRobin)
     EXPECT_NEAR(five.useful_flops, 5e9, 1);
 }
 
+TEST(Simulate, ScheduledChargesMeasuredChunkMap)
+{
+    MachineModel m = MachineModel::xeonE5_2650();
+    m.fork_join_s = 0;
+    SimTask t;
+    t.flops = 1e9;
+    t.efficiency = 1.0;
+    // Measured 48/16 skew over 2 workers, scaled to 64 tasks: the
+    // loaded core runs 48 -> 1.5x the even split's 32.
+    SimResult even = simulateUniform(m, t, 64, 2);
+    SimResult skew = simulateScheduled(m, t, 64, {48, 16});
+    EXPECT_NEAR(skew.seconds / even.seconds, 1.5, 1e-9);
+    EXPECT_EQ(skew.cores, 2);
+    EXPECT_NEAR(skew.total_flops, even.total_flops, 1);
+
+    // Idle workers still occupy streams: a 3-entry map with one zero
+    // keeps 3 cores' bandwidth sharing but loads only two.
+    SimResult lopsided = simulateScheduled(m, t, 64, {32, 32, 0});
+    EXPECT_EQ(lopsided.cores, 3);
+
+    // Largest-remainder rounding conserves the task count: 7 tasks
+    // over weights {2, 1, 1} must sum to exactly 7 (4 + 1.75 + 1.75
+    // floors to 3+1+1, the two 0.75 remainders get the leftovers).
+    SimResult seven = simulateScheduled(m, t, 7, {2, 1, 1});
+    EXPECT_NEAR(seven.total_flops, 7e9, 1);
+
+    // An all-zero map (nothing measured) falls back to the even split.
+    SimResult fallback = simulateScheduled(m, t, 64, {0, 0});
+    EXPECT_NEAR(fallback.seconds, even.seconds, 1e-12);
+}
+
+TEST(ConvModel, PhaseModelConsumesMeasuredSchedule)
+{
+    // The tuner's measured chunk map must reach the image-parallel
+    // engine models: a maximally skewed schedule (everything on one
+    // worker) has to cost ~cores x the even split, while Parallel-GEMM
+    // (which partitions one MM, not images) ignores the map.
+    MachineModel m = MachineModel::xeonE5_2650();
+    m.fork_join_s = 0;
+    ConvSpec spec = ConvSpec::square(32, 250, 120, 5);
+    std::int64_t batch = 16;
+    int cores = 4;
+    std::vector<std::int64_t> all_on_one = {16, 0, 0, 0};
+
+    const std::pair<const char *, Phase> image_parallel[] = {
+        {"gemm-in-parallel", Phase::Forward},
+        {"stencil", Phase::Forward},
+        {"sparse", Phase::BackwardData}};
+    for (auto [engine, phase] : image_parallel) {
+        double sparsity = phase == Phase::Forward ? 0.0 : 0.5;
+        SimResult even = modelConvPhase(m, spec, phase, engine, batch,
+                                        cores, sparsity);
+        SimResult skew = modelConvPhase(m, spec, phase, engine, batch,
+                                        cores, sparsity, &all_on_one);
+        EXPECT_GT(skew.seconds, 2.0 * even.seconds) << engine;
+    }
+
+    SimResult pg_even = modelConvPhase(m, spec, Phase::Forward,
+                                       "parallel-gemm", batch, cores, 0.0);
+    SimResult pg_skew =
+        modelConvPhase(m, spec, Phase::Forward, "parallel-gemm", batch,
+                       cores, 0.0, &all_on_one);
+    EXPECT_NEAR(pg_skew.seconds, pg_even.seconds, 1e-12);
+}
+
 TEST(ConvModel, ParallelGemmPerCorePerfDegradesWithCores)
 {
     // The Fig. 3a shape: per-core GFlops at 16 cores is well below

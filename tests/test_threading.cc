@@ -114,5 +114,158 @@ TEST(ThreadPool, GlobalSingletonIsStable)
     EXPECT_GE(a.threads(), 1);
 }
 
+TEST(ThreadPool, DynamicGrainsCoverExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::int64_t n = 50;
+    for (std::int64_t grain : {1, 3, 7, 100}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelForDynamic(
+            n, [&](std::int64_t i, int) { hits[i].fetch_add(1); },
+            grain);
+        for (std::int64_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain
+                                         << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, ParallelFor2DEdgeShapes)
+{
+    ThreadPool pool(4);
+    const std::pair<std::int64_t, std::int64_t> shapes[] = {
+        {0, 5}, {5, 0}, {1, 1}, {1, 7}, {7, 1}, {3, 4}};
+    for (auto [n0, n1] : shapes) {
+        std::vector<std::atomic<int>> hits(n0 * n1);
+        std::atomic<bool> in_bounds{true};
+        pool.parallelFor2D(n0, n1,
+                           [&](std::int64_t i0, std::int64_t i1, int) {
+                               if (i0 < 0 || i0 >= n0 || i1 < 0 ||
+                                   i1 >= n1)
+                                   in_bounds = false;
+                               else
+                                   hits[i0 * n1 + i1].fetch_add(1);
+                           });
+        EXPECT_TRUE(in_bounds.load()) << n0 << "x" << n1;
+        for (std::int64_t i = 0; i < n0 * n1; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << n0 << "x" << n1 << " " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelFor2DGrainsCoverExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::int64_t n0 = 6, n1 = 7;
+    for (std::int64_t grain : {1, 2, 5, 100}) {
+        std::vector<std::atomic<int>> hits(n0 * n1);
+        pool.parallelFor2D(n0, n1,
+                           [&](std::int64_t i0, std::int64_t i1, int) {
+                               hits[i0 * n1 + i1].fetch_add(1);
+                           },
+                           grain);
+        for (std::int64_t i = 0; i < n0 * n1; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain;
+    }
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineOnCallingWorker)
+{
+    ThreadPool pool(4);
+    std::int64_t n = 16, m = 8;
+    std::vector<std::atomic<int>> hits(n * m);
+    std::atomic<bool> same_worker{true};
+    pool.parallelForDynamic(n, [&](std::int64_t i, int outer) {
+        pool.parallelFor(m, [&](std::int64_t b, std::int64_t e,
+                                int inner) {
+            if (inner != outer)
+                same_worker = false;
+            for (std::int64_t j = b; j < e; ++j)
+                hits[i * m + j].fetch_add(1);
+        });
+        pool.parallelFor2D(1, 1, [&](std::int64_t, std::int64_t,
+                                     int inner) {
+            if (inner != outer)
+                same_worker = false;
+        });
+    });
+    EXPECT_TRUE(same_worker.load());
+    for (std::int64_t i = 0; i < n * m; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SkewedCostsStayCorrectAndCounted)
+{
+    ThreadPool pool(4);
+    PoolStats before = pool.stats();
+    std::int64_t n = 64;
+    std::atomic<long long> sum{0};
+    pool.parallelForDynamic(n, [&](std::int64_t i, int) {
+        if (i == 0) {
+            // One adversarially expensive item; stealing must keep the
+            // rest flowing and nothing may run twice.
+            volatile long long waste = 0;
+            for (int k = 0; k < 2000000; ++k)
+                waste = waste + k;
+        }
+        sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+    PoolStats d = pool.stats().delta(before);
+    EXPECT_EQ(d.regions, 1u);
+    std::int64_t items = 0, last_items = 0;
+    for (const auto &w : d.workers) {
+        items += w.items;
+        last_items += w.last_items;
+    }
+    EXPECT_EQ(items, n);
+    EXPECT_EQ(last_items, n);
+    EXPECT_GE(d.imbalance(), 1.0);
+}
+
+TEST(ThreadPool, SmallRegionsDoNotFanOut)
+{
+    ThreadPool pool(8);
+    pool.parallelForDynamic(1, [&](std::int64_t i, int worker) {
+        EXPECT_EQ(i, 0);
+        EXPECT_EQ(worker, 0);
+    });
+    std::vector<std::int64_t> map = pool.stats().lastChunkMap();
+    ASSERT_EQ(map.size(), 8u);
+    EXPECT_EQ(map[0], 1);
+    for (std::size_t w = 1; w < map.size(); ++w)
+        EXPECT_EQ(map[w], 0) << "worker " << w
+                             << " ran a single-item region";
+}
+
+TEST(ThreadPool, TelemetryAccumulatesAcrossRegions)
+{
+    ThreadPool pool(2);
+    PoolStats before = pool.stats();
+    std::atomic<long long> sink{0};
+    for (int round = 0; round < 3; ++round) {
+        pool.parallelFor(1000, [&](std::int64_t b, std::int64_t e, int) {
+            long long s = 0;
+            for (std::int64_t i = b; i < e; ++i)
+                s += i;
+            sink.fetch_add(s);
+        });
+    }
+    PoolStats d = pool.stats().delta(before);
+    EXPECT_EQ(d.regions, 3u);
+    std::int64_t items = 0;
+    std::uint64_t busy = 0, chunks = 0;
+    for (const auto &w : d.workers) {
+        items += w.items;
+        busy += w.busy_ns;
+        chunks += w.chunks;
+    }
+    EXPECT_EQ(items, 3000);
+    EXPECT_GT(busy, 0u);
+    EXPECT_GE(chunks, 3u);
+    EXPECT_GE(d.imbalance(), 1.0);
+    std::vector<std::int64_t> map = d.chunkMap();
+    ASSERT_EQ(map.size(), 2u);
+    EXPECT_EQ(map[0] + map[1], 3000);
+}
+
 } // namespace
 } // namespace spg

@@ -142,6 +142,37 @@ TEST(ThreadPoolStress, SharedPackedWeightsAcrossManyWorkers)
     }
 }
 
+TEST(ThreadPoolStress, AdversariallySkewedCostsUnderChurn)
+{
+    // Work stealing under a pathological cost distribution: each round
+    // one rotating item costs orders of magnitude more than the rest.
+    // Every item must still run exactly once, and the telemetry item
+    // counts must reconcile with the iteration space.
+    ThreadPool pool(4);
+    PoolStats before = pool.stats();
+    const std::int64_t n = 48;
+    const int rounds = 25;
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelForDynamic(n, [&](std::int64_t i, int) {
+            if (i == round % n) {
+                volatile long long waste = 0;
+                for (int k = 0; k < 300000; ++k)
+                    waste = waste + k;
+            }
+            hits[i].fetch_add(1);
+        });
+        for (std::int64_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "round=" << round;
+    }
+    PoolStats d = pool.stats().delta(before);
+    EXPECT_EQ(d.regions, static_cast<std::uint64_t>(rounds));
+    std::int64_t items = 0;
+    for (const auto &w : d.workers)
+        items += w.items;
+    EXPECT_EQ(items, n * rounds);
+}
+
 TEST(ThreadPoolStress, NestedDataStructuresUnderDynamicScheduling)
 {
     // Dynamic scheduling with per-worker accumulation: no lost or

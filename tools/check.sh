@@ -3,10 +3,15 @@
 #
 #   tools/check.sh                                  plain build + ctest
 #   SPG_SANITIZE=address,undefined tools/check.sh   sanitized build + ctest
+#   SPG_SANITIZE=thread tools/check.sh              TSan build + ctest
 #
-# Sanitized builds use their own tree (build-address-undefined/ etc.)
-# so they never pollute the primary build/ directory. Extra arguments
-# are forwarded to ctest, e.g. `tools/check.sh -R sparse`.
+# Sanitized builds use their own tree (build-address-undefined/,
+# build-thread/ etc.) so they never pollute the primary build/
+# directory. 'thread' must be its own run — CMake rejects combining it
+# with 'address' or 'leak'. The TSan tree exists to prove the lock-free
+# fork-join protocol data-race-free; at minimum run it over the
+# threading suites: `SPG_SANITIZE=thread tools/check.sh -R ThreadPool`.
+# Extra arguments are forwarded to ctest, e.g. `tools/check.sh -R sparse`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
