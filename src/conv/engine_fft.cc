@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fft/fft.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -19,6 +20,7 @@ FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
                        const Tensor &weights, Tensor &out,
                        ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "fft FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t p = paddedSize(spec);

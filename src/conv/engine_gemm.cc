@@ -5,6 +5,7 @@
 #include "blas/gemm.hh"
 #include "conv/scratch.hh"
 #include "conv/unfold.hh"
+#include "obs/trace.hh"
 
 namespace spg {
 
@@ -65,6 +66,7 @@ UnfoldGemmEngine::forward(const ConvSpec &spec, const Tensor &in,
                           const Tensor &weights, Tensor &out,
                           ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "parallel-gemm FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
@@ -84,6 +86,7 @@ UnfoldGemmEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                const Tensor &weights, Tensor &ei,
                                ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "parallel-gemm BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
@@ -103,6 +106,7 @@ UnfoldGemmEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
                                   const Tensor &in, Tensor &dweights,
                                   ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "parallel-gemm BP-weights");
     std::int64_t batch = eo.shape()[0];
     dweights.zero();
     auto mm = [&pool](Trans ta, Trans tb, std::int64_t m, std::int64_t n,
@@ -138,6 +142,7 @@ GemmInParallelEngine::forward(const ConvSpec &spec, const Tensor &in,
                               const Tensor &weights, Tensor &out,
                               ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "gemm-in-parallel FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
@@ -152,6 +157,7 @@ GemmInParallelEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                    const Tensor &weights, Tensor &ei,
                                    ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "gemm-in-parallel BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
@@ -167,6 +173,7 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
                                       Tensor &dweights, ThreadPool &pool)
     const
 {
+    SPG_TRACE_SCOPE("kernel", "gemm-in-parallel BP-weights");
     std::int64_t batch = eo.shape()[0];
     std::int64_t w_count = spec.weightElems();
 

@@ -6,6 +6,7 @@
 #include "conv/packed_weights.hh"
 #include "conv/scratch.hh"
 #include "conv/unfold.hh"
+#include "obs/trace.hh"
 
 namespace spg {
 
@@ -37,6 +38,7 @@ UnfoldGemmPackedEngine::forward(const ConvSpec &spec, const Tensor &in,
                                 const Tensor &weights, Tensor &out,
                                 ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "parallel-gemm-packed FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t n = spec.gemmN();
@@ -59,6 +61,7 @@ UnfoldGemmPackedEngine::backwardData(const ConvSpec &spec,
                                      const Tensor &weights, Tensor &ei,
                                      ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "parallel-gemm-packed BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     std::int64_t m = spec.gemmK(), n = spec.gemmN();
@@ -88,6 +91,7 @@ GemmInParallelPackedEngine::forward(const ConvSpec &spec,
                                     const Tensor &weights, Tensor &out,
                                     ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "gemm-in-parallel-packed FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t n = spec.gemmN();
@@ -111,6 +115,7 @@ GemmInParallelPackedEngine::backwardData(const ConvSpec &spec,
                                          Tensor &ei,
                                          ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "gemm-in-parallel-packed BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     std::int64_t m = spec.gemmK(), n = spec.gemmN();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "conv/scratch.hh"
+#include "obs/trace.hh"
 #include "sparse/csr.hh"
 #include "sparse/sparse_mm.hh"
 #include "sparse/sparse_plan.hh"
@@ -201,6 +202,7 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                              const Tensor &weights, Tensor &ei,
                              ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "sparse BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();
@@ -242,6 +244,7 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
                                 const Tensor &in, Tensor &dweights,
                                 ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "sparse BP-weights");
     std::int64_t batch = eo.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();
     std::int64_t spatial_out = oy * ox;
@@ -289,6 +292,7 @@ SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                    const Tensor &weights, Tensor &ei,
                                    ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "sparse-cached BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();
@@ -325,6 +329,7 @@ SparseBpCachedEngine::backwardWeights(const ConvSpec &spec,
                                       Tensor &dweights,
                                       ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "sparse-cached BP-weights");
     std::int64_t batch = eo.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();
     std::int64_t spatial_in = spec.ny * spec.nx;

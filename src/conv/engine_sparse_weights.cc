@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hh"
 #include "sparse/csr.hh"
 #include "sparse/sparse_mm.hh"
 
@@ -12,6 +13,7 @@ SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
                                const Tensor &weights, Tensor &out,
                                ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "sparse-weights FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();

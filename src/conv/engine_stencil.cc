@@ -6,6 +6,7 @@
 
 #include "conv/scratch.hh"
 #include "conv/stencil_block.hh"
+#include "obs/trace.hh"
 #include "tensor/layout.hh"
 #include "util/logging.hh"
 
@@ -317,6 +318,7 @@ StencilEngine::forward(const ConvSpec &spec, const Tensor &in,
                        const Tensor &weights, Tensor &out,
                        ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "stencil FP");
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();

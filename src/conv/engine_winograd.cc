@@ -5,6 +5,7 @@
 
 #include "blas/gemm.hh"
 #include "conv/scratch.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -121,6 +122,7 @@ WinogradEngine::forward(const ConvSpec &spec, const Tensor &in,
                         const Tensor &weights, Tensor &out,
                         ThreadPool &pool) const
 {
+    SPG_TRACE_SCOPE("kernel", "winograd FP");
     checkForwardShapes(spec, in, weights, out);
     if (!supportsGeometry(spec))
         fatal("winograd engine requires a 3x3 stride-1 convolution, "

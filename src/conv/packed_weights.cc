@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace spg {
 
 namespace {
@@ -43,10 +46,16 @@ PackedWeightCache::getA(const float *w, Trans ta, std::int64_t m,
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
-        if (it != entries_.end() && it->second.fingerprint == fp)
+        if (it != entries_.end() && it->second.fingerprint == fp) {
+            obs::Metrics::global()
+                .counter("packed_weights.hits")
+                .add();
             return it->second.packed;
+        }
     }
 
+    obs::Metrics::global().counter("packed_weights.packs").add();
+    SPG_TRACE_SCOPE_NN("gemm", "pack weights", "m", m, "k", k);
     std::int64_t lda = ta == Trans::No ? k : m;
     auto packed = std::make_shared<const PackedMatrix>(
         PackedMatrix::packA(ta, m, k, 1.0f, w, lda));

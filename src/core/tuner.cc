@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sparse/sparse_plan.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -41,6 +43,12 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
     std::int64_t batch = in.shape()[0];
     EngineTiming timing;
     timing.engine = engine.name();
+    SPG_TRACE_SCOPE_N(
+        "tuner",
+        obs::internName("measure " + timing.engine + " " +
+                        phaseName(phase)),
+        "batch", batch);
+    obs::Metrics::global().counter("tuner.measurements").add();
 
     // The encode-once sparse engine keys its CT-CSR plan on the error
     // tensor. In training every minibatch overwrites EO, so BP-data
@@ -130,6 +138,11 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
             }
         }
         SPG_ASSERT(!best_name.empty());
+        if (obs::traceEnabled()) {
+            obs::traceInstant(
+                "tuner", obs::internName("chose " + best_name + " for " +
+                                         phaseName(phase)));
+        }
         switch (phase) {
           case Phase::Forward:
             plan.fp_engine = best_name;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "conv/packed_weights.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/timer.hh"
 
 #include "util/logging.hh"
@@ -22,6 +24,10 @@ ConvLayer::ConvLayer(std::string label, const ConvSpec &spec, Rng &rng)
     weights_.fillGaussian(rng, stddev);
     for (auto &engine : makeAllEngines())
         engine_cache[engine->name()] = std::move(engine);
+    refreshSpanNames();
+    eo_sparsity_gauge =
+        &obs::Metrics::global().gauge("conv." + this->label +
+                                      ".eo_sparsity");
     // A prior layer may have packed weights at this freshly-reused
     // address; make sure no stale panels can alias the new tensor.
     PackedWeightCache::global().invalidate(weights_.data());
@@ -62,11 +68,27 @@ ConvLayer::setEngines(const EngineAssignment &engines)
               engines.bp_weights.c_str());
     }
     assignment = engines;
+    refreshSpanNames();
+}
+
+void
+ConvLayer::refreshSpanNames()
+{
+    span_fp = obs::internName(label + " FP [" + assignment.fp + "]");
+    span_bp_data =
+        obs::internName(label + " BP-data [" + assignment.bp_data + "]");
+    span_bp_weights = obs::internName(label + " BP-weights [" +
+                                      assignment.bp_weights + "]");
 }
 
 void
 ConvLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
 {
+    std::int64_t batch = in.shape()[0];
+    SPG_TRACE_SCOPE_N("layer", span_fp, "batch", batch);
+    static obs::Counter &flops =
+        obs::Metrics::global().counter("conv.fp_flops");
+    flops.add(spec_.flops() * batch);
     Stopwatch watch;
     engineByName(assignment.fp).forward(spec_, in, weights_, out, pool);
     profile_.fp_seconds += watch.seconds();
@@ -77,14 +99,29 @@ void
 ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
                     Tensor &ei, ThreadPool &pool)
 {
+    std::int64_t batch = eo.shape()[0];
     last_eo_sparsity = eo.sparsity();
+    eo_sparsity_gauge->set(last_eo_sparsity);
+    static obs::Counter &nnz =
+        obs::Metrics::global().counter("conv.eo_nnz");
+    nnz.add(static_cast<std::int64_t>(
+        (1.0 - last_eo_sparsity) * static_cast<double>(eo.size())));
+    static obs::Counter &bp_flops =
+        obs::Metrics::global().counter("conv.bp_flops");
+    bp_flops.add(2 * spec_.flops() * batch);
     Stopwatch watch;
-    engineByName(assignment.bp_data)
-        .backwardData(spec_, eo, weights_, ei, pool);
+    {
+        SPG_TRACE_SCOPE_N("layer", span_bp_data, "batch", batch);
+        engineByName(assignment.bp_data)
+            .backwardData(spec_, eo, weights_, ei, pool);
+    }
     profile_.bp_data_seconds += watch.seconds();
     watch.reset();
-    engineByName(assignment.bp_weights)
-        .backwardWeights(spec_, eo, in, dweights, pool);
+    {
+        SPG_TRACE_SCOPE_N("layer", span_bp_weights, "batch", batch);
+        engineByName(assignment.bp_weights)
+            .backwardWeights(spec_, eo, in, dweights, pool);
+    }
     profile_.bp_weights_seconds += watch.seconds();
 }
 

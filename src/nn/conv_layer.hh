@@ -21,6 +21,10 @@
 
 namespace spg {
 
+namespace obs {
+class Gauge;
+} // namespace obs
+
 /** Engine assignment for the three phases of one conv layer. */
 struct EngineAssignment
 {
@@ -92,6 +96,7 @@ class ConvLayer : public Layer
 
   private:
     const ConvEngine &engineByName(const std::string &name) const;
+    void refreshSpanNames();
 
     std::string label;
     ConvSpec spec_;
@@ -101,6 +106,12 @@ class ConvLayer : public Layer
     double last_eo_sparsity = 0;
     PhaseProfile profile_;
     std::map<std::string, std::unique_ptr<ConvEngine>> engine_cache;
+    /** Interned trace span names ("conv1 FP [stencil]"), refreshed on
+     *  setEngines so spans carry the deployed engine. */
+    const char *span_fp = nullptr;
+    const char *span_bp_data = nullptr;
+    const char *span_bp_weights = nullptr;
+    obs::Gauge *eo_sparsity_gauge = nullptr;
 };
 
 } // namespace spg

@@ -1,5 +1,6 @@
 #include "nn/network.hh"
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -99,6 +100,7 @@ Network::forward(const Tensor &images, ThreadPool &pool)
         fatal("network expects input %s, got %s", want.str().c_str(),
               images.shape().str().c_str());
     ensureBuffers(batch);
+    SPG_TRACE_SCOPE_N("train", "forward", "batch", batch);
     const Tensor *in = &images;
     for (std::size_t i = 0; i < layers.size(); ++i) {
         layers[i]->forward(*in, acts[i], pool);
@@ -111,17 +113,24 @@ StepStats
 Network::trainStep(const Tensor &images, const std::vector<int> &labels,
                    float learning_rate, ThreadPool &pool)
 {
+    SPG_TRACE_SCOPE_N("train", "step", "batch", images.shape()[0]);
     head->setLabels(labels);
     forward(images, pool);
 
     // errs[i] is the gradient w.r.t. layer i's INPUT; the softmax head
     // consumes no upstream gradient (errs.back() is a dummy).
-    for (std::size_t i = layers.size(); i-- > 0;) {
-        const Tensor &in = i == 0 ? images : acts[i - 1];
-        layers[i]->backward(in, acts[i], errs[i + 1], errs[i], pool);
+    {
+        SPG_TRACE_SCOPE("train", "backward");
+        for (std::size_t i = layers.size(); i-- > 0;) {
+            const Tensor &in = i == 0 ? images : acts[i - 1];
+            layers[i]->backward(in, acts[i], errs[i + 1], errs[i], pool);
+        }
     }
-    for (auto &layer : layers)
-        layer->update(learning_rate);
+    {
+        SPG_TRACE_SCOPE("train", "update");
+        for (auto &layer : layers)
+            layer->update(learning_rate);
+    }
 
     return StepStats{head->loss(), head->accuracy()};
 }

@@ -1,11 +1,18 @@
 #include "nn/trainer.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
+#include "blas/gemm.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "perf/region.hh"
+#include "simcpu/conv_model.hh"
 #include "sparse/sparse_plan.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/table.hh"
 #include "util/timer.hh"
 
 namespace spg {
@@ -30,6 +37,7 @@ Trainer::Trainer(Network &network, const Dataset &dataset,
 void
 Trainer::tuneAll(ThreadPool &pool, double sparsity_hint)
 {
+    SPG_TRACE_SCOPE("train", "tune");
     plans.clear();
     for (ConvLayer *conv : network.convLayers()) {
         LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool);
@@ -57,7 +65,11 @@ Trainer::run(ThreadPool &pool)
     Stopwatch total;
     std::int64_t total_images = 0;
 
+    pending_drift.clear();
+    drift = obs::DriftReport{};
+
     for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        SPG_TRACE_SCOPE_N("train", "epoch", "epoch", epoch);
         if (opts.shuffle) {
             for (std::int64_t i = dataset.count() - 1; i > 0; --i) {
                 std::int64_t j = static_cast<std::int64_t>(
@@ -126,6 +138,28 @@ Trainer::run(ThreadPool &pool)
                 conv->lastErrorSparsity());
         }
 
+        // Drift samples must capture the engines that RAN this epoch,
+        // so collect before any re-tune below swaps them out.
+        collectDriftSamples(pool, static_cast<int>(steps), prof_before,
+                            stats.conv_error_sparsity);
+
+        {
+            obs::Metrics &metrics = obs::Metrics::global();
+            metrics.counter("trainer.steps").add(steps);
+            metrics.counter("trainer.images").add(images);
+            PoolStats sched = pool.stats().delta(sched_before);
+            std::int64_t steals = 0, chunks = 0;
+            for (const PoolStats::Worker &w : sched.workers) {
+                steals += static_cast<std::int64_t>(w.steals);
+                chunks += static_cast<std::int64_t>(w.chunks);
+            }
+            metrics.counter("pool.steals").add(steals);
+            metrics.counter("pool.chunks").add(chunks);
+            metrics.gauge("pool.imbalance").set(stats.pool_imbalance);
+            metrics.histogram("trainer.epoch_seconds")
+                .observe(stats.seconds);
+        }
+
         // §4.4: re-check BP engine choices as sparsity drifts.
         if (opts.mode == TrainerOptions::Mode::Autotune) {
             auto convs = network.convLayers();
@@ -148,29 +182,163 @@ Trainer::run(ThreadPool &pool)
             stats.conv_engines.push_back(conv->engines());
 
         if (opts.log_epochs) {
-            inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s",
+            // Encode/reuse accounting and schedule imbalance are part
+            // of the normal epoch line — they explain throughput dips
+            // that loss/accuracy alone cannot.
+            inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s  "
+                   "encodes %lld  reuses %lld  imbalance %.2f",
                    epoch, stats.mean_loss, stats.accuracy,
-                   stats.images_per_second);
+                   stats.images_per_second,
+                   static_cast<long long>(stats.sparse_encodes),
+                   static_cast<long long>(stats.sparse_plan_hits),
+                   stats.pool_imbalance);
             verbose("  phases: fp %.1f ms  bp-data %.1f ms  "
-                    "bp-weights %.1f ms  encode %.1f ms  "
-                    "pool imbalance %.2f",
+                    "bp-weights %.1f ms  encode %.1f ms",
                     stats.fp_seconds * 1e3, stats.bp_data_seconds * 1e3,
                     stats.bp_weights_seconds * 1e3,
-                    stats.sparse_encode_seconds * 1e3,
-                    stats.pool_imbalance);
-            if (stats.sparse_encodes > 0) {
-                verbose("  sparse plans: %lld encodes (%.1f ms), "
-                        "%lld reuses",
-                        static_cast<long long>(stats.sparse_encodes),
-                        stats.sparse_encode_seconds * 1e3,
-                        static_cast<long long>(stats.sparse_plan_hits));
-            }
+                    stats.sparse_encode_seconds * 1e3);
         }
         history.push_back(std::move(stats));
     }
 
     overall_ips = total_images / total.seconds();
+    joinDrift(pool);
+
+    if (opts.log_epochs && logLevel() >= LogLevel::Normal &&
+        history.size() > 1) {
+        TablePrinter table(
+            "Training epochs",
+            {"epoch", "loss", "acc", "img/s", "fp ms", "bp-data ms",
+             "bp-w ms", "encode ms", "encodes", "reuses", "imbalance"});
+        for (const EpochStats &s : history) {
+            table.addRow({TablePrinter::fmt(
+                              static_cast<long long>(s.epoch)),
+                          TablePrinter::fmt(s.mean_loss, 4),
+                          TablePrinter::fmt(s.accuracy, 3),
+                          TablePrinter::fmt(s.images_per_second, 1),
+                          TablePrinter::fmt(s.fp_seconds * 1e3, 1),
+                          TablePrinter::fmt(s.bp_data_seconds * 1e3, 1),
+                          TablePrinter::fmt(s.bp_weights_seconds * 1e3,
+                                            1),
+                          TablePrinter::fmt(
+                              s.sparse_encode_seconds * 1e3, 1),
+                          TablePrinter::fmt(static_cast<long long>(
+                              s.sparse_encodes)),
+                          TablePrinter::fmt(static_cast<long long>(
+                              s.sparse_plan_hits)),
+                          TablePrinter::fmt(s.pool_imbalance, 2)});
+        }
+        table.print();
+    }
     return history;
+}
+
+void
+Trainer::collectDriftSamples(
+    ThreadPool &pool, int steps,
+    const std::vector<ConvLayer::PhaseProfile> &prof_before,
+    const std::vector<double> &sparsity)
+{
+    (void)pool;
+    auto convs = network.convLayers();
+    for (std::size_t i = 0; i < convs.size(); ++i) {
+        const ConvLayer::PhaseProfile &p = convs[i]->profile();
+        const EngineAssignment &engines = convs[i]->engines();
+        struct PhaseSlice
+        {
+            Phase phase;
+            double measured;
+            const std::string *engine;
+        };
+        const PhaseSlice slices[] = {
+            {Phase::Forward,
+             p.fp_seconds - prof_before[i].fp_seconds, &engines.fp},
+            {Phase::BackwardData,
+             p.bp_data_seconds - prof_before[i].bp_data_seconds,
+             &engines.bp_data},
+            {Phase::BackwardWeights,
+             p.bp_weights_seconds - prof_before[i].bp_weights_seconds,
+             &engines.bp_weights},
+        };
+        for (const PhaseSlice &slice : slices) {
+            if (slice.measured <= 0 || steps <= 0)
+                continue;
+            PendingDrift sample;
+            sample.label = "conv" + std::to_string(i);
+            sample.spec = convs[i]->spec();
+            sample.phase = slice.phase;
+            sample.engine = *slice.engine;
+            sample.sparsity = sparsity[i];
+            sample.measured_seconds = slice.measured / steps;
+            if (i < plans.size()) {
+                auto it = plans[i].timings.find(slice.phase);
+                if (it != plans[i].timings.end()) {
+                    for (const EngineTiming &t : it->second) {
+                        if (t.engine == sample.engine) {
+                            sample.chunk_map = t.chunk_map;
+                            break;
+                        }
+                    }
+                }
+            }
+            pending_drift.push_back(std::move(sample));
+        }
+    }
+}
+
+void
+Trainer::joinDrift(ThreadPool &pool)
+{
+    if (pending_drift.empty())
+        return;
+
+    // The model only covers the paper's engines; extension engines
+    // (fft, winograd, sparse-weights) and the reference have no model
+    // to drift from.
+    auto modeled = [](const std::string &engine) {
+        return engine == "parallel-gemm" ||
+               engine == "parallel-gemm-packed" ||
+               engine == "gemm-in-parallel" ||
+               engine == "gemm-in-parallel-packed" ||
+               engine == "stencil" || engine == "sparse" ||
+               engine == "sparse-cached";
+    };
+
+    // Calibrate the machine model from a measured single-core SGEMM
+    // rate, exactly like the model-validation tests do.
+    constexpr std::int64_t kDim = 256;
+    std::vector<float> a(kDim * kDim, 1.0f), b(kDim * kDim, 0.5f),
+        c(kDim * kDim, 0.0f);
+    double gemm_seconds = bestTimeSeconds(3, [&] {
+        sgemm(Trans::No, Trans::No, kDim, kDim, kDim, 1.0f, a.data(),
+              kDim, b.data(), kDim, 0.0f, c.data(), kDim);
+    });
+    double gflops = 2.0 * kDim * kDim * kDim / gemm_seconds / 1e9;
+    MachineModel machine = MachineModel::hostCalibrated(gflops);
+    int cores = pool.threads();
+
+    for (const PendingDrift &sample : pending_drift) {
+        if (!modeled(sample.engine))
+            continue;
+        SimResult modeled_result = modelConvPhase(
+            machine, sample.spec, sample.phase, sample.engine, opts.batch,
+            cores, sample.sparsity,
+            sample.chunk_map.empty() ? nullptr : &sample.chunk_map);
+        obs::DriftSample out;
+        out.label = sample.label;
+        out.phase = phaseName(sample.phase);
+        out.engine = sample.engine;
+        char region_buf[8];
+        std::snprintf(
+            region_buf, sizeof(region_buf), "R%d",
+            static_cast<int>(
+                classifyRegion(sample.spec, sample.sparsity)));
+        out.region = region_buf;
+        out.measured_seconds = sample.measured_seconds;
+        out.modeled_seconds = modeled_result.seconds;
+        drift.add(std::move(out));
+    }
+    pending_drift.clear();
 }
 
 } // namespace spg

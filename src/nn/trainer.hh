@@ -19,6 +19,7 @@
 #include "core/tuner.hh"
 #include "data/synthetic.hh"
 #include "nn/network.hh"
+#include "obs/drift.hh"
 
 namespace spg {
 
@@ -97,8 +98,36 @@ class Trainer
     /** @return images/second over the whole run (set by run()). */
     double overallThroughput() const { return overall_ips; }
 
+    /**
+     * Measured-vs-modeled drift over the layer phases of the last
+     * run(): every epoch contributes one sample per conv layer per
+     * phase, joining the measured per-step time against the simcpu
+     * prediction for the engine that actually ran (on a host-calibrated
+     * machine model at the pool's core count). Engines the model does
+     * not cover (fft, winograd, ...) are skipped.
+     */
+    const obs::DriftReport &driftReport() const { return drift; }
+
   private:
     void tuneAll(ThreadPool &pool, double sparsity_hint);
+
+    /** One per-layer per-phase measurement awaiting its model join. */
+    struct PendingDrift
+    {
+        std::string label;
+        ConvSpec spec;
+        Phase phase;
+        std::string engine;
+        double sparsity = 0;
+        double measured_seconds = 0;  ///< per training step
+        std::vector<std::int64_t> chunk_map;
+    };
+
+    void collectDriftSamples(ThreadPool &pool, int steps,
+                             const std::vector<ConvLayer::PhaseProfile>
+                                 &prof_before,
+                             const std::vector<double> &sparsity);
+    void joinDrift(ThreadPool &pool);
 
     Network &network;
     const Dataset &dataset;
@@ -107,6 +136,8 @@ class Trainer
     /** Each conv layer's current plan (FP timings carried across
      *  BP-only re-tunes). */
     std::vector<LayerPlan> plans;
+    std::vector<PendingDrift> pending_drift;
+    obs::DriftReport drift;
     double overall_ips = 0;
 };
 

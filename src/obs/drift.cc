@@ -1,0 +1,176 @@
+#include "obs/drift.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace spg {
+namespace obs {
+
+namespace {
+
+/** Nearest-rank percentile of a sorted vector (q in [0, 1]). */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+DriftStats
+statsOf(const std::string &key,
+        const std::vector<const DriftSample *> &group)
+{
+    DriftStats stats;
+    stats.key = key;
+    stats.samples = static_cast<int>(group.size());
+    std::vector<double> abs_errors;
+    abs_errors.reserve(group.size());
+    double signed_sum = 0;
+    for (const DriftSample *s : group) {
+        double e = s->relError();
+        signed_sum += e;
+        abs_errors.push_back(std::fabs(e));
+    }
+    std::sort(abs_errors.begin(), abs_errors.end());
+    stats.p50 = percentile(abs_errors, 0.50);
+    stats.p90 = percentile(abs_errors, 0.90);
+    stats.max = abs_errors.empty() ? 0 : abs_errors.back();
+    stats.mean_signed =
+        group.empty() ? 0
+                      : signed_sum / static_cast<double>(group.size());
+    return stats;
+}
+
+void
+appendStatsJson(std::string &out, const DriftStats &stats)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"samples\": %d, \"p50\": %.6g, \"p90\": %.6g, "
+                  "\"max\": %.6g, \"mean_signed\": %.6g}",
+                  stats.samples, stats.p50, stats.p90, stats.max,
+                  stats.mean_signed);
+    out += buf;
+}
+
+} // namespace
+
+double
+DriftSample::relError() const
+{
+    if (measured_seconds <= 0)
+        return 0;
+    return (measured_seconds - modeled_seconds) / measured_seconds;
+}
+
+void
+DriftReport::add(DriftSample sample)
+{
+    rows.push_back(std::move(sample));
+}
+
+std::vector<DriftStats>
+DriftReport::byRegion() const
+{
+    std::map<std::string, std::vector<const DriftSample *>> groups;
+    for (const DriftSample &s : rows)
+        groups[s.region].push_back(&s);
+    std::vector<DriftStats> out;
+    out.reserve(groups.size());
+    for (const auto &[region, group] : groups)
+        out.push_back(statsOf(region, group));
+    return out;
+}
+
+DriftStats
+DriftReport::overall() const
+{
+    std::vector<const DriftSample *> all;
+    all.reserve(rows.size());
+    for (const DriftSample &s : rows)
+        all.push_back(&s);
+    return statsOf("all", all);
+}
+
+std::string
+DriftReport::toJson() const
+{
+    std::string out = "{\n  \"overall\": ";
+    appendStatsJson(out, overall());
+    out += ",\n  \"by_region\": {";
+    bool first = true;
+    for (const DriftStats &stats : byRegion()) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += "\"" + stats.key + "\": ";
+        appendStatsJson(out, stats);
+    }
+    out += "\n  },\n  \"samples\": [";
+    first = true;
+    for (const DriftSample &s : rows) {
+        char buf[96];
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += "{\"label\": \"" + s.label + "\", \"phase\": \"" +
+               s.phase + "\", \"engine\": \"" + s.engine +
+               "\", \"region\": \"" + s.region + "\"";
+        std::snprintf(buf, sizeof(buf),
+                      ", \"measured\": %.6g, \"modeled\": %.6g, "
+                      "\"rel_error\": %.6g}",
+                      s.measured_seconds, s.modeled_seconds,
+                      s.relError());
+        out += buf;
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+void
+DriftReport::print(std::FILE *stream) const
+{
+    TablePrinter table("Model drift (|measured-modeled|/measured)",
+                       {"region", "samples", "p50", "p90", "max",
+                        "bias"});
+    for (const DriftStats &stats : byRegion()) {
+        table.addRow({stats.key,
+                      TablePrinter::fmt(
+                          static_cast<long long>(stats.samples)),
+                      TablePrinter::fmt(stats.p50 * 100, 1) + "%",
+                      TablePrinter::fmt(stats.p90 * 100, 1) + "%",
+                      TablePrinter::fmt(stats.max * 100, 1) + "%",
+                      TablePrinter::fmt(stats.mean_signed * 100, 1) +
+                          "%"});
+    }
+    DriftStats all = overall();
+    table.addRow({all.key,
+                  TablePrinter::fmt(static_cast<long long>(all.samples)),
+                  TablePrinter::fmt(all.p50 * 100, 1) + "%",
+                  TablePrinter::fmt(all.p90 * 100, 1) + "%",
+                  TablePrinter::fmt(all.max * 100, 1) + "%",
+                  TablePrinter::fmt(all.mean_signed * 100, 1) + "%"});
+    table.print(stream);
+}
+
+void
+DriftReport::writeTo(const std::string &path) const
+{
+    std::string doc = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write drift report to '%s'", path.c_str());
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace obs
+} // namespace spg

@@ -1,0 +1,407 @@
+#include "obs/json_lite.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spg {
+namespace obs {
+
+namespace {
+
+/** Recursive-descent parser over a char range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s(text.c_str()), n(text.size()), error(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != n)
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *message)
+    {
+        if (error != nullptr) {
+            *error = std::string(message) + " at offset " +
+                     std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < n && (s[pos] == ' ' || s[pos] == '\t' ||
+                           s[pos] == '\n' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (pos + len > n || std::memcmp(s + pos, word, len) != 0)
+            return fail("invalid literal");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= n)
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos;  // '{'
+        skipWs();
+        if (pos < n && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos >= n || s[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= n || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos >= n)
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos;  // '['
+        skipWs();
+        if (pos < n && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (pos >= n)
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos;  // '"'
+        out.clear();
+        while (pos < n) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= n)
+                    return fail("unterminated escape");
+                char e = s[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out += e;
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > n)
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // UTF-8 encode (no surrogate-pair handling: the
+                    // tracer never emits non-BMP text).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = s + pos;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid value");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    const char *s;
+    std::size_t n;
+    std::size_t pos = 0;
+    std::string *error;
+};
+
+void
+serializeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char raw : s) {
+        unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+serializeValue(std::string &out, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+        out += buf;
+        break;
+      }
+      case JsonValue::Kind::String:
+        serializeString(out, v.string);
+        break;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &item : v.array) {
+            if (!first)
+                out += ',';
+            first = false;
+            serializeValue(out, item);
+        }
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : v.object) {
+            if (!first)
+                out += ',';
+            first = false;
+            serializeString(out, key);
+            out += ':';
+            serializeValue(out, value);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::serialize() const
+{
+    std::string out;
+    serializeValue(out, *this);
+    return out;
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (kind != other.kind)
+        return false;
+    switch (kind) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return boolean == other.boolean;
+      case Kind::Number:
+        return number == other.number;
+      case Kind::String:
+        return string == other.string;
+      case Kind::Array:
+        return array == other.array;
+      case Kind::Object: {
+        if (object.size() != other.object.size())
+            return false;
+        for (const auto &[key, value] : object) {
+            const JsonValue *theirs = other.find(key);
+            if (theirs == nullptr || !(value == *theirs))
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace obs
+} // namespace spg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal JSON DOM: parse, serialize, structural equality.
+ *
+ * Exists so the observability layer can validate its own output — the
+ * trace_check tool and the round-trip tests parse the emitted Chrome
+ * trace / metrics documents without an external JSON dependency (the
+ * container pins the toolchain). Supports the full JSON grammar the
+ * tracer emits; numbers are doubles, object key order is preserved.
+ */
+
+#ifndef SPG_OBS_JSON_LITE_HH
+#define SPG_OBS_JSON_LITE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spg {
+namespace obs {
+
+/** One JSON value (recursive sum type, kept simple over compact). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** @return the member value, or nullptr (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Compact JSON text that parses back to an equal value. */
+    std::string serialize() const;
+
+    /** Structural equality (key order ignored for objects). */
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text Document text; trailing whitespace allowed, trailing
+ *        garbage is an error.
+ * @param out Parsed value (valid only when true is returned).
+ * @param error Optional; receives a message with an offset on failure.
+ * @return true on success.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace obs
+} // namespace spg
+
+#endif // SPG_OBS_JSON_LITE_HH

@@ -1,0 +1,274 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace spg {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** CAS-loop accumulate on an atomic double bit pattern. */
+void
+atomicAdd(std::atomic<std::uint64_t> &bits, double delta)
+{
+    std::uint64_t old = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        double next = bitsDouble(old) + delta;
+        if (bits.compare_exchange_weak(old, doubleBits(next),
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+/** CAS-loop min/max on an atomic double bit pattern (non-negative
+ *  samples only, so the bit patterns order like the doubles). */
+void
+atomicMin(std::atomic<std::uint64_t> &bits, double v)
+{
+    std::uint64_t old = bits.load(std::memory_order_relaxed);
+    while (bitsDouble(old) > v) {
+        if (bits.compare_exchange_weak(old, doubleBits(v),
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &bits, double v)
+{
+    std::uint64_t old = bits.load(std::memory_order_relaxed);
+    while (bitsDouble(old) < v) {
+        if (bits.compare_exchange_weak(old, doubleBits(v),
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+void
+appendName(std::string &out, const std::string &name)
+{
+    out += '"';
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+}
+
+} // namespace
+
+Histogram::Histogram() : min_bits_(doubleBits(
+                             std::numeric_limits<double>::infinity()))
+{
+}
+
+void
+Histogram::observe(double value)
+{
+    if (value < 0 || std::isnan(value))
+        value = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_bits_, value);
+    atomicMin(min_bits_, value);
+    atomicMax(max_bits_, value);
+    int b = 0;
+    if (value > 1e-9) {
+        b = static_cast<int>(std::ceil(std::log2(value * 1e9)));
+        if (b < 0)
+            b = 0;
+        if (b >= kBuckets)
+            b = kBuckets - 1;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return bitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::minValue() const
+{
+    return bitsDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::maxValue() const
+{
+    return bitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double
+Histogram::mean() const
+{
+    std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::bucketBound(int b)
+{
+    return std::ldexp(1e-9, b);
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_bits_.store(0, std::memory_order_relaxed);
+    min_bits_.store(
+        doubleBits(std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
+    max_bits_.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+Metrics &
+Metrics::global()
+{
+    static Metrics metrics;
+    return metrics;
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Metrics::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Metrics::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::string
+Metrics::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendName(out, name);
+        out += ": " + std::to_string(c->value());
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendName(out, name);
+        out += ": ";
+        appendDouble(out, g->value());
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendName(out, name);
+        std::int64_t n = h->count();
+        out += ": {\"count\": " + std::to_string(n) + ", \"sum\": ";
+        appendDouble(out, h->sum());
+        out += ", \"mean\": ";
+        appendDouble(out, h->mean());
+        out += ", \"min\": ";
+        appendDouble(out, n > 0 ? h->minValue() : 0.0);
+        out += ", \"max\": ";
+        appendDouble(out, h->maxValue());
+        out += ", \"buckets\": [";
+        bool bfirst = true;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+            std::int64_t bc = h->bucketCount(b);
+            if (bc == 0)
+                continue;
+            out += bfirst ? "" : ", ";
+            bfirst = false;
+            out += "[";
+            appendDouble(out, Histogram::bucketBound(b));
+            out += ", " + std::to_string(bc) + "]";
+        }
+        out += "]}";
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+Metrics::writeTo(const std::string &path) const
+{
+    std::string doc = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write metrics to '%s'", path.c_str());
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[name, c] : counters)
+        c->reset();
+    for (auto &[name, g] : gauges)
+        g->reset();
+    for (auto &[name, h] : histograms)
+        h->reset();
+}
+
+} // namespace obs
+} // namespace spg

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A process-wide registry of named counters, gauges and histograms.
+ *
+ * Every quantity the paper's analysis leans on — flops, bytes moved,
+ * achieved sparsity, nnz, cache hit/miss ratios, steal counts,
+ * schedule imbalance, encode vs. replay time — is published here
+ * instead of living in per-subsystem structs, and the whole registry
+ * dumps as one JSON document per run (next to the trace, see
+ * obs::finalize()).
+ *
+ * Updates are wait-free relaxed atomics, so instrumentation sites can
+ * increment from any pool worker without serializing; registration
+ * (name lookup) takes a lock, so call sites resolve their metric once
+ * and cache the reference — references stay valid for the process
+ * lifetime, across reset().
+ */
+
+#ifndef SPG_OBS_METRICS_HH
+#define SPG_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace spg {
+namespace obs {
+
+/** Monotonic integer count (events, flops, bytes, hits). */
+class Counter
+{
+  public:
+    void
+    add(std::int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Last-written floating-point sample (sparsity, imbalance). */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Distribution of non-negative samples (phase seconds, encode times):
+ * count / sum / min / max plus power-of-two nanosecond-resolution
+ * buckets, all updated with lock-free atomics so concurrent observe()
+ * calls never serialize.
+ */
+class Histogram
+{
+  public:
+    /** Bucket b holds samples in (2^(b-1), 2^b] units of 1e-9. */
+    static constexpr int kBuckets = 48;
+
+    void observe(double value);
+
+    std::int64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const;
+    double minValue() const;  ///< +inf when empty
+    double maxValue() const;  ///< 0 when empty
+    double mean() const;
+
+    std::int64_t
+    bucketCount(int b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    /** Upper bound (in sample units) of bucket b. */
+    static double bucketBound(int b);
+
+    void reset();
+
+  private:
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<std::uint64_t> sum_bits_{0};  ///< double bit pattern
+    std::atomic<std::uint64_t> min_bits_;
+    std::atomic<std::uint64_t> max_bits_{0};
+    std::atomic<std::int64_t> buckets_[kBuckets] = {};
+
+  public:
+    Histogram();
+};
+
+/** The registry. One instance per process (global()). */
+class Metrics
+{
+  public:
+    static Metrics &global();
+
+    /** Find-or-create; the reference is stable forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** One JSON document with every registered metric. */
+    std::string toJson() const;
+
+    /** toJson() to a file; fatal() on I/O failure. */
+    void writeTo(const std::string &path) const;
+
+    /** Zero every metric, keeping registrations (and references). */
+    void reset();
+
+  private:
+    Metrics() = default;
+
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace obs
+} // namespace spg
+
+#endif // SPG_OBS_METRICS_HH

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/timer.hh"
 
 namespace spg {
@@ -86,6 +88,9 @@ SparsePlanCache::get(const float *eo, std::int64_t batch,
         if (it != entries_.end()) {
             if (it->second.fingerprint == fp) {
                 ++stats_.hits;
+                obs::Metrics::global()
+                    .counter("sparse_plans.hits")
+                    .add();
                 return it->second.plan;
             }
             // Stale entry: if nobody else holds the plan, recycle its
@@ -105,11 +110,18 @@ SparsePlanCache::get(const float *eo, std::int64_t batch,
     plan->images.resize(batch);
 
     Stopwatch watch;
-    pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-        plan->images[b].encodeFromChw(eo + b * image_elems, features, h,
-                                      w, tile_width);
-    }, /*grain=*/1);
+    {
+        SPG_TRACE_SCOPE_N("sparse", "encode CT-CSR", "batch", batch);
+        pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+            plan->images[b].encodeFromChw(eo + b * image_elems, features,
+                                          h, w, tile_width);
+        }, /*grain=*/1);
+    }
     double seconds = watch.seconds();
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.counter("sparse_plans.encodes").add();
+    metrics.counter("sparse_plans.nnz").add(plan->nnz());
+    metrics.histogram("sparse_plans.encode_seconds").observe(seconds);
 
     std::lock_guard<std::mutex> lock(mu_);
     stats_.encodes += 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -129,6 +130,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(int index)
 {
+    obs::setCurrentThreadName("pool worker " + std::to_string(index));
     std::uint64_t seen = 0;
     for (;;) {
         // Fast wait: spin on the epoch so back-to-back regions never
@@ -202,6 +204,7 @@ ThreadPool::participate(int self)
     int prev_worker = tl_worker;
     tl_worker = self;
     ++tl_depth;
+    std::uint64_t tts0 = obs::traceEnabled() ? obs::traceNowNs() : 0;
     std::uint64_t t0 = nowNs();
     for (int v = 0; v < total_threads; ++v) {
         int victim = self + v;
@@ -229,11 +232,18 @@ ThreadPool::participate(int self)
 
     if (nitems == 0)
         return;
-    // One telemetry flush and one done increment per participation —
-    // timing per chunk would tax fine grains (two clock reads plus a
-    // seq_cst RMW per chunk). The flush precedes the increment: the
-    // joiner's acquire of the final count orders these writes before
-    // any stats() taken after the join.
+    // One telemetry flush, one trace span and one done increment per
+    // participation — timing per chunk would tax fine grains (two
+    // clock reads plus a seq_cst RMW per chunk). The flush and the
+    // span precede the increment: the joiner's acquire of the final
+    // count orders these writes before any stats() or trace flush
+    // taken after the join.
+    if (tts0 != 0 && obs::traceEnabled()) {
+        obs::traceComplete("pool", "region", tts0,
+                           obs::traceNowNs() - tts0, "items", nitems,
+                           "steals",
+                           static_cast<std::int64_t>(nsteals));
+    }
     mine.busy_ns += busy;
     mine.chunks += nchunks;
     mine.steals += nsteals;
@@ -258,11 +268,16 @@ ThreadPool::runSerial(std::int64_t n)
         slots[i].last_busy_ns = 0;
     }
     ++regions_;
+    std::uint64_t tts0 = obs::traceEnabled() ? obs::traceNowNs() : 0;
     std::uint64_t t0 = nowNs();
     ++tl_depth;
     runChunk(0, n, 0);
     --tl_depth;
     std::uint64_t ns = nowNs() - t0;
+    if (tts0 != 0 && obs::traceEnabled()) {
+        obs::traceComplete("pool", "region", tts0,
+                           obs::traceNowNs() - tts0, "items", n);
+    }
     Slot &s0 = slots[0];
     s0.busy_ns += ns;
     s0.chunks += 1;

@@ -3,28 +3,49 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <memory>
+#include <vector>
+
+#include <unistd.h>
 
 namespace spg {
 
 namespace {
+
+bool bad_log_env = false;
 
 /** Initial level, overridable via SPG_LOG=quiet|normal|verbose. */
 LogLevel
 envLevel()
 {
     const char *env = std::getenv("SPG_LOG");
-    if (env == nullptr)
+    if (env == nullptr || *env == '\0')
         return LogLevel::Normal;
     if (std::strcmp(env, "quiet") == 0)
         return LogLevel::Quiet;
+    if (std::strcmp(env, "normal") == 0)
+        return LogLevel::Normal;
     if (std::strcmp(env, "verbose") == 0)
         return LogLevel::Verbose;
+    // Can't warn() from here — the level initializer runs before any
+    // logging is safe to re-enter. Remember and report on first use.
+    bad_log_env = true;
     return LogLevel::Normal;
 }
 
 std::atomic<LogLevel> global_level{envLevel()};
-std::mutex emit_mutex;
+
+void
+warnBadLogEnvOnce()
+{
+    static std::atomic<bool> warned{false};
+    if (!bad_log_env || warned.exchange(true))
+        return;
+    const char *env = std::getenv("SPG_LOG");
+    warn("unrecognized SPG_LOG='%s' (expected quiet|normal|verbose); "
+         "using normal",
+         env ? env : "");
+}
 
 } // namespace
 
@@ -46,11 +67,43 @@ void
 emit(std::FILE *stream, const char *prefix, const char *fmt,
      std::va_list args)
 {
-    std::lock_guard<std::mutex> lock(emit_mutex);
-    std::fputs(prefix, stream);
-    std::vfprintf(stream, fmt, args);
-    std::fputc('\n', stream);
+    warnBadLogEnvOnce();
+
+    // Format the whole line up front and hand it to the kernel in one
+    // write(): concurrent emitters interleave at message granularity
+    // with no shared lock.
+    char stack_buf[1024];
+    std::size_t prefix_len = std::strlen(prefix);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int msg_len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (msg_len < 0)
+        msg_len = 0;
+
+    std::size_t total = prefix_len + static_cast<std::size_t>(msg_len) + 1;
+    std::vector<char> heap_buf;
+    char *buf = stack_buf;
+    if (total + 1 > sizeof(stack_buf)) {
+        heap_buf.resize(total + 1);
+        buf = heap_buf.data();
+    }
+    std::memcpy(buf, prefix, prefix_len);
+    std::vsnprintf(buf + prefix_len,
+                   static_cast<std::size_t>(msg_len) + 1, fmt, args);
+    buf[prefix_len + static_cast<std::size_t>(msg_len)] = '\n';
+
+    // Drain any buffered stdio output on the stream first so lines
+    // written through either path keep their relative order.
     std::fflush(stream);
+    int fd = fileno(stream);
+    std::size_t off = 0;
+    while (off < total) {
+        ssize_t n = ::write(fd, buf + off, total - off);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
 }
 
 } // namespace detail

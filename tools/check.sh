@@ -26,4 +26,18 @@ fi
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 cd "$build_dir"
-exec ctest --output-on-failure -j "$(nproc)" "$@"
+ctest --output-on-failure -j "$(nproc)" "$@"
+
+# Trace smoke: a 1-epoch traced training run must emit a valid Chrome
+# trace + metrics + drift document set. SPG_TRACE exercises the env-var
+# enable path (the ctest fixture covers the --trace flag path). Skipped
+# when the tracing layer is compiled out (SPG_TRACING=OFF) or when a
+# test filter was passed.
+if [[ $# -eq 0 ]] && grep -q '^SPG_TRACING:BOOL=ON$' CMakeCache.txt; then
+    trace_out="$PWD/trace_smoke_env.json"
+    SPG_TRACE="$trace_out" ./tools/spgcnn train --net=mnist \
+        --dataset-size=48 --epochs=1 --threads=2
+    ./tools/trace_check --trace="$trace_out" \
+        --require-cats=train,layer,kernel,pool,tuner \
+        --min-lanes=2 --expect-drift
+fi

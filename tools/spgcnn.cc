@@ -37,6 +37,7 @@
 #include "data/synthetic.hh"
 #include "nn/checkpoint.hh"
 #include "nn/trainer.hh"
+#include "obs/trace.hh"
 #include "perf/region.hh"
 #include "simcpu/conv_model.hh"
 #include "util/cli.hh"
@@ -103,7 +104,13 @@ cmdTrain(int argc, char **argv)
     cli.addInt("threads", 0, "worker threads (0 = hardware)");
     cli.addString("save", "", "write a checkpoint after training");
     cli.addString("load", "", "restore a checkpoint before training");
+    cli.addString("trace", "",
+                  "write a Chrome trace-event JSON to this path "
+                  "(plus .metrics.json and .drift.json sidecars)");
     cli.parse(argc, argv);
+
+    if (!cli.getString("trace").empty())
+        obs::Tracer::global().enable(cli.getString("trace"));
 
     NetConfig config = resolveNet(cli.getString("net"));
     Network net(config, 1);
@@ -155,6 +162,18 @@ cmdTrain(int argc, char **argv)
         inform("checkpoint written to %s",
                cli.getString("save").c_str());
     }
+
+    if (!trainer.driftReport().empty()) {
+        std::printf("\n");
+        trainer.driftReport().print();
+        if (obs::Tracer::global().enabled()) {
+            std::string drift_path = obs::sidecarPath(
+                obs::Tracer::global().path(), ".drift.json");
+            trainer.driftReport().writeTo(drift_path);
+            inform("drift report written to %s", drift_path.c_str());
+        }
+    }
+    obs::finalize();
     return 0;
 }
 
@@ -279,6 +298,8 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    obs::initFromEnv();
+    obs::setCurrentThreadName("main");
     std::string cmd = argv[1];
     // Shift the subcommand out of argv for the flag parsers.
     argv[1] = argv[0];

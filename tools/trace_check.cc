@@ -1,0 +1,196 @@
+/**
+ * @file
+ * trace_check — validate a Chrome trace-event JSON emitted by the
+ * tracer, plus its metrics (and optionally drift) sidecars.
+ *
+ *   trace_check --trace=run.json [--require-cats=train,layer,kernel]
+ *               [--min-lanes=2] [--expect-drift]
+ *
+ * Checks, exiting non-zero with a diagnostic on the first failure:
+ *  - the document parses and has the trace-event envelope
+ *    (displayTimeUnit + traceEvents array);
+ *  - every event carries ph/pid/tid/name, complete ("X") events carry
+ *    ts and dur, and every referenced lane has a thread_name metadata
+ *    record;
+ *  - each required category contributed at least one span;
+ *  - spans span at least --min-lanes distinct lanes (worker lanes are
+ *    populated when training ran with >= 2 threads);
+ *  - the .metrics.json sidecar parses and has the counters/gauges/
+ *    histograms sections; with --expect-drift the .drift.json sidecar
+ *    parses and reports >= 1 sample.
+ *
+ * Used by tools/check.sh (and ctest) to smoke-validate the trace a
+ * 1-epoch training run produces.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.hh"
+#include "obs/trace.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace spg;
+using obs::JsonValue;
+
+namespace {
+
+/** Read a whole file, fatal() when unreadable. */
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        fatal("cannot open '%s'", path.c_str());
+    std::string out;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, got);
+    std::fclose(f);
+    return out;
+}
+
+JsonValue
+parseFile(const std::string &path)
+{
+    JsonValue root;
+    std::string error;
+    if (!obs::parseJson(slurp(path), root, &error))
+        fatal("%s: %s", path.c_str(), error.c_str());
+    return root;
+}
+
+/** Split "a,b,c" into parts, skipping empties. */
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+const JsonValue &
+member(const JsonValue &object, const char *key, const char *context)
+{
+    const JsonValue *v = object.find(key);
+    if (v == nullptr)
+        fatal("%s: missing \"%s\"", context, key);
+    return *v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("validate a trace JSON and its metrics sidecar");
+    cli.addString("trace", "", "trace JSON path (required)");
+    cli.addString("require-cats", "train,layer,kernel,pool",
+                  "categories that must have at least one span");
+    cli.addInt("min-lanes", 2,
+               "minimum distinct lanes (threads) carrying spans");
+    cli.addBool("expect-drift", false,
+                "also validate the .drift.json sidecar");
+    cli.parse(argc, argv);
+
+    std::string trace_path = cli.getString("trace");
+    if (trace_path.empty())
+        fatal("--trace is required");
+
+    JsonValue root = parseFile(trace_path);
+    if (root.kind != JsonValue::Kind::Object)
+        fatal("%s: top level is not an object", trace_path.c_str());
+    member(root, "displayTimeUnit", trace_path.c_str());
+    const JsonValue &events =
+        member(root, "traceEvents", trace_path.c_str());
+    if (events.kind != JsonValue::Kind::Array)
+        fatal("%s: traceEvents is not an array", trace_path.c_str());
+
+    std::set<double> span_lanes;
+    std::set<double> named_lanes;
+    std::set<std::string> cats_seen;
+    std::int64_t spans = 0;
+    for (std::size_t i = 0; i < events.array.size(); ++i) {
+        const JsonValue &ev = events.array[i];
+        char context[64];
+        std::snprintf(context, sizeof(context), "traceEvents[%zu]", i);
+        const JsonValue &ph = member(ev, "ph", context);
+        member(ev, "pid", context);
+        const JsonValue &tid = member(ev, "tid", context);
+        const JsonValue &name = member(ev, "name", context);
+        if (ph.string == "M") {
+            if (name.string == "thread_name")
+                named_lanes.insert(tid.number);
+            continue;
+        }
+        member(ev, "ts", context);
+        if (ph.string == "X") {
+            member(ev, "dur", context);
+            ++spans;
+            span_lanes.insert(tid.number);
+        }
+        const JsonValue *cat = ev.find("cat");
+        if (cat != nullptr)
+            cats_seen.insert(cat->string);
+    }
+
+    if (spans == 0)
+        fatal("%s: no complete spans", trace_path.c_str());
+    for (double lane : span_lanes) {
+        if (named_lanes.count(lane) == 0)
+            fatal("%s: lane %.0f has spans but no thread_name record",
+                  trace_path.c_str(), lane);
+    }
+    for (const std::string &cat :
+         splitCsv(cli.getString("require-cats"))) {
+        if (cats_seen.count(cat) == 0)
+            fatal("%s: no spans in required category '%s'",
+                  trace_path.c_str(), cat.c_str());
+    }
+    if (static_cast<std::int64_t>(span_lanes.size()) <
+        cli.getInt("min-lanes")) {
+        fatal("%s: spans on %zu lane(s), need >= %lld",
+              trace_path.c_str(), span_lanes.size(),
+              cli.getInt("min-lanes"));
+    }
+
+    std::string metrics_path =
+        obs::sidecarPath(trace_path, ".metrics.json");
+    JsonValue metrics = parseFile(metrics_path);
+    for (const char *section : {"counters", "gauges", "histograms"}) {
+        if (member(metrics, section, metrics_path.c_str()).kind !=
+            JsonValue::Kind::Object)
+            fatal("%s: \"%s\" is not an object", metrics_path.c_str(),
+                  section);
+    }
+
+    if (cli.getBool("expect-drift")) {
+        std::string drift_path =
+            obs::sidecarPath(trace_path, ".drift.json");
+        JsonValue drift = parseFile(drift_path);
+        const JsonValue &overall =
+            member(drift, "overall", drift_path.c_str());
+        if (member(overall, "samples", drift_path.c_str()).number < 1)
+            fatal("%s: drift report has no samples",
+                  drift_path.c_str());
+    }
+
+    std::printf("trace_check: %s OK (%lld spans, %zu lanes, %zu "
+                "categories)\n",
+                trace_path.c_str(),
+                static_cast<long long>(spans), span_lanes.size(),
+                cats_seen.size());
+    return 0;
+}
