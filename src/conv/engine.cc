@@ -1,9 +1,24 @@
 #include "conv/engine.hh"
 
-#include "conv/conv_ref.hh"
 #include "util/logging.hh"
 
+#include "conv/conv_ref.hh"
+#include "conv/scratch.hh"
+
 namespace spg {
+
+const float *
+stagedMaskedEo(const ConvSpec &spec, const float *eo,
+               std::int64_t eo_offset, const BpMask &mask)
+{
+    if (!mask.active())
+        return eo;
+    std::int64_t count = spec.outputElems();
+    float *staged = ScratchArena::forThread().get(
+        kSlotMaskedEo, static_cast<std::size_t>(count));
+    mask.stage(eo, eo_offset, count, staged);
+    return staged;
+}
 
 const char *
 phaseName(Phase phase)
@@ -21,21 +36,22 @@ phaseName(Phase phase)
 
 void
 ConvEngine::forward(const ConvSpec &, const Tensor &, const Tensor &,
-                    Tensor &, ThreadPool &) const
+                    Tensor &, ThreadPool &, const Epilogue &) const
 {
     panic("engine '%s' does not implement forward()", name().c_str());
 }
 
 void
 ConvEngine::backwardData(const ConvSpec &, const Tensor &, const Tensor &,
-                         Tensor &, ThreadPool &) const
+                         Tensor &, ThreadPool &, const BpMask &) const
 {
     panic("engine '%s' does not implement backwardData()", name().c_str());
 }
 
 void
 ConvEngine::backwardWeights(const ConvSpec &, const Tensor &,
-                            const Tensor &, Tensor &, ThreadPool &) const
+                            const Tensor &, Tensor &, ThreadPool &,
+                            const BpMask &) const
 {
     panic("engine '%s' does not implement backwardWeights()",
           name().c_str());
@@ -73,45 +89,62 @@ ConvEngine::checkBackwardShapes(const ConvSpec &spec, const Tensor &eo,
 
 void
 ReferenceEngine::forward(const ConvSpec &spec, const Tensor &in,
-                         const Tensor &weights, Tensor &out,
-                         ThreadPool &) const
+                         const Tensor &weights, Tensor &out, ThreadPool &,
+                         const Epilogue &epilogue) const
 {
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t in_stride = spec.inputElems();
     std::int64_t out_stride = spec.outputElems();
     for (std::int64_t b = 0; b < batch; ++b) {
+        float *out_b = out.data() + b * out_stride;
         convForwardRef(spec, in.data() + b * in_stride, weights.data(),
-                       out.data() + b * out_stride);
+                       out_b);
+        epilogue.apply(out_b, b * out_stride, out_stride);
     }
 }
 
 void
 ReferenceEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                               const Tensor &weights, Tensor &ei,
-                              ThreadPool &) const
+                              ThreadPool &, const BpMask &mask) const
 {
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     std::int64_t eo_stride = spec.outputElems();
     std::int64_t ei_stride = spec.inputElems();
+    // The oracle favors clarity: a full masked copy, not a fused read.
+    Tensor masked_eo;
+    const float *eo_data = eo.data();
+    if (mask.active()) {
+        masked_eo = Tensor::uninitialized(eo.shape());
+        mask.stage(eo.data(), 0, eo.size(), masked_eo.data());
+        eo_data = masked_eo.data();
+    }
     for (std::int64_t b = 0; b < batch; ++b) {
-        convBackwardDataRef(spec, eo.data() + b * eo_stride,
-                            weights.data(), ei.data() + b * ei_stride);
+        convBackwardDataRef(spec, eo_data + b * eo_stride, weights.data(),
+                            ei.data() + b * ei_stride);
     }
 }
 
 void
 ReferenceEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
                                  const Tensor &in, Tensor &dweights,
-                                 ThreadPool &) const
+                                 ThreadPool &, const BpMask &mask) const
 {
     std::int64_t batch = eo.shape()[0];
     std::int64_t eo_stride = spec.outputElems();
     std::int64_t in_stride = spec.inputElems();
+    Tensor masked_eo;
+    const float *eo_data = eo.data();
+    if (mask.active()) {
+        masked_eo = Tensor::uninitialized(eo.shape());
+        mask.stage(eo.data(), 0, eo.size(), masked_eo.data());
+        eo_data = masked_eo.data();
+    }
     dweights.zero();
     for (std::int64_t b = 0; b < batch; ++b) {
-        convBackwardWeightsRef(spec, eo.data() + b * eo_stride,
+        convBackwardWeightsRef(spec, eo_data + b * eo_stride,
                                in.data() + b * in_stride,
                                dweights.data());
     }

@@ -18,7 +18,7 @@ FftConvEngine::paddedSize(const ConvSpec &spec)
 void
 FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
                        const Tensor &weights, Tensor &out,
-                       ThreadPool &pool) const
+                       ThreadPool &pool, const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "fft FP");
     checkForwardShapes(spec, in, weights, out);
@@ -88,6 +88,12 @@ FftConvEngine::forward(const ConvSpec &spec, const Tensor &in,
                         out_plane[y * ox + x] =
                             row[x * spec.sx].real();
                 }
+                // The plane is complete right after extraction: fuse
+                // the epilogue while it is still hot.
+                epilogue.apply(out_plane,
+                               b * spec.outputElems() +
+                                   (f0 + bf) * oy * ox,
+                               oy * ox);
             }
         }, /*grain=*/1);
     }

@@ -39,6 +39,8 @@ class FftConvEngine : public ConvEngine
                                              : kDefaultBudget)
     {}
 
+    using ConvEngine::forward;
+
     std::string name() const override { return "fft"; }
     bool supports(Phase phase) const override
     {
@@ -46,8 +48,8 @@ class FftConvEngine : public ConvEngine
     }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
 
     /** @return the padded transform size for a spec. */
     static std::int64_t paddedSize(const ConvSpec &spec);

@@ -14,18 +14,21 @@ namespace {
 /**
  * Per-image FP: unfold then O = W * U'. The GemmFn decides whether
  * the MM itself is threaded (Parallel-GEMM) or single-threaded
- * (GEMM-in-Parallel).
+ * (GEMM-in-Parallel). The epilogue runs right after the MM, while the
+ * output image is hot.
  */
 template <typename GemmFn>
 void
 forwardImage(const ConvSpec &spec, const float *in, const float *weights,
-             float *out, GemmFn &&mm)
+             float *out, std::int64_t out_offset, GemmFn &&mm,
+             const Epilogue &epilogue)
 {
     std::int64_t m = spec.gemmM(), n = spec.gemmN(), k = spec.gemmK();
     float *u = ScratchArena::forThread().get(
         kSlotUnfold, static_cast<std::size_t>(k) * n);
     unfoldImage(spec, in, u);
     mm(Trans::No, Trans::No, m, n, k, weights, u, 0.0f, out);
+    epilogue.apply(out, out_offset, spec.outputElems());
 }
 
 /** Per-image BP-data: U'grad = W^T * EO, then fold into EI. */
@@ -64,7 +67,7 @@ backwardWeightsImage(const ConvSpec &spec, const float *eo,
 void
 UnfoldGemmEngine::forward(const ConvSpec &spec, const Tensor &in,
                           const Tensor &weights, Tensor &out,
-                          ThreadPool &pool) const
+                          ThreadPool &pool, const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "parallel-gemm FP");
     checkForwardShapes(spec, in, weights, out);
@@ -77,14 +80,14 @@ UnfoldGemmEngine::forward(const ConvSpec &spec, const Tensor &in,
     for (std::int64_t b = 0; b < batch; ++b) {
         forwardImage(spec, in.data() + b * spec.inputElems(),
                      weights.data(), out.data() + b * spec.outputElems(),
-                     mm);
+                     b * spec.outputElems(), mm, epilogue);
     }
 }
 
 void
 UnfoldGemmEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                const Tensor &weights, Tensor &ei,
-                               ThreadPool &pool) const
+                               ThreadPool &pool, const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "parallel-gemm BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
@@ -95,8 +98,10 @@ UnfoldGemmEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
         parallelGemm(pool, ta, tb, m, n, k, a, b, beta, c);
     };
     for (std::int64_t b = 0; b < batch; ++b) {
-        backwardDataImage(spec, eo.data() + b * spec.outputElems(),
-                          weights.data(),
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
+        backwardDataImage(spec, eo_b, weights.data(),
                           ei.data() + b * spec.inputElems(), mm);
     }
 }
@@ -104,7 +109,8 @@ UnfoldGemmEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 void
 UnfoldGemmEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
                                   const Tensor &in, Tensor &dweights,
-                                  ThreadPool &pool) const
+                                  ThreadPool &pool, const BpMask &mask)
+    const
 {
     SPG_TRACE_SCOPE("kernel", "parallel-gemm BP-weights");
     std::int64_t batch = eo.shape()[0];
@@ -115,7 +121,10 @@ UnfoldGemmEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
         parallelGemm(pool, ta, tb, m, n, k, a, b, beta, c);
     };
     for (std::int64_t b = 0; b < batch; ++b) {
-        backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
+        backwardWeightsImage(spec, eo_b,
                              in.data() + b * spec.inputElems(),
                              dweights.data(), mm);
     }
@@ -140,7 +149,8 @@ seqMm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
 void
 GemmInParallelEngine::forward(const ConvSpec &spec, const Tensor &in,
                               const Tensor &weights, Tensor &out,
-                              ThreadPool &pool) const
+                              ThreadPool &pool,
+                              const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "gemm-in-parallel FP");
     checkForwardShapes(spec, in, weights, out);
@@ -148,21 +158,24 @@ GemmInParallelEngine::forward(const ConvSpec &spec, const Tensor &in,
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         forwardImage(spec, in.data() + b * spec.inputElems(),
                      weights.data(), out.data() + b * spec.outputElems(),
-                     seqMm);
+                     b * spec.outputElems(), seqMm, epilogue);
     }, /*grain=*/1);
 }
 
 void
 GemmInParallelEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                    const Tensor &weights, Tensor &ei,
-                                   ThreadPool &pool) const
+                                   ThreadPool &pool,
+                                   const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "gemm-in-parallel BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
     std::int64_t batch = eo.shape()[0];
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-        backwardDataImage(spec, eo.data() + b * spec.outputElems(),
-                          weights.data(),
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
+        backwardDataImage(spec, eo_b, weights.data(),
                           ei.data() + b * spec.inputElems(), seqMm);
     }, /*grain=*/1);
 }
@@ -170,8 +183,8 @@ GemmInParallelEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 void
 GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
                                       const Tensor &eo, const Tensor &in,
-                                      Tensor &dweights, ThreadPool &pool)
-    const
+                                      Tensor &dweights, ThreadPool &pool,
+                                      const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "gemm-in-parallel BP-weights");
     std::int64_t batch = eo.shape()[0];
@@ -186,7 +199,7 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
     std::size_t total =
         static_cast<std::size_t>(workers) * w_count;
     if (partialDw_.size() < total)
-        partialDw_ = AlignedBuffer<float>(total);
+        partialDw_ = AlignedBuffer<float>(kUninit, total);
     partialUsed_.assign(workers, 0);
     pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
         float *dw = partialDw_.data() + worker * w_count;
@@ -194,7 +207,10 @@ GemmInParallelEngine::backwardWeights(const ConvSpec &spec,
             std::memset(dw, 0, sizeof(float) * w_count);
             partialUsed_[worker] = 1;
         }
-        backwardWeightsImage(spec, eo.data() + b * spec.outputElems(),
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
+        backwardWeightsImage(spec, eo_b,
                              in.data() + b * spec.inputElems(), dw,
                              seqMm);
     }, /*grain=*/1);

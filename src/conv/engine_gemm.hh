@@ -14,7 +14,10 @@
  * per-core performance stays flat as cores are added.
  *
  * Both schedules share the identical im2col + micro-kernel math, so
- * measured differences are attributable to scheduling alone.
+ * measured differences are attributable to scheduling alone. Fused
+ * epilogues run per image right after its MM, while the output image
+ * is still cache-hot; fused BP masks stage a masked per-image copy of
+ * EO in scratch before the MM consumes it.
  */
 
 #ifndef SPG_CONV_ENGINE_GEMM_HH
@@ -31,36 +34,46 @@ namespace spg {
 class UnfoldGemmEngine : public ConvEngine
 {
   public:
+    using ConvEngine::backwardData;
+    using ConvEngine::backwardWeights;
+    using ConvEngine::forward;
+
     std::string name() const override { return "parallel-gemm"; }
     bool supports(Phase) const override { return true; }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
     void backwardWeights(const ConvSpec &spec, const Tensor &eo,
                          const Tensor &in, Tensor &dweights,
-                         ThreadPool &pool) const override;
+                         ThreadPool &pool,
+                         const BpMask &mask) const override;
 };
 
 /** GEMM-in-Parallel schedule (paper §4.1). */
 class GemmInParallelEngine : public ConvEngine
 {
   public:
+    using ConvEngine::backwardData;
+    using ConvEngine::backwardWeights;
+    using ConvEngine::forward;
+
     std::string name() const override { return "gemm-in-parallel"; }
     bool supports(Phase) const override { return true; }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
     void backwardWeights(const ConvSpec &spec, const Tensor &eo,
                          const Tensor &in, Tensor &dweights,
-                         ThreadPool &pool) const override;
+                         ThreadPool &pool,
+                         const BpMask &mask) const override;
 
   private:
     /** Reused per-worker partial-gradient slabs for backwardWeights;

@@ -13,17 +13,21 @@ namespace spg {
 namespace {
 
 /** Fused per-image FP: unfold straight into B panels, then the
- *  fully-packed O = Wpack * U'pack with zero in-loop packing. */
+ *  fully-packed O = Wpack * U'pack with zero in-loop packing; the
+ *  epilogue runs right after, while the output image is hot. */
 template <typename PackedMmFn>
 void
 forwardImagePacked(const ConvSpec &spec, const float *in,
-                   const PackedMatrix &wpack, float *out, PackedMmFn &&mm)
+                   const PackedMatrix &wpack, float *out,
+                   std::int64_t out_offset, PackedMmFn &&mm,
+                   const Epilogue &epilogue)
 {
     std::int64_t n = spec.gemmN(), k = spec.gemmK();
     float *panels = ScratchArena::forThread().get(
         kSlotPanelsB, PackedMatrix::panelElemsB(k, n));
     unfoldImageToPanels(spec, in, panels);
     mm(wpack, PackedMatrix::viewB(k, n, panels), out);
+    epilogue.apply(out, out_offset, spec.outputElems());
 }
 
 } // namespace
@@ -36,7 +40,8 @@ forwardImagePacked(const ConvSpec &spec, const float *in,
 void
 UnfoldGemmPackedEngine::forward(const ConvSpec &spec, const Tensor &in,
                                 const Tensor &weights, Tensor &out,
-                                ThreadPool &pool) const
+                                ThreadPool &pool,
+                                const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "parallel-gemm-packed FP");
     checkForwardShapes(spec, in, weights, out);
@@ -51,7 +56,7 @@ UnfoldGemmPackedEngine::forward(const ConvSpec &spec, const Tensor &in,
     for (std::int64_t b = 0; b < batch; ++b) {
         forwardImagePacked(spec, in.data() + b * spec.inputElems(),
                            *wpack, out.data() + b * spec.outputElems(),
-                           mm);
+                           b * spec.outputElems(), mm, epilogue);
     }
 }
 
@@ -59,7 +64,8 @@ void
 UnfoldGemmPackedEngine::backwardData(const ConvSpec &spec,
                                      const Tensor &eo,
                                      const Tensor &weights, Tensor &ei,
-                                     ThreadPool &pool) const
+                                     ThreadPool &pool,
+                                     const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "parallel-gemm-packed BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
@@ -69,10 +75,12 @@ UnfoldGemmPackedEngine::backwardData(const ConvSpec &spec,
     auto wpack = PackedWeightCache::global().getA(
         weights.data(), Trans::Yes, spec.gemmK(), spec.gemmM());
     for (std::int64_t b = 0; b < batch; ++b) {
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
         float *ugrad = ScratchArena::forThread().get(
             kSlotUnfoldGrad, static_cast<std::size_t>(m) * n);
-        parallelGemmPackedA(pool, *wpack, Trans::No, n,
-                            eo.data() + b * spec.outputElems(), n, 0.0f,
+        parallelGemmPackedA(pool, *wpack, Trans::No, n, eo_b, n, 0.0f,
                             ugrad, n);
         float *ei_b = ei.data() + b * spec.inputElems();
         std::memset(ei_b, 0, sizeof(float) * spec.inputElems());
@@ -89,7 +97,8 @@ void
 GemmInParallelPackedEngine::forward(const ConvSpec &spec,
                                     const Tensor &in,
                                     const Tensor &weights, Tensor &out,
-                                    ThreadPool &pool) const
+                                    ThreadPool &pool,
+                                    const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "gemm-in-parallel-packed FP");
     checkForwardShapes(spec, in, weights, out);
@@ -104,7 +113,7 @@ GemmInParallelPackedEngine::forward(const ConvSpec &spec,
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         forwardImagePacked(spec, in.data() + b * spec.inputElems(),
                            *wpack, out.data() + b * spec.outputElems(),
-                           mm);
+                           b * spec.outputElems(), mm, epilogue);
     }, /*grain=*/1);
 }
 
@@ -112,8 +121,8 @@ void
 GemmInParallelPackedEngine::backwardData(const ConvSpec &spec,
                                          const Tensor &eo,
                                          const Tensor &weights,
-                                         Tensor &ei,
-                                         ThreadPool &pool) const
+                                         Tensor &ei, ThreadPool &pool,
+                                         const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "gemm-in-parallel-packed BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
@@ -122,11 +131,12 @@ GemmInParallelPackedEngine::backwardData(const ConvSpec &spec,
     auto wpack = PackedWeightCache::global().getA(
         weights.data(), Trans::Yes, spec.gemmK(), spec.gemmM());
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b =
+            stagedMaskedEo(spec, eo.data() + off, off, mask);
         float *ugrad = ScratchArena::forThread().get(
             kSlotUnfoldGrad, static_cast<std::size_t>(m) * n);
-        sgemmPackedA(*wpack, Trans::No, n,
-                     eo.data() + b * spec.outputElems(), n, 0.0f, ugrad,
-                     n);
+        sgemmPackedA(*wpack, Trans::No, n, eo_b, n, 0.0f, ugrad, n);
         float *ei_b = ei.data() + b * spec.inputElems();
         std::memset(ei_b, 0, sizeof(float) * spec.inputElems());
         foldImageAccumulate(spec, ugrad, ei_b);

@@ -22,7 +22,7 @@
  *
  * BP-weights has no packed operand that is reused across images (the
  * weights are the OUTPUT of that GEMM), so both variants inherit the
- * unpacked implementation.
+ * unpacked implementation (including its fused eo masking).
  *
  * The engines produce results bit-for-bit identical to their unpacked
  * counterparts: the packed entry points run the exact same blocking
@@ -43,11 +43,11 @@ class UnfoldGemmPackedEngine : public UnfoldGemmEngine
     std::string name() const override { return "parallel-gemm-packed"; }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
 };
 
 /** GEMM-in-Parallel with cached packed weights and fused unfold. */
@@ -57,11 +57,11 @@ class GemmInParallelPackedEngine : public GemmInParallelEngine
     std::string name() const override { return "gemm-in-parallel-packed"; }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
 };
 
 } // namespace spg

@@ -200,7 +200,7 @@ SparseBpEngine::reducePartials(int workers, std::int64_t w_count,
 void
 SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                              const Tensor &weights, Tensor &ei,
-                             ThreadPool &pool) const
+                             ThreadPool &pool, const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "sparse BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
@@ -211,18 +211,23 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
     std::int64_t tile_w = effectiveFeatureTile(spec.nf);
 
     // Weights channel-fastest: W'[ky][kx][f][c]; once per call.
-    Tensor wkkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    Tensor wkkfc = Tensor::uninitialized(
+        Shape{spec.fy, spec.fx, spec.nf, spec.nc});
     weightsToKkfc(weights.data(), spec.nf, spec.nc, spec.fy, spec.fx,
                   wkkfc.data());
     const float *wt = wkkfc.data();
 
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         ScratchArena &arena = ScratchArena::forThread();
+        // Fused ReLU gate first (masked entries become exact zeros, so
+        // the encode drops them — identical to an unfused ReLU BP).
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b = stagedMaskedEo(spec, eo.data() + off, off,
+                                           mask);
         // EO feature-fastest: EO'[(y',x')][f].
         float *eo_t = arena.get(
             kSlotLayoutA, static_cast<std::size_t>(spatial_out) * spec.nf);
-        chwToHwc(eo.data() + b * spec.outputElems(), spec.nf, oy, ox,
-                 eo_t);
+        chwToHwc(eo_b, spec.nf, oy, ox, eo_t);
         CtCsrMatrix ct = CtCsrMatrix::fromDense(eo_t, spatial_out,
                                                 spec.nf, tile_w);
 
@@ -242,7 +247,7 @@ SparseBpEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 void
 SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
                                 const Tensor &in, Tensor &dweights,
-                                ThreadPool &pool) const
+                                ThreadPool &pool, const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "sparse BP-weights");
     std::int64_t batch = eo.shape()[0];
@@ -260,10 +265,12 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
 
     pool.parallelForDynamic(batch, [&](std::int64_t b, int worker) {
         ScratchArena &arena = ScratchArena::forThread();
+        std::int64_t off = b * spec.outputElems();
+        const float *eo_b = stagedMaskedEo(spec, eo.data() + off, off,
+                                           mask);
         float *eo_t = arena.get(
             kSlotLayoutA, static_cast<std::size_t>(spatial_out) * spec.nf);
-        chwToHwc(eo.data() + b * spec.outputElems(), spec.nf, oy, ox,
-                 eo_t);
+        chwToHwc(eo_b, spec.nf, oy, ox, eo_t);
         CtCsrMatrix ct = CtCsrMatrix::fromDense(eo_t, spatial_out,
                                                 spec.nf, tile_w);
 
@@ -290,7 +297,8 @@ SparseBpEngine::backwardWeights(const ConvSpec &spec, const Tensor &eo,
 void
 SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
                                    const Tensor &weights, Tensor &ei,
-                                   ThreadPool &pool) const
+                                   ThreadPool &pool,
+                                   const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "sparse-cached BP-data");
     checkBackwardShapes(spec, eo, weights, ei);
@@ -300,11 +308,13 @@ SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
     std::int64_t tile_w = effectiveFeatureTile(spec.nf);
 
     // Encode-once: fused CHW -> CT-CSR, shared with backwardWeights.
+    // A fused ReLU mask gates liveness inside the same encode sweep.
     std::shared_ptr<const SparsePlan> plan =
         SparsePlanCache::global().get(eo.data(), batch, spec.nf, oy, ox,
-                                      tile_w, pool);
+                                      tile_w, pool, mask.mask);
 
-    Tensor wkkfc(Shape{spec.fy, spec.fx, spec.nf, spec.nc});
+    Tensor wkkfc = Tensor::uninitialized(
+        Shape{spec.fy, spec.fx, spec.nf, spec.nc});
     weightsToKkfc(weights.data(), spec.nf, spec.nc, spec.fy, spec.fx,
                   wkkfc.data());
     const float *wt = wkkfc.data();
@@ -326,8 +336,8 @@ SparseBpCachedEngine::backwardData(const ConvSpec &spec, const Tensor &eo,
 void
 SparseBpCachedEngine::backwardWeights(const ConvSpec &spec,
                                       const Tensor &eo, const Tensor &in,
-                                      Tensor &dweights,
-                                      ThreadPool &pool) const
+                                      Tensor &dweights, ThreadPool &pool,
+                                      const BpMask &mask) const
 {
     SPG_TRACE_SCOPE("kernel", "sparse-cached BP-weights");
     std::int64_t batch = eo.shape()[0];
@@ -339,7 +349,7 @@ SparseBpCachedEngine::backwardWeights(const ConvSpec &spec,
     // Hits when backwardData already encoded this minibatch.
     std::shared_ptr<const SparsePlan> plan =
         SparsePlanCache::global().get(eo.data(), batch, spec.nf, oy, ox,
-                                      tile_w, pool);
+                                      tile_w, pool, mask.mask);
 
     int workers = pool.threads();
     float *partials = acquirePartials(workers, w_count);

@@ -53,6 +53,9 @@ class SparseBpEngine : public ConvEngine
         : featureTile(feature_tile)
     {}
 
+    using ConvEngine::backwardData;
+    using ConvEngine::backwardWeights;
+
     std::string name() const override { return "sparse"; }
     bool supports(Phase phase) const override
     {
@@ -61,11 +64,12 @@ class SparseBpEngine : public ConvEngine
     }
 
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
     void backwardWeights(const ConvSpec &spec, const Tensor &eo,
                          const Tensor &in, Tensor &dweights,
-                         ThreadPool &pool) const override;
+                         ThreadPool &pool,
+                         const BpMask &mask) const override;
 
     /** @return the feature tile width used for the given Nf. */
     std::int64_t effectiveFeatureTile(std::int64_t nf) const;
@@ -105,14 +109,18 @@ class SparseBpCachedEngine : public SparseBpEngine
         : SparseBpEngine(feature_tile)
     {}
 
+    using SparseBpEngine::backwardData;
+    using SparseBpEngine::backwardWeights;
+
     std::string name() const override { return "sparse-cached"; }
 
     void backwardData(const ConvSpec &spec, const Tensor &eo,
-                      const Tensor &weights, Tensor &ei,
-                      ThreadPool &pool) const override;
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
     void backwardWeights(const ConvSpec &spec, const Tensor &eo,
                          const Tensor &in, Tensor &dweights,
-                         ThreadPool &pool) const override;
+                         ThreadPool &pool,
+                         const BpMask &mask) const override;
 };
 
 } // namespace spg

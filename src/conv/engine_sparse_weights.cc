@@ -11,7 +11,8 @@ namespace spg {
 void
 SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
                                const Tensor &weights, Tensor &out,
-                               ThreadPool &pool) const
+                               ThreadPool &pool,
+                               const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "sparse-weights FP");
     checkForwardShapes(spec, in, weights, out);
@@ -57,6 +58,10 @@ SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
                     }
                 }
             }
+            // Plane finished (last tap accumulated): fuse here.
+            epilogue.apply(plane,
+                           b * spec.outputElems() + f * oy * ox,
+                           oy * ox);
         }
     }, /*grain=*/1);
 }

@@ -29,6 +29,8 @@ namespace spg {
 class SparseWeightsFpEngine : public ConvEngine
 {
   public:
+    using ConvEngine::forward;
+
     std::string name() const override { return "sparse-weights"; }
     bool supports(Phase phase) const override
     {
@@ -36,8 +38,8 @@ class SparseWeightsFpEngine : public ConvEngine
     }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
 };
 
 } // namespace spg

@@ -316,7 +316,7 @@ StencilEngine::selectTileHeight(std::int64_t fy)
 void
 StencilEngine::forward(const ConvSpec &spec, const Tensor &in,
                        const Tensor &weights, Tensor &out,
-                       ThreadPool &pool) const
+                       ThreadPool &pool, const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "stencil FP");
     checkForwardShapes(spec, in, weights, out);
@@ -356,6 +356,10 @@ StencilEngine::forward(const ConvSpec &spec, const Tensor &in,
                              oy, ox, out_plane, tile);
             }
         }
+        // Each output plane is written exactly once, by one worker:
+        // fuse the epilogue here while the plane is cache-hot.
+        epilogue.apply(out_plane, b * spec.outputElems() + f * oy * ox,
+                       oy * ox);
     };
 
     if (transform) {

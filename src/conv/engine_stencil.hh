@@ -51,6 +51,8 @@ class StencilEngine : public ConvEngine
         : fixedRy(fixed_ry), strideTransform(use_stride_transform)
     {}
 
+    using ConvEngine::forward;
+
     std::string name() const override { return "stencil"; }
     bool supports(Phase phase) const override
     {
@@ -58,8 +60,8 @@ class StencilEngine : public ConvEngine
     }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
 
     /**
      * @return the register tile height the basic-block generator

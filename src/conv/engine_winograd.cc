@@ -120,7 +120,7 @@ directOutput(const ConvSpec &spec, const float *image, const float *w,
 void
 WinogradEngine::forward(const ConvSpec &spec, const Tensor &in,
                         const Tensor &weights, Tensor &out,
-                        ThreadPool &pool) const
+                        ThreadPool &pool, const Epilogue &epilogue) const
 {
     SPG_TRACE_SCOPE("kernel", "winograd FP");
     checkForwardShapes(spec, in, weights, out);
@@ -228,6 +228,11 @@ WinogradEngine::forward(const ConvSpec &spec, const Tensor &in,
                     plane[y * ox + x] = directOutput(
                         spec, image, weights.data(), f, y, x);
         }
+
+        // This worker owns the whole image and the edge strips above
+        // were its last writes: fuse the epilogue per image.
+        epilogue.apply(out_image, b * spec.outputElems(),
+                       spec.outputElems());
     }, /*grain=*/1);
 }
 

@@ -31,6 +31,8 @@ namespace spg {
 class WinogradEngine : public ConvEngine
 {
   public:
+    using ConvEngine::forward;
+
     std::string name() const override { return "winograd"; }
     bool supports(Phase phase) const override
     {
@@ -44,8 +46,8 @@ class WinogradEngine : public ConvEngine
     }
 
     void forward(const ConvSpec &spec, const Tensor &in,
-                 const Tensor &weights, Tensor &out,
-                 ThreadPool &pool) const override;
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
 };
 
 } // namespace spg

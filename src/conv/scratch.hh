@@ -24,9 +24,10 @@ class ScratchArena
 {
   public:
     /**
-     * @return a zero-initialized-on-growth buffer of at least @p count
-     * floats for the given slot id. Contents persist between calls on
-     * the same thread (callers must not rely on them).
+     * @return a buffer of at least @p count floats for the given slot
+     * id. Contents are UNINITIALIZED on growth and persist between
+     * calls on the same thread — callers must fully overwrite before
+     * reading (sanitized builds poison fresh storage to enforce this).
      */
     float *
     get(int slot, std::size_t count)
@@ -34,7 +35,7 @@ class ScratchArena
         if (slot >= static_cast<int>(slots.size()))
             slots.resize(slot + 1);
         if (slots[slot].size() < count)
-            slots[slot] = AlignedBuffer<float>(count);
+            slots[slot] = AlignedBuffer<float>(kUninit, count);
         return slots[slot].data();
     }
 
@@ -61,7 +62,8 @@ enum ScratchSlot
     kSlotLayoutC = 5,      ///< layout-transform staging C
     kSlotStencilIn = 6,    ///< strided-split input planes
     kSlotStencilOut = 7,   ///< stencil output staging
-    kSlotPanelsB = 8       ///< im2col emitted directly in B-panel format
+    kSlotPanelsB = 8,      ///< im2col emitted directly in B-panel format
+    kSlotMaskedEo = 9      ///< ReLU-masked copy of one image's errors
 };
 
 } // namespace spg

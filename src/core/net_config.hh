@@ -56,6 +56,13 @@ struct NetConfig
     std::int64_t width = 0;
     std::int64_t classes = 0;
     std::vector<LayerConfig> layers;
+    /**
+     * Collapse conv->relu and fc->relu pairs into fused layers (ReLU
+     * applied in the producer's epilogue, bit-for-bit identical).
+     * Programmatic switch only — not part of the textual format, so
+     * parse/render round-trips are unaffected.
+     */
+    bool fuse_epilogues = true;
 };
 
 /** Parse a description from text; fatal() on malformed input. */

@@ -38,7 +38,7 @@ Tuner::Tuner(TunerOptions options)
 EngineTiming
 Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
                const Tensor &in, const Tensor &weights, const Tensor &eo,
-               ThreadPool &pool) const
+               ThreadPool &pool, bool fused_relu) const
 {
     std::int64_t batch = in.shape()[0];
     EngineTiming timing;
@@ -61,11 +61,33 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
     SparsePlanCache::Stats before = plans.stats();
     PoolStats sched_before = pool.stats();
 
+    // When the layer will run with a fused ReLU, measure that path: FP
+    // pays the epilogue clamp + mask store, BP pays the mask staging.
+    // The BP mask matches the nonzeros of EO so the effective sparsity
+    // the engines see is unchanged by the gating.
+    std::vector<std::uint8_t> mask;
+    if (fused_relu && phase != Phase::Forward) {
+        mask.resize(static_cast<std::size_t>(eo.size()));
+        const float *go = eo.data();
+        for (std::int64_t i = 0; i < eo.size(); ++i)
+            mask[i] = go[i] != 0.0f;
+    }
+    BpMask bp_mask;
+    if (!mask.empty())
+        bp_mask.mask = mask.data();
+
     switch (phase) {
       case Phase::Forward: {
         Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        Epilogue epilogue;
+        std::vector<std::uint8_t> fp_mask;
+        if (fused_relu) {
+            fp_mask.resize(static_cast<std::size_t>(out.size()));
+            epilogue =
+                Epilogue{Epilogue::Kind::ReluMask, fp_mask.data()};
+        }
         timing.seconds = bestTimeSeconds(opts.reps, [&] {
-            engine.forward(spec, in, weights, out, pool);
+            engine.forward(spec, in, weights, out, pool, epilogue);
         });
         break;
       }
@@ -74,14 +96,14 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
         timing.seconds = bestTimeSeconds(opts.reps, [&] {
             if (encode_once)
                 plans.invalidate(eo.data());
-            engine.backwardData(spec, eo, weights, ei, pool);
+            engine.backwardData(spec, eo, weights, ei, pool, bp_mask);
         });
         break;
       }
       case Phase::BackwardWeights: {
         Tensor dw(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
         timing.seconds = bestTimeSeconds(opts.reps, [&] {
-            engine.backwardWeights(spec, eo, in, dw, pool);
+            engine.backwardWeights(spec, eo, in, dw, pool, bp_mask);
         });
         break;
       }
@@ -105,8 +127,8 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
 
 void
 Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
-                  const ConvSpec &spec, double sparsity,
-                  ThreadPool &pool) const
+                  const ConvSpec &spec, double sparsity, ThreadPool &pool,
+                  bool fused_relu) const
 {
     spec.validate();
     Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(spec.nf * 131 +
@@ -130,7 +152,7 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
                 continue;
             }
             EngineTiming t = measure(*engine, phase, spec, in, weights,
-                                     eo, pool);
+                                     eo, pool, fused_relu);
             plan.timings[phase].push_back(t);
             if (t.seconds < best) {
                 best = t.seconds;
@@ -160,22 +182,23 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
 }
 
 LayerPlan
-Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool) const
+Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool,
+            bool fused_relu) const
 {
     LayerPlan plan;
     tunePhases(plan,
                {Phase::Forward, Phase::BackwardData,
                 Phase::BackwardWeights},
-               spec, sparsity, pool);
+               spec, sparsity, pool, fused_relu);
     return plan;
 }
 
 LayerPlan
 Tuner::retuneBp(const LayerPlan &previous, const ConvSpec &spec,
-                double sparsity, ThreadPool &pool) const
+                double sparsity, ThreadPool &pool, bool fused_relu) const
 {
     if (previous.fp_engine.empty())
-        return tune(spec, sparsity, pool);
+        return tune(spec, sparsity, pool, fused_relu);
     LayerPlan plan;
     // FP carried forward: choice and measurements stay valid because
     // forward cost does not depend on the error-gradient sparsity.
@@ -184,7 +207,7 @@ Tuner::retuneBp(const LayerPlan &previous, const ConvSpec &spec,
     if (it != previous.timings.end())
         plan.timings[Phase::Forward] = it->second;
     tunePhases(plan, {Phase::BackwardData, Phase::BackwardWeights}, spec,
-               sparsity, pool);
+               sparsity, pool, fused_relu);
     return plan;
 }
 

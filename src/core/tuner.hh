@@ -90,9 +90,12 @@ class Tuner
      * @param spec Layer geometry.
      * @param sparsity Expected sparsity of the output-error gradients.
      * @param pool Worker pool (its size is the deployed core count).
+     * @param fused_relu Measure the engines as the layer will actually
+     *        run them: FP with the ReLU-mask epilogue, BP with the
+     *        saved byte mask applied to the error gradients.
      */
-    LayerPlan tune(const ConvSpec &spec, double sparsity,
-                   ThreadPool &pool) const;
+    LayerPlan tune(const ConvSpec &spec, double sparsity, ThreadPool &pool,
+                   bool fused_relu = false) const;
 
     /**
      * Re-tune only the BP phases, carrying the FP choice and its
@@ -102,7 +105,8 @@ class Tuner
      * `previous` has no FP decision.
      */
     LayerPlan retuneBp(const LayerPlan &previous, const ConvSpec &spec,
-                       double sparsity, ThreadPool &pool) const;
+                       double sparsity, ThreadPool &pool,
+                       bool fused_relu = false) const;
 
     /**
      * @return true when a plan tuned at `plan.tuned_sparsity` should
@@ -118,11 +122,11 @@ class Tuner
     EngineTiming measure(const ConvEngine &engine, Phase phase,
                          const ConvSpec &spec, const Tensor &in,
                          const Tensor &weights, const Tensor &eo,
-                         ThreadPool &pool) const;
+                         ThreadPool &pool, bool fused_relu) const;
 
     void tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
                     const ConvSpec &spec, double sparsity,
-                    ThreadPool &pool) const;
+                    ThreadPool &pool, bool fused_relu) const;
 
     TunerOptions opts;
     std::vector<std::unique_ptr<ConvEngine>> engines;

@@ -41,7 +41,8 @@ ConvLayer::~ConvLayer()
 std::string
 ConvLayer::name() const
 {
-    return label + " conv(" + spec_.str() + ")";
+    return label + " conv(" + spec_.str() + ")" +
+           (fused_relu ? "+relu" : "");
 }
 
 const ConvEngine &
@@ -90,7 +91,17 @@ ConvLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
         obs::Metrics::global().counter("conv.fp_flops");
     flops.add(spec_.flops() * batch);
     Stopwatch watch;
-    engineByName(assignment.fp).forward(spec_, in, weights_, out, pool);
+    Epilogue epilogue;
+    if (fused_relu) {
+        relu_mask.resize(static_cast<std::size_t>(batch) *
+                         spec_.outputElems());
+        epilogue = Epilogue{Epilogue::Kind::ReluMask, relu_mask.data()};
+        static obs::Counter &fused_passes =
+            obs::Metrics::global().counter("nn.fused_relu_passes");
+        fused_passes.add();
+    }
+    engineByName(assignment.fp)
+        .forward(spec_, in, weights_, out, pool, epilogue);
     profile_.fp_seconds += watch.seconds();
     ++profile_.calls;
 }
@@ -100,7 +111,24 @@ ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
                     Tensor &ei, ThreadPool &pool)
 {
     std::int64_t batch = eo.shape()[0];
-    last_eo_sparsity = eo.sparsity();
+    BpMask mask;
+    if (fused_relu) {
+        SPG_ASSERT(relu_mask.size() ==
+                   static_cast<std::size_t>(eo.size()));
+        mask.mask = relu_mask.data();
+        // The sparsity the BP engines see is POST-mask: an element is
+        // live only where the fused ReLU kept it and eo is non-zero.
+        std::int64_t nnz_count = 0;
+        const float *go = eo.data();
+        for (std::int64_t i = 0; i < eo.size(); ++i)
+            nnz_count += relu_mask[i] && go[i] != 0.0f;
+        last_eo_sparsity =
+            eo.size() == 0 ? 0.0
+                           : 1.0 - static_cast<double>(nnz_count) /
+                                       static_cast<double>(eo.size());
+    } else {
+        last_eo_sparsity = eo.sparsity();
+    }
     eo_sparsity_gauge->set(last_eo_sparsity);
     static obs::Counter &nnz =
         obs::Metrics::global().counter("conv.eo_nnz");
@@ -113,14 +141,14 @@ ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
     {
         SPG_TRACE_SCOPE_N("layer", span_bp_data, "batch", batch);
         engineByName(assignment.bp_data)
-            .backwardData(spec_, eo, weights_, ei, pool);
+            .backwardData(spec_, eo, weights_, ei, pool, mask);
     }
     profile_.bp_data_seconds += watch.seconds();
     watch.reset();
     {
         SPG_TRACE_SCOPE_N("layer", span_bp_weights, "batch", batch);
         engineByName(assignment.bp_weights)
-            .backwardWeights(spec_, eo, in, dweights, pool);
+            .backwardWeights(spec_, eo, in, dweights, pool, mask);
     }
     profile_.bp_weights_seconds += watch.seconds();
 }

@@ -60,6 +60,21 @@ class ConvLayer : public Layer
                   Tensor &ei, ThreadPool &pool) override;
     void update(float learning_rate) override;
 
+    /** BP-weights reads the saved input; the (possibly fused-ReLU)
+     *  output is never revisited — its role in BP is carried by the
+     *  byte mask the FP epilogue saved. */
+    bool backwardUsesInput() const override { return true; }
+    bool backwardUsesOutput() const override { return false; }
+
+    /**
+     * Fuse a trailing ReLU into this layer: FP applies ReLU in the
+     * engine epilogue while each output tile is hot and saves a byte
+     * activity mask; BP hands the mask to the engines so the
+     * standalone ReLU-backward pass over the error tensor disappears.
+     */
+    void setFusedRelu(bool on) { fused_relu = on; }
+    bool fusedRelu() const { return fused_relu; }
+
     bool hasParams() const override { return true; }
     std::int64_t paramCount() const override
     {
@@ -103,6 +118,9 @@ class ConvLayer : public Layer
     Tensor weights_;
     Tensor dweights;
     EngineAssignment assignment;
+    bool fused_relu = false;
+    /** ReLU activity mask [B][Nf][Oy][Ox] saved by the FP epilogue. */
+    std::vector<std::uint8_t> relu_mask;
     double last_eo_sparsity = 0;
     PhaseProfile profile_;
     std::map<std::string, std::unique_ptr<ConvEngine>> engine_cache;

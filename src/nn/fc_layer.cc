@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "blas/gemm.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -26,7 +27,7 @@ std::string
 FcLayer::name() const
 {
     return "fc(" + std::to_string(geom.elems()) + "->" +
-           std::to_string(outputs) + ")";
+           std::to_string(outputs) + ")" + (fused_relu ? "+relu" : "");
 }
 
 void
@@ -38,9 +39,28 @@ FcLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
     parallelGemm(pool, Trans::No, Trans::Yes, batch, outputs, d,
                  in.data(), weights.data(), 0.0f, out.data());
     float *o = out.data();
-    for (std::int64_t b = 0; b < batch; ++b)
-        for (std::int64_t j = 0; j < outputs; ++j)
-            o[b * outputs + j] += bias[j];
+    if (fused_relu) {
+        // ReLU fused into the bias epilogue: clamp while the row is
+        // hot and save the activity mask the BP staging will use.
+        relu_mask.resize(static_cast<std::size_t>(batch) * outputs);
+        std::uint8_t *m = relu_mask.data();
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t j = 0; j < outputs; ++j) {
+                std::int64_t idx = b * outputs + j;
+                float v = o[idx] + bias[j];
+                bool live = v > 0.0f;
+                m[idx] = live;
+                o[idx] = live ? v : 0.0f;
+            }
+        }
+        static obs::Counter &fused_passes =
+            obs::Metrics::global().counter("nn.fused_relu_passes");
+        fused_passes.add();
+    } else {
+        for (std::int64_t b = 0; b < batch; ++b)
+            for (std::int64_t j = 0; j < outputs; ++j)
+                o[b * outputs + j] += bias[j];
+    }
 }
 
 void
@@ -49,15 +69,29 @@ FcLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
 {
     std::int64_t batch = in.shape()[0];
     std::int64_t d = geom.elems();
+    const float *go = eo.data();
+    if (fused_relu) {
+        // Stage (mask ? eo : 0) ONCE; the three gradient consumers all
+        // read the staged copy, so the standalone relu-backward pass
+        // over the error tensor disappears.
+        SPG_ASSERT(relu_mask.size() ==
+                   static_cast<std::size_t>(eo.size()));
+        if (masked_eo.size() != eo.size())
+            masked_eo = Tensor::uninitialized(eo.shape());
+        float *dst = masked_eo.data();
+        const std::uint8_t *m = relu_mask.data();
+        for (std::int64_t i = 0; i < eo.size(); ++i)
+            dst[i] = m[i] ? go[i] : 0.0f;
+        go = dst;
+    }
     // ei[B x D] = eo[B x outputs] * W[outputs x D].
-    parallelGemm(pool, Trans::No, Trans::No, batch, d, outputs,
-                 eo.data(), weights.data(), 0.0f, ei.data());
+    parallelGemm(pool, Trans::No, Trans::No, batch, d, outputs, go,
+                 weights.data(), 0.0f, ei.data());
     // dW[outputs x D] = eo^T[outputs x B] * in[B x D].
-    parallelGemm(pool, Trans::Yes, Trans::No, outputs, d, batch,
-                 eo.data(), in.data(), 0.0f, dweights.data());
+    parallelGemm(pool, Trans::Yes, Trans::No, outputs, d, batch, go,
+                 in.data(), 0.0f, dweights.data());
     // dbias[j] = sum_b eo[b][j].
     dbias.zero();
-    const float *go = eo.data();
     for (std::int64_t b = 0; b < batch; ++b)
         for (std::int64_t j = 0; j < outputs; ++j)
             dbias[j] += go[b * outputs + j];

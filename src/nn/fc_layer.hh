@@ -6,6 +6,7 @@
 #ifndef SPG_NN_FC_LAYER_HH
 #define SPG_NN_FC_LAYER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/layer.hh"
@@ -39,6 +40,20 @@ class FcLayer : public Layer
                   Tensor &ei, ThreadPool &pool) override;
     void update(float learning_rate) override;
 
+    /** BP-weights needs the saved input; the output (possibly already
+     *  ReLU-clamped in the fused bias epilogue) is never re-read. */
+    bool backwardUsesInput() const override { return true; }
+    bool backwardUsesOutput() const override { return false; }
+
+    /**
+     * Fuse a trailing ReLU: forward clamps inside the bias epilogue
+     * while each row is hot and saves a byte activity mask; backward
+     * stages the masked error once and feeds it to all three gradient
+     * consumers, eliminating the standalone elementwise passes.
+     */
+    void setFusedRelu(bool on) { fused_relu = on; }
+    bool fusedRelu() const { return fused_relu; }
+
     bool hasParams() const override { return true; }
     std::int64_t paramCount() const override
     {
@@ -56,6 +71,11 @@ class FcLayer : public Layer
     Tensor bias;      ///< [outputs]
     Tensor dweights;  ///< gradient accumulator
     Tensor dbias;
+    bool fused_relu = false;
+    /** ReLU activity mask [B][outputs] saved by the fused forward. */
+    std::vector<std::uint8_t> relu_mask;
+    /** Staged (mask ? eo : 0), shared by the three BP consumers. */
+    Tensor masked_eo;
 };
 
 /**
@@ -79,6 +99,11 @@ class SoftmaxLayer : public Layer
     void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
     void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
                   Tensor &ei, ThreadPool &pool) override;
+
+    /** backward() reads only the saved probabilities (out) and the
+     *  labels; the logits (in) and the dummy eo are ignored. */
+    bool backwardUsesInput() const override { return false; }
+    bool backwardUsesOutput() const override { return true; }
 
     /** Mean cross-entropy of the last forward() batch. */
     double loss() const { return last_loss; }

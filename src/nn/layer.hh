@@ -75,6 +75,24 @@ class Layer
                           const Tensor &eo, Tensor &ei,
                           ThreadPool &pool) = 0;
 
+    /**
+     * @return true when backward() reads its `in` argument. The
+     * network's arena planner frees an activation buffer right after
+     * the following layer's forward() when nobody needs it for BP.
+     */
+    virtual bool backwardUsesInput() const { return true; }
+
+    /** @return true when backward() reads its `out` argument. */
+    virtual bool backwardUsesOutput() const { return true; }
+
+    /**
+     * @return true when the layer is elementwise and tolerates
+     * forward() with out aliasing in, and backward() with ei aliasing
+     * eo (each element read before it is written). The arena planner
+     * then runs the layer in place instead of giving it own buffers.
+     */
+    virtual bool inPlaceCapable() const { return false; }
+
     /** SGD parameter update; no-op for parameterless layers. */
     virtual void update(float /* learning_rate */) {}
 

@@ -1,5 +1,8 @@
 #include "nn/network.hh"
 
+#include <algorithm>
+
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -37,9 +40,28 @@ Network::Network(const NetConfig &config, std::uint64_t seed)
                 std::make_unique<ConvLayer>(label, spec, rng));
             break;
           }
-          case LayerKind::Relu:
+          case LayerKind::Relu: {
+            // Epilogue fusion: a ReLU directly after a conv or fc layer
+            // is applied inside that layer (while the output tile is
+            // still hot) instead of as a standalone elementwise pass.
+            // Bit-for-bit identical, including the BP gating.
+            if (cfg.fuse_epilogues && !layers.empty()) {
+                if (auto *conv =
+                        dynamic_cast<ConvLayer *>(layers.back().get())) {
+                    conv->setFusedRelu(true);
+                    ++fused_pairs;
+                    break;
+                }
+                if (auto *fc =
+                        dynamic_cast<FcLayer *>(layers.back().get())) {
+                    fc->setFusedRelu(true);
+                    ++fused_pairs;
+                    break;
+                }
+            }
             layers.push_back(std::make_unique<ReluLayer>(geom));
             break;
+          }
           case LayerKind::MaxPool:
           case LayerKind::AvgPool: {
             if (lc.kernel <= 0)
@@ -82,13 +104,151 @@ Network::ensureBuffers(std::int64_t batch)
     buffer_batch = batch;
     acts.clear();
     errs.clear();
-    Geometry geom = input_geom;
-    errs.emplace_back(Shape{batch, geom.c, geom.h, geom.w});
-    for (const auto &layer : layers) {
-        Geometry og = layer->outputGeometry();
-        acts.emplace_back(Shape{batch, og.c, og.h, og.w});
-        errs.emplace_back(Shape{batch, og.c, og.h, og.w});
+    arena_slabs.clear();
+
+    // Liveness-planned activation arena. Logical buffer b < L is
+    // acts[b] (output of layer b); buffer L + i is errs[i] (error
+    // w.r.t. layer i's input, errs[L] being the head's dummy eo).
+    // Timeline: layer i runs FP at step i and BP at step 2L-1-i, so a
+    // whole training step spans steps [0, 2L-1]. Each buffer gets an
+    // inclusive [start, end] live interval from the layers' declared
+    // BP reads, aliasable in-place layers are merged, and the
+    // surviving root buffers are first-fit packed into reusable slabs.
+    const std::int64_t L = static_cast<std::int64_t>(layers.size());
+    struct Buf
+    {
+        Shape shape;
+        std::int64_t start = 0;
+        std::int64_t end = 0;
+        std::int64_t root = -1;  ///< alias target; -1 = self
+        std::int64_t slot = -1;
+    };
+    std::vector<Buf> bufs(static_cast<std::size_t>(2 * L + 1));
+
+    for (std::int64_t i = 0; i < L; ++i) {
+        Geometry og = layers[i]->outputGeometry();
+        bufs[i].shape = Shape{batch, og.c, og.h, og.w};
+        bufs[i].start = i;
+        std::int64_t end = i;
+        if (i + 1 < L) {
+            end = std::max(end, i + 1);  // next layer's FP input
+            if (layers[i + 1]->backwardUsesInput())
+                end = std::max(end, 2 * L - 2 - i);
+        }
+        if (layers[i]->backwardUsesOutput())
+            end = std::max(end, 2 * L - 1 - i);
+        // The last activation (class probabilities) is returned to the
+        // caller: pin it past the timeline so it is never recycled.
+        if (i == L - 1)
+            end = 2 * L;
+        bufs[i].end = end;
     }
+    bufs[L].shape = Shape{batch, input_geom.c, input_geom.h, input_geom.w};
+    bufs[L].start = 2 * L - 1;  // written by layer 0's BP, never read
+    bufs[L].end = 2 * L - 1;
+    for (std::int64_t i = 1; i <= L; ++i) {
+        Geometry og = layers[i - 1]->outputGeometry();
+        bufs[L + i].shape = Shape{batch, og.c, og.h, og.w};
+        if (i == L) {
+            // Dummy eo handed to the head at its BP step; never written.
+            bufs[L + i].start = L;
+            bufs[L + i].end = L;
+        } else {
+            bufs[L + i].start = 2 * L - 1 - i;  // written by layer i BP
+            bufs[L + i].end = 2 * L - i;        // read by layer i-1 BP
+        }
+    }
+
+    // In-place merging: an elementwise layer whose BP needs neither its
+    // input nor the previous layer's output (e.g. an unfused ReLU after
+    // a pool) runs with out aliasing in and ei aliasing eo.
+    auto rootOf = [&](std::int64_t b) {
+        while (bufs[b].root >= 0)
+            b = bufs[b].root;
+        return b;
+    };
+    auto mergeInto = [&](std::int64_t victim, std::int64_t target) {
+        victim = rootOf(victim);
+        target = rootOf(target);
+        if (victim == target)
+            return;
+        bufs[target].start = std::min(bufs[target].start,
+                                      bufs[victim].start);
+        bufs[target].end = std::max(bufs[target].end, bufs[victim].end);
+        bufs[victim].root = target;
+    };
+    for (std::int64_t i = 1; i < L; ++i) {
+        if (layers[i]->inPlaceCapable() &&
+            !layers[i]->backwardUsesInput() &&
+            !layers[i - 1]->backwardUsesOutput()) {
+            mergeInto(i, i - 1);          // acts[i] aliases acts[i-1]
+            mergeInto(L + i, L + i + 1);  // errs[i] aliases errs[i+1]
+        }
+    }
+
+    // Greedy first-fit interval packing of the root buffers into slots.
+    struct Slot
+    {
+        std::int64_t end = -1;
+        std::int64_t elems = 0;
+    };
+    std::vector<Slot> slots;
+    std::vector<std::int64_t> roots;
+    for (std::int64_t b = 0; b < 2 * L + 1; ++b)
+        if (bufs[b].root < 0)
+            roots.push_back(b);
+    std::sort(roots.begin(), roots.end(),
+              [&](std::int64_t a, std::int64_t b) {
+                  return bufs[a].start != bufs[b].start
+                             ? bufs[a].start < bufs[b].start
+                             : a < b;
+              });
+    for (std::int64_t b : roots) {
+        std::int64_t chosen = -1;
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].end < bufs[b].start) {
+                chosen = static_cast<std::int64_t>(s);
+                break;
+            }
+        }
+        if (chosen < 0) {
+            chosen = static_cast<std::int64_t>(slots.size());
+            slots.push_back(Slot{});
+        }
+        slots[chosen].end = bufs[b].end;
+        slots[chosen].elems =
+            std::max(slots[chosen].elems, bufs[b].shape.elements());
+        bufs[b].slot = chosen;
+    }
+
+    // Back the slots with uninitialized slabs (every buffer is fully
+    // defined by its producer before any consumer reads it) and hand
+    // out views. Aliased buffers view their root's slab.
+    arena_slabs.reserve(slots.size());
+    arena_bytes_ = 0;
+    for (const Slot &slot : slots) {
+        arena_slabs.emplace_back(kUninit,
+                                 static_cast<std::size_t>(slot.elems));
+        arena_bytes_ +=
+            slot.elems * static_cast<std::int64_t>(sizeof(float));
+    }
+    arena_unplanned_bytes_ = 0;
+    for (const Buf &buf : bufs)
+        arena_unplanned_bytes_ += buf.shape.elements() *
+                                  static_cast<std::int64_t>(sizeof(float));
+    auto viewOf = [&](std::int64_t b) {
+        std::int64_t slot = bufs[rootOf(b)].slot;
+        return Tensor::view(bufs[b].shape, arena_slabs[slot].data());
+    };
+    for (std::int64_t i = 0; i < L; ++i)
+        acts.push_back(viewOf(i));
+    for (std::int64_t i = 0; i <= L; ++i)
+        errs.push_back(viewOf(L + i));
+
+    obs::Metrics::global().gauge("nn.arena_bytes").set(
+        static_cast<double>(arena_bytes_));
+    obs::Metrics::global().gauge("nn.arena_unplanned_bytes").set(
+        static_cast<double>(arena_unplanned_bytes_));
 }
 
 const Tensor &

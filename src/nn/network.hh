@@ -85,15 +85,36 @@ class Network
     /** Log a one-line-per-layer summary via inform(). */
     void describe() const;
 
+    /** conv->relu / fc->relu pairs collapsed by epilogue fusion. */
+    std::int64_t fusedPairs() const { return fused_pairs; }
+
+    /**
+     * Bytes of the liveness-planned activation arena backing the
+     * inter-layer buffers (high-water mark of the interval packing).
+     * Valid after the first forward()/trainStep() for a batch size.
+     */
+    std::int64_t arenaBytes() const { return arena_bytes_; }
+
+    /** Bytes the same buffers would take without interval reuse. */
+    std::int64_t arenaUnplannedBytes() const
+    {
+        return arena_unplanned_bytes_;
+    }
+
   private:
     void ensureBuffers(std::int64_t batch);
 
     Geometry input_geom;
     std::vector<std::unique_ptr<Layer>> layers;
     SoftmaxLayer *head = nullptr;  ///< owned by `layers`, always last
+    /** Arena slabs backing acts/errs views; rebuilt per batch size. */
+    std::vector<AlignedBuffer<float>> arena_slabs;
     std::vector<Tensor> acts;      ///< acts[i]: output of layer i
     std::vector<Tensor> errs;      ///< errs[i]: error w.r.t. layer i input
     std::int64_t buffer_batch = 0;
+    std::int64_t fused_pairs = 0;
+    std::int64_t arena_bytes_ = 0;
+    std::int64_t arena_unplanned_bytes_ = 0;
 };
 
 } // namespace spg

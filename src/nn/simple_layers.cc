@@ -21,17 +21,21 @@ ReluLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
 }
 
 void
-ReluLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
+ReluLayer::backward(const Tensor &, const Tensor &out, const Tensor &eo,
                     Tensor &ei, ThreadPool &pool)
 {
-    std::int64_t n = in.size();
+    // Gate on the saved output: out > 0 iff in > 0 (ReLU preserves the
+    // strict-positive predicate, including -0.0 and NaN), so this is
+    // bit-for-bit the input-gated form while letting the arena planner
+    // drop the input activation after FP.
+    std::int64_t n = out.size();
     SPG_ASSERT(eo.size() == n && ei.size() == n);
-    const float *x = in.data();
+    const float *y = out.data();
     const float *go = eo.data();
     float *gi = ei.data();
     pool.parallelFor(n, [&](std::int64_t b, std::int64_t e, int) {
         for (std::int64_t i = b; i < e; ++i)
-            gi[i] = x[i] > 0.0f ? go[i] : 0.0f;
+            gi[i] = y[i] > 0.0f ? go[i] : 0.0f;
     });
 }
 

@@ -32,6 +32,13 @@ class ReluLayer : public Layer
     void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
                   Tensor &ei, ThreadPool &pool) override;
 
+    /** backward() gates on the saved OUTPUT (out > 0 iff in > 0 for
+     *  ReLU), so the input activation is not needed for BP and the
+     *  layer can run fully in place. */
+    bool backwardUsesInput() const override { return false; }
+    bool backwardUsesOutput() const override { return true; }
+    bool inPlaceCapable() const override { return true; }
+
   private:
     Geometry geom;
 };
@@ -61,6 +68,12 @@ class PoolLayer : public Layer
     void forward(const Tensor &in, Tensor &out, ThreadPool &pool) override;
     void backward(const Tensor &in, const Tensor &out, const Tensor &eo,
                   Tensor &ei, ThreadPool &pool) override;
+
+    /** backward() routes gradients through the argmax indices (max) or
+     *  uniform shares (avg) saved at forward time — neither tensor
+     *  argument is read, so both can be recycled after FP. */
+    bool backwardUsesInput() const override { return false; }
+    bool backwardUsesOutput() const override { return false; }
 
   private:
     Geometry geom;

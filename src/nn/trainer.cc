@@ -10,6 +10,7 @@
 #include "perf/region.hh"
 #include "simcpu/conv_model.hh"
 #include "sparse/sparse_plan.hh"
+#include "util/aligned.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/table.hh"
@@ -40,7 +41,8 @@ Trainer::tuneAll(ThreadPool &pool, double sparsity_hint)
     SPG_TRACE_SCOPE("train", "tune");
     plans.clear();
     for (ConvLayer *conv : network.convLayers()) {
-        LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool);
+        LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool,
+                                    conv->fusedRelu());
         conv->setEngines(EngineAssignment{plan.fp_engine,
                                           plan.bp_data_engine,
                                           plan.bp_weights_engine});
@@ -80,6 +82,8 @@ Trainer::run(ThreadPool &pool)
 
         EpochStats stats;
         stats.epoch = epoch;
+        std::int64_t fused_before =
+            obs::Metrics::global().counter("nn.fused_relu_passes").value();
         SparsePlanCache::Stats plans_before =
             SparsePlanCache::global().stats();
         std::vector<ConvLayer::PhaseProfile> prof_before;
@@ -131,6 +135,11 @@ Trainer::run(ThreadPool &pool)
         stats.mean_loss = loss_sum / steps;
         stats.accuracy = acc_sum / steps;
         stats.images_per_second = images / stats.seconds;
+        stats.fused_relu_passes =
+            obs::Metrics::global().counter("nn.fused_relu_passes").value() -
+            fused_before;
+        stats.arena_bytes = network.arenaBytes();
+        stats.arena_unplanned_bytes = network.arenaUnplannedBytes();
         total_images += images;
 
         for (ConvLayer *conv : network.convLayers()) {
@@ -158,6 +167,15 @@ Trainer::run(ThreadPool &pool)
             metrics.gauge("pool.imbalance").set(stats.pool_imbalance);
             metrics.histogram("trainer.epoch_seconds")
                 .observe(stats.seconds);
+            // Allocation accounting: how much zero-fill traffic the
+            // uninitialized (arena / staging) path avoided so far.
+            const AllocCounters &alloc = allocCounters();
+            metrics.gauge("alloc.zeroed_bytes")
+                .set(static_cast<double>(alloc.zeroed_bytes.load(
+                    std::memory_order_relaxed)));
+            metrics.gauge("alloc.uninit_bytes")
+                .set(static_cast<double>(alloc.uninit_bytes.load(
+                    std::memory_order_relaxed)));
         }
 
         // §4.4: re-check BP engine choices as sparsity drifts.
@@ -170,7 +188,8 @@ Trainer::run(ThreadPool &pool)
                     // only the BP phases are re-measured; the plan
                     // keeps the FP choice and timings.
                     plans[i] = tuner.retuneBp(plans[i], convs[i]->spec(),
-                                              observed, pool);
+                                              observed, pool,
+                                              convs[i]->fusedRelu());
                     convs[i]->setEngines(
                         EngineAssignment{plans[i].fp_engine,
                                          plans[i].bp_data_engine,
@@ -186,12 +205,16 @@ Trainer::run(ThreadPool &pool)
             // of the normal epoch line — they explain throughput dips
             // that loss/accuracy alone cannot.
             inform("epoch %2d  loss %.4f  acc %.3f  %.1f img/s  "
-                   "encodes %lld  reuses %lld  imbalance %.2f",
+                   "encodes %lld  reuses %lld  imbalance %.2f  "
+                   "fused %lld  arena %.1f/%.1f MiB",
                    epoch, stats.mean_loss, stats.accuracy,
                    stats.images_per_second,
                    static_cast<long long>(stats.sparse_encodes),
                    static_cast<long long>(stats.sparse_plan_hits),
-                   stats.pool_imbalance);
+                   stats.pool_imbalance,
+                   static_cast<long long>(stats.fused_relu_passes),
+                   stats.arena_bytes / (1024.0 * 1024.0),
+                   stats.arena_unplanned_bytes / (1024.0 * 1024.0));
             verbose("  phases: fp %.1f ms  bp-data %.1f ms  "
                     "bp-weights %.1f ms  encode %.1f ms",
                     stats.fp_seconds * 1e3, stats.bp_data_seconds * 1e3,
@@ -209,7 +232,8 @@ Trainer::run(ThreadPool &pool)
         TablePrinter table(
             "Training epochs",
             {"epoch", "loss", "acc", "img/s", "fp ms", "bp-data ms",
-             "bp-w ms", "encode ms", "encodes", "reuses", "imbalance"});
+             "bp-w ms", "encode ms", "encodes", "reuses", "imbalance",
+             "fused", "arena MiB"});
         for (const EpochStats &s : history) {
             table.addRow({TablePrinter::fmt(
                               static_cast<long long>(s.epoch)),
@@ -226,7 +250,11 @@ Trainer::run(ThreadPool &pool)
                               s.sparse_encodes)),
                           TablePrinter::fmt(static_cast<long long>(
                               s.sparse_plan_hits)),
-                          TablePrinter::fmt(s.pool_imbalance, 2)});
+                          TablePrinter::fmt(s.pool_imbalance, 2),
+                          TablePrinter::fmt(static_cast<long long>(
+                              s.fused_relu_passes)),
+                          TablePrinter::fmt(
+                              s.arena_bytes / (1024.0 * 1024.0), 1)});
         }
         table.print();
     }
@@ -270,6 +298,7 @@ Trainer::collectDriftSamples(
             sample.engine = *slice.engine;
             sample.sparsity = sparsity[i];
             sample.measured_seconds = slice.measured / steps;
+            sample.fused_relu = convs[i]->fusedRelu();
             if (i < plans.size()) {
                 auto it = plans[i].timings.find(slice.phase);
                 if (it != plans[i].timings.end()) {
@@ -323,7 +352,8 @@ Trainer::joinDrift(ThreadPool &pool)
         SimResult modeled_result = modelConvPhase(
             machine, sample.spec, sample.phase, sample.engine, opts.batch,
             cores, sample.sparsity,
-            sample.chunk_map.empty() ? nullptr : &sample.chunk_map);
+            sample.chunk_map.empty() ? nullptr : &sample.chunk_map,
+            sample.fused_relu);
         obs::DriftSample out;
         out.label = sample.label;
         out.phase = phaseName(sample.phase);

@@ -72,6 +72,14 @@ struct EpochStats
     /** Pool schedule imbalance over the epoch's training steps:
      *  max/mean per-worker busy time (1.0 = perfectly balanced). */
     double pool_imbalance = 1.0;
+
+    /** Fused ReLU epilogue passes executed this epoch (each one is an
+     *  eliminated standalone elementwise sweep over an activation). */
+    std::int64_t fused_relu_passes = 0;
+    /** Liveness-planned activation arena size vs. what the same
+     *  buffers would take without interval reuse. */
+    std::int64_t arena_bytes = 0;
+    std::int64_t arena_unplanned_bytes = 0;
 };
 
 /** Runs SGD over a dataset. */
@@ -121,6 +129,7 @@ class Trainer
         double sparsity = 0;
         double measured_seconds = 0;  ///< per training step
         std::vector<std::int64_t> chunk_map;
+        bool fused_relu = false;
     };
 
     void collectDriftSamples(ThreadPool &pool, int steps,

@@ -150,10 +150,19 @@ SimResult
 modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                Phase phase, const std::string &engine, std::int64_t batch,
                int cores, double sparsity,
-               const std::vector<std::int64_t> *chunk_map)
+               const std::vector<std::int64_t> *chunk_map, bool fused_relu)
 {
     spec.validate();
     SPG_ASSERT(batch >= 1 && cores >= 1);
+    // Fused-ReLU epilogue traffic, in float-equivalent elements per
+    // image. The byte mask counts as a quarter element per entry. FP
+    // stores the mask while the output tile is hot; dense BP stages
+    // (mask ? EO : 0) once (read EO + mask, write staging); the
+    // mask-fused sparse encode only adds the mask read to its passes.
+    double eo_elems = static_cast<double>(spec.outputElems());
+    double fused_fp_elems = fused_relu ? 0.25 * eo_elems : 0.0;
+    double fused_stage_elems = fused_relu ? 2.25 * eo_elems : 0.0;
+    double fused_mask_elems = fused_relu ? 0.25 * eo_elems : 0.0;
     // Image-parallel engines distribute per-image tasks; a measured
     // chunk map replaces the idealized even split for them.
     auto scheduleImages = [&](const SimTask &task, double useful) {
@@ -209,9 +218,13 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
             mm_task.bytes += kFloat * packExtraElems(0.0, b_core);
         }
         // Packed FP pays nothing: weights cached, unfold fused.
+        if (phase == Phase::Forward)
+            mm_task.bytes += kFloat * fused_fp_elems / cores;
         mm_task.efficiency = machine.gemmEfficiency(mc, ncols, mm.k);
         SimTask pro;
         pro.bytes = kFloat * serialPrologueElems(spec, phase);
+        if (phase != Phase::Forward)
+            pro.bytes += kFloat * fused_stage_elems;
         std::vector<std::vector<SimTask>> per_core(cores, {mm_task});
         SimResult one = simulate(machine, per_core, {pro});
         one.seconds *= batch;
@@ -233,6 +246,9 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
             task.bytes += kFloat * packExtraElems(a_elems, b_elems);
         else if (phase == Phase::BackwardData)
             task.bytes += kFloat * packExtraElems(0.0, b_elems);
+        task.bytes += kFloat * (phase == Phase::Forward
+                                    ? fused_fp_elems
+                                    : fused_stage_elems);
         task.efficiency = machine.gemmEfficiency(
             static_cast<double>(mm.m), static_cast<double>(mm.n),
             static_cast<double>(mm.k));
@@ -252,6 +268,7 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                        spec.weightElems() + 2.0 * spec.outputElems();
         if (spec.sx > 1)
             elems += 2.0 * spec.inputElems();  // Eq. 21 split
+        elems += fused_fp_elems;
         SimTask task;
         task.flops = dense_flops;
         task.bytes = kFloat * elems;
@@ -287,6 +304,10 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
             elems = eo + 2.0 * nnz + 3.0 * spec.inputElems() +
                     4.0 * spec.weightElems();
         }
+        // Mask-fused encode (sparse-cached) only reads the byte mask
+        // alongside EO; the plain sparse engine stages a masked copy.
+        elems += engine == "sparse-cached" ? fused_mask_elems
+                                           : fused_stage_elems;
         SimTask task;
         task.flops = flops;
         task.bytes = kFloat * elems;
@@ -298,19 +319,35 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
 }
 
 double
+modelReluPassSeconds(const MachineModel &machine, std::int64_t elems,
+                     int cores)
+{
+    // One elementwise sweep: read + write every activation, negligible
+    // compute — purely memory-bound, evenly divisible across cores.
+    SimTask task;
+    task.flops = static_cast<double>(elems);
+    task.bytes = kFloat * 2.0 * static_cast<double>(elems);
+    task.efficiency = machine.axpy_efficiency;
+    return simulateUniform(machine, task, cores, cores).seconds;
+}
+
+double
 modelLayerStepSeconds(const MachineModel &machine, const ConvSpec &spec,
                       const std::string &fp_engine,
                       const std::string &bp_engine, std::int64_t batch,
-                      int cores, double sparsity)
+                      int cores, double sparsity, bool fused_relu)
 {
+    // With a fused ReLU the phases carry the mask traffic themselves;
+    // without one, the network pays two standalone elementwise passes
+    // (relu forward + relu backward) per step that fusion eliminates.
     double t = modelConvPhase(machine, spec, Phase::Forward, fp_engine,
-                              batch, cores, 0.0)
+                              batch, cores, 0.0, nullptr, fused_relu)
                    .seconds;
     t += modelConvPhase(machine, spec, Phase::BackwardData, bp_engine,
-                        batch, cores, sparsity)
+                        batch, cores, sparsity, nullptr, fused_relu)
              .seconds;
     t += modelConvPhase(machine, spec, Phase::BackwardWeights, bp_engine,
-                        batch, cores, sparsity)
+                        batch, cores, sparsity, nullptr, fused_relu)
              .seconds;
     return t / batch;
 }

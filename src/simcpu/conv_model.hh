@@ -78,6 +78,11 @@ SimResult modelGemmInParallelMm(const MachineModel &machine,
  *        of an idealized even split; its size overrides `cores`.
  *        Parallel-GEMM partitions a single MM rather than scheduling
  *        items, so it ignores the map.
+ * @param fused_relu Model the layer as it runs with a fused ReLU
+ *        epilogue: FP adds the byte-mask store, dense BP adds the
+ *        one-shot masked-EO staging, the mask-fused sparse encode adds
+ *        only the mask read. The standalone elementwise ReLU pass the
+ *        fusion eliminates (see modelReluPassSeconds) is NOT charged.
  * @return Simulated result; useful_flops reflects goodput (non-zero
  *         work) for BP phases.
  */
@@ -86,7 +91,17 @@ SimResult modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                          std::int64_t batch, int cores,
                          double sparsity = 0.0,
                          const std::vector<std::int64_t> *chunk_map =
-                             nullptr);
+                             nullptr,
+                         bool fused_relu = false);
+
+/**
+ * @return modeled seconds of one standalone elementwise ReLU pass over
+ * `elems` activations on `cores` cores (read + write, memory-bound) —
+ * the per-direction cost that epilogue fusion removes from both FP
+ * (relu forward) and BP (relu backward over the error tensor).
+ */
+double modelReluPassSeconds(const MachineModel &machine,
+                            std::int64_t elems, int cores);
 
 /**
  * @return per-image time (seconds) of a complete training step of one
@@ -98,7 +113,7 @@ double modelLayerStepSeconds(const MachineModel &machine,
                              const std::string &fp_engine,
                              const std::string &bp_engine,
                              std::int64_t batch, int cores,
-                             double sparsity);
+                             double sparsity, bool fused_relu = false);
 
 } // namespace spg
 

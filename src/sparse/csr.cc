@@ -86,17 +86,18 @@ CtCsrMatrix::fromDense(const float *dense, std::int64_t rows,
 
 CtCsrMatrix
 CtCsrMatrix::fromChw(const float *chw, std::int64_t c, std::int64_t h,
-                     std::int64_t w, std::int64_t tile_width)
+                     std::int64_t w, std::int64_t tile_width,
+                     const std::uint8_t *mask)
 {
     CtCsrMatrix m;
-    m.encodeFromChw(chw, c, h, w, tile_width);
+    m.encodeFromChw(chw, c, h, w, tile_width, mask);
     return m;
 }
 
 void
 CtCsrMatrix::encodeFromChw(const float *chw, std::int64_t c,
                            std::int64_t h, std::int64_t w,
-                           std::int64_t tile_w)
+                           std::int64_t tile_w, const std::uint8_t *mask)
 {
     SPG_ASSERT(tile_w >= 1 && c >= 0 && h >= 0 && w >= 0);
     std::int64_t rows = h * w;
@@ -118,12 +119,20 @@ CtCsrMatrix::encodeFromChw(const float *chw, std::int64_t c,
         tile.cols_ = width;
 
         // Pass 1 (counts): row_ptr[i + 1] accumulates row i's count,
-        // then a prefix sum turns counts into offsets.
+        // then a prefix sum turns counts into offsets. The fused mask
+        // gates liveness in the same sweep.
         tile.row_ptr.assign(rows + 1, 0);
         for (std::int64_t j = 0; j < width; ++j) {
             const float *plane = chw + (c0 + j) * rows;
-            for (std::int64_t i = 0; i < rows; ++i)
-                tile.row_ptr[i + 1] += plane[i] != 0.0f;
+            if (const std::uint8_t *mplane =
+                    mask ? mask + (c0 + j) * rows : nullptr) {
+                for (std::int64_t i = 0; i < rows; ++i)
+                    tile.row_ptr[i + 1] +=
+                        mplane[i] && plane[i] != 0.0f;
+            } else {
+                for (std::int64_t i = 0; i < rows; ++i)
+                    tile.row_ptr[i + 1] += plane[i] != 0.0f;
+            }
         }
         for (std::int64_t i = 0; i < rows; ++i)
             tile.row_ptr[i + 1] += tile.row_ptr[i];
@@ -136,8 +145,10 @@ CtCsrMatrix::encodeFromChw(const float *chw, std::int64_t c,
         // matching the row-major scan of fromDense exactly.
         for (std::int64_t j = 0; j < width; ++j) {
             const float *plane = chw + (c0 + j) * rows;
+            const std::uint8_t *mplane =
+                mask ? mask + (c0 + j) * rows : nullptr;
             for (std::int64_t i = 0; i < rows; ++i) {
-                if (plane[i] != 0.0f) {
+                if (plane[i] != 0.0f && (!mplane || mplane[i])) {
                     std::int64_t p = tile.row_ptr[i]++;
                     tile.values[p] = plane[i];
                     tile.cols_idx[p] = static_cast<std::int32_t>(j);

@@ -101,15 +101,23 @@ class CtCsrMatrix
      * Produces tiles byte-identical (rowPtr/colIdx/vals) to
      * chwToHwc + fromDense.
      *
+     * An optional byte mask of the same [c][h][w] layout fuses the
+     * ReLU backward gate into the encode: elements whose mask byte is
+     * zero are treated as zero, producing the encoding of
+     * (mask ? chw : 0) in the same single sweep — no separate masking
+     * pass over the tensor.
+     *
      * @param chw Source tensor, row-major [c][h][w].
      * @param c Channel (matrix column) count.
      * @param h Plane height.
      * @param w Plane width.
      * @param tile_width Column band width (>= 1).
+     * @param mask Optional activity byte mask, same layout as @p chw.
      */
     static CtCsrMatrix fromChw(const float *chw, std::int64_t c,
                                std::int64_t h, std::int64_t w,
-                               std::int64_t tile_width);
+                               std::int64_t tile_width,
+                               const std::uint8_t *mask = nullptr);
 
     /**
      * In-place variant of fromChw: re-encode into this matrix, reusing
@@ -118,7 +126,8 @@ class CtCsrMatrix
      * re-encodes of same-shaped tensors perform no heap allocation.
      */
     void encodeFromChw(const float *chw, std::int64_t c, std::int64_t h,
-                       std::int64_t w, std::int64_t tile_width);
+                       std::int64_t w, std::int64_t tile_width,
+                       const std::uint8_t *mask = nullptr);
 
     /** Scatter back into a zeroed dense row-major buffer. */
     void toDense(float *dense) const;

@@ -24,16 +24,13 @@ constexpr std::size_t kMaxEntries = 64;
  * feeds the result, so any in-place mutation changes the hash.
  */
 std::uint64_t
-fingerprint(const float *eo, std::int64_t count)
+fingerprintBytes(const unsigned char *bytes, std::size_t n)
 {
     constexpr std::uint64_t kPrime = 1099511628211ull;
     std::uint64_t lane[4] = {14695981039346656037ull,
                              0x9ae16a3b2f90404full,
                              0xc949d7c7509e6557ull,
                              0xff51afd7ed558ccdull};
-    const unsigned char *bytes =
-        reinterpret_cast<const unsigned char *>(eo);
-    std::size_t n = static_cast<std::size_t>(count) * sizeof(float);
     std::size_t i = 0;
     for (; i + 32 <= n; i += 32) {
         std::uint64_t word[4];
@@ -50,6 +47,24 @@ fingerprint(const float *eo, std::int64_t count)
     std::uint64_t h = lane[0];
     for (int l = 1; l < 4; ++l)
         h = (h ^ lane[l]) * kPrime + (h >> 29);
+    return h;
+}
+
+/** Fingerprint of an error tensor plus its optional fused ReLU mask:
+ *  both inputs determine the plan, so both feed the hash. */
+std::uint64_t
+fingerprint(const float *eo, std::int64_t count,
+            const std::uint8_t *mask)
+{
+    std::uint64_t h = fingerprintBytes(
+        reinterpret_cast<const unsigned char *>(eo),
+        static_cast<std::size_t>(count) * sizeof(float));
+    if (mask) {
+        std::uint64_t hm = fingerprintBytes(
+            reinterpret_cast<const unsigned char *>(mask),
+            static_cast<std::size_t>(count));
+        h = (h ^ hm) * 1099511628211ull + (hm >> 31);
+    }
     return h;
 }
 
@@ -75,11 +90,11 @@ std::shared_ptr<const SparsePlan>
 SparsePlanCache::get(const float *eo, std::int64_t batch,
                      std::int64_t features, std::int64_t h,
                      std::int64_t w, std::int64_t tile_width,
-                     ThreadPool &pool)
+                     ThreadPool &pool, const std::uint8_t *mask)
 {
-    Key key{eo, batch, features, h, w, tile_width};
+    Key key{eo, batch, features, h, w, tile_width, mask};
     std::int64_t image_elems = features * h * w;
-    std::uint64_t fp = fingerprint(eo, batch * image_elems);
+    std::uint64_t fp = fingerprint(eo, batch * image_elems, mask);
 
     std::shared_ptr<SparsePlan> plan;
     {
@@ -113,8 +128,9 @@ SparsePlanCache::get(const float *eo, std::int64_t batch,
     {
         SPG_TRACE_SCOPE_N("sparse", "encode CT-CSR", "batch", batch);
         pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
-            plan->images[b].encodeFromChw(eo + b * image_elems, features,
-                                          h, w, tile_width);
+            plan->images[b].encodeFromChw(
+                eo + b * image_elems, features, h, w, tile_width,
+                mask ? mask + b * image_elems : nullptr);
         }, /*grain=*/1);
     }
     double seconds = watch.seconds();

@@ -76,11 +76,17 @@ class SparsePlanCache
      * @p eo, encoding it now (in parallel over images on @p pool) if
      * absent or if the cached entry's content fingerprint no longer
      * matches the tensor bytes.
+     *
+     * A non-null @p mask (byte mask, same layout as @p eo) fuses the
+     * ReLU backward gate into the encode: the plan stores
+     * (mask ? eo : 0). Masked and unmasked plans of the same tensor
+     * are distinct cache entries, and the fingerprint covers the mask
+     * bytes too, so a mask rewritten in place re-encodes.
      */
     std::shared_ptr<const SparsePlan>
     get(const float *eo, std::int64_t batch, std::int64_t features,
         std::int64_t h, std::int64_t w, std::int64_t tile_width,
-        ThreadPool &pool);
+        ThreadPool &pool, const std::uint8_t *mask = nullptr);
 
     /** Drop every plan encoded from the given tensor storage. */
     void invalidate(const float *eo);
@@ -99,7 +105,8 @@ class SparsePlanCache
 
   private:
     using Key = std::tuple<const float *, std::int64_t, std::int64_t,
-                           std::int64_t, std::int64_t, std::int64_t>;
+                           std::int64_t, std::int64_t, std::int64_t,
+                           const std::uint8_t *>;
     struct Entry
     {
         std::uint64_t fingerprint;

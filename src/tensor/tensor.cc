@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -55,68 +56,99 @@ Tensor::Tensor(Shape shape)
 }
 
 Tensor
+Tensor::uninitialized(Shape shape)
+{
+    Tensor t;
+    t.shape_ = shape;
+    t.buffer = AlignedBuffer<float>(
+        kUninit, static_cast<std::size_t>(shape.elements()));
+    return t;
+}
+
+Tensor
+Tensor::view(Shape shape, float *data)
+{
+    if (!data)
+        panic("Tensor::view requires storage");
+    Tensor t;
+    t.shape_ = shape;
+    t.view_ = data;
+    return t;
+}
+
+Tensor
 Tensor::clone() const
 {
-    Tensor copy(shape_);
-    std::copy(buffer.begin(), buffer.end(), copy.buffer.begin());
+    Tensor copy = Tensor::uninitialized(shape_);
+    std::copy(data(), data() + size(), copy.data());
     return copy;
 }
 
 float &
 Tensor::at(std::int64_t i, std::int64_t j)
 {
-    return buffer[i * shape_[1] + j];
+    return data()[i * shape_[1] + j];
 }
 
 float
 Tensor::at(std::int64_t i, std::int64_t j) const
 {
-    return buffer[i * shape_[1] + j];
+    return data()[i * shape_[1] + j];
 }
 
 float &
 Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k)
 {
-    return buffer[(i * shape_[1] + j) * shape_[2] + k];
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float
 Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const
 {
-    return buffer[(i * shape_[1] + j) * shape_[2] + k];
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float &
 Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l)
 {
-    return buffer[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
 }
 
 float
 Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
            std::int64_t l) const
 {
-    return buffer[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+void
+Tensor::zero()
+{
+    if (float *p = data())
+        std::memset(p, 0,
+                    static_cast<std::size_t>(size()) * sizeof(float));
 }
 
 void
 Tensor::fill(float value)
 {
-    std::fill(buffer.begin(), buffer.end(), value);
+    std::fill(data(), data() + size(), value);
 }
 
 void
 Tensor::fillUniform(Rng &rng, float lo, float hi)
 {
-    for (auto &x : buffer)
-        x = rng.uniform(lo, hi);
+    float *p = data();
+    for (std::int64_t i = 0; i < size(); ++i)
+        p[i] = rng.uniform(lo, hi);
 }
 
 void
 Tensor::fillGaussian(Rng &rng, float stddev)
 {
-    for (auto &x : buffer)
-        x = rng.gaussian() * stddev;
+    float *p = data();
+    for (std::int64_t i = 0; i < size(); ++i)
+        p[i] = rng.gaussian() * stddev;
 }
 
 void
@@ -124,9 +156,10 @@ Tensor::sparsify(Rng &rng, double sparsity)
 {
     if (sparsity < 0.0 || sparsity > 1.0)
         panic("sparsity %f out of [0, 1]", sparsity);
-    for (auto &x : buffer) {
+    float *p = data();
+    for (std::int64_t i = 0; i < size(); ++i) {
         if (rng.bernoulli(sparsity))
-            x = 0.0f;
+            p[i] = 0.0f;
     }
 }
 
@@ -134,8 +167,9 @@ std::int64_t
 Tensor::zeroCount() const
 {
     std::int64_t zeros = 0;
-    for (auto x : buffer)
-        zeros += (x == 0.0f);
+    const float *p = data();
+    for (std::int64_t i = 0; i < size(); ++i)
+        zeros += (p[i] == 0.0f);
     return zeros;
 }
 
@@ -151,8 +185,9 @@ float
 Tensor::maxAbs() const
 {
     float best = 0.0f;
-    for (auto x : buffer)
-        best = std::max(best, std::fabs(x));
+    const float *p = data();
+    for (std::int64_t i = 0; i < size(); ++i)
+        best = std::max(best, std::fabs(p[i]));
     return best;
 }
 

@@ -68,23 +68,37 @@ class Tensor
     /** Allocate a zero-filled tensor of the given shape. */
     explicit Tensor(Shape shape);
 
+    /**
+     * Allocate WITHOUT zero-fill — for tensors fully overwritten
+     * before their first read (staging, scratch). Sanitized builds
+     * poison the contents instead (see util/aligned.hh).
+     */
+    static Tensor uninitialized(Shape shape);
+
+    /**
+     * A non-owning view of external storage (e.g. an arena slot). The
+     * caller guarantees @p data outlives the view and holds at least
+     * shape.elements() floats.
+     */
+    static Tensor view(Shape shape, float *data);
+
     Tensor(Tensor &&) = default;
     Tensor &operator=(Tensor &&) = default;
     Tensor(const Tensor &) = delete;
     Tensor &operator=(const Tensor &) = delete;
 
-    /** @return an explicit deep copy. */
+    /** @return an explicit deep copy (always owning). */
     Tensor clone() const;
 
     const Shape &shape() const { return shape_; }
     std::int64_t size() const { return shape_.elements(); }
 
-    float *data() { return buffer.data(); }
-    const float *data() const { return buffer.data(); }
+    float *data() { return view_ ? view_ : buffer.data(); }
+    const float *data() const { return view_ ? view_ : buffer.data(); }
 
     /** Flat element access. */
-    float &operator[](std::int64_t i) { return buffer[i]; }
-    float operator[](std::int64_t i) const { return buffer[i]; }
+    float &operator[](std::int64_t i) { return data()[i]; }
+    float operator[](std::int64_t i) const { return data()[i]; }
 
     /** 2-D indexed access; requires rank >= 2 semantics. */
     float &at(std::int64_t i, std::int64_t j);
@@ -101,7 +115,7 @@ class Tensor
              std::int64_t l) const;
 
     /** Set every element to zero. */
-    void zero() { buffer.zero(); }
+    void zero();
 
     /** Set every element to the given constant. */
     void fill(float value);
@@ -133,6 +147,7 @@ class Tensor
   private:
     Shape shape_;
     AlignedBuffer<float> buffer;
+    float *view_ = nullptr;  ///< when set, storage is external
 };
 
 /**

@@ -5,12 +5,23 @@
  * All tensor and packing buffers in spg-CNN are allocated through
  * AlignedBuffer so that vector loads are aligned and false sharing
  * across worker threads is avoided.
+ *
+ * Two allocation flavors exist: the default zero-initializes (layers
+ * and tests rely on fresh tensors reading as zero), while the kUninit
+ * tag skips the memset for buffers that are provably fully overwritten
+ * before their first read (scratch, staging, arena slots) — on big
+ * activation tensors that zeroing pass is a full extra DRAM sweep.
+ * Sanitized builds (SPG_SANITIZE_BUILD) debug-fill uninitialized
+ * buffers with 0xFF bytes (-NaN floats) so any use-before-overwrite
+ * poisons the result loudly instead of reading silent zeros.
  */
 
 #ifndef SPG_UTIL_ALIGNED_HH
 #define SPG_UTIL_ALIGNED_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -21,6 +32,33 @@ namespace spg {
 
 /** Default alignment: one cache line, also enough for AVX-512. */
 constexpr std::size_t kDefaultAlignment = 64;
+
+/** Tag selecting the no-memset allocation path. */
+struct UninitTag
+{
+};
+inline constexpr UninitTag kUninit{};
+
+/**
+ * Process-wide allocation accounting (relaxed atomics; allocations are
+ * rare next to the kernels). Published into the obs metrics registry
+ * by the training loop so traced runs record how much zero-fill the
+ * uninitialized path avoided.
+ */
+struct AllocCounters
+{
+    std::atomic<std::int64_t> zeroed_allocs{0};
+    std::atomic<std::int64_t> zeroed_bytes{0};
+    std::atomic<std::int64_t> uninit_allocs{0};
+    std::atomic<std::int64_t> uninit_bytes{0};
+};
+
+inline AllocCounters &
+allocCounters()
+{
+    static AllocCounters counters;
+    return counters;
+}
 
 /**
  * An owning, aligned, fixed-capacity array of trivially-copyable
@@ -46,15 +84,34 @@ class AlignedBuffer
                            std::size_t alignment = kDefaultAlignment)
         : count_(count)
     {
-        if (count == 0)
-            return;
-        std::size_t bytes = count * sizeof(T);
-        // aligned_alloc requires size to be a multiple of alignment.
-        std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
-        data_ = static_cast<T *>(std::aligned_alloc(alignment, padded));
-        if (!data_)
-            fatal("out of memory allocating %zu bytes", padded);
-        std::memset(data_, 0, padded);
+        std::size_t padded = allocate(count, alignment);
+        if (data_)
+            std::memset(data_, 0, padded);
+        allocCounters().zeroed_allocs.fetch_add(
+            1, std::memory_order_relaxed);
+        allocCounters().zeroed_bytes.fetch_add(
+            static_cast<std::int64_t>(padded), std::memory_order_relaxed);
+    }
+
+    /**
+     * Allocate WITHOUT zero-initialization. Only for buffers fully
+     * overwritten before their first read.
+     */
+    AlignedBuffer(UninitTag, std::size_t count,
+                  std::size_t alignment = kDefaultAlignment)
+        : count_(count)
+    {
+        std::size_t padded = allocate(count, alignment);
+#ifdef SPG_SANITIZE_BUILD
+        // Poison so use-before-overwrite computes -NaN, not lucky zeros.
+        if (data_)
+            std::memset(data_, 0xFF, padded);
+#endif
+        allocCounters().uninit_allocs.fetch_add(
+            1, std::memory_order_relaxed);
+        allocCounters().uninit_bytes.fetch_add(
+            static_cast<std::int64_t>(padded), std::memory_order_relaxed);
+        (void)padded;
     }
 
     AlignedBuffer(const AlignedBuffer &) = delete;
@@ -105,6 +162,21 @@ class AlignedBuffer
     }
 
   private:
+    /** @return the padded byte size actually allocated. */
+    std::size_t
+    allocate(std::size_t count, std::size_t alignment)
+    {
+        if (count == 0)
+            return 0;
+        std::size_t bytes = count * sizeof(T);
+        // aligned_alloc requires size to be a multiple of alignment.
+        std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+        data_ = static_cast<T *>(std::aligned_alloc(alignment, padded));
+        if (!data_)
+            fatal("out of memory allocating %zu bytes", padded);
+        return padded;
+    }
+
     void
     release()
     {

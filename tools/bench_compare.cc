@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Compares a freshly generated BENCH_*.json against a committed
+ * baseline and fails (exit 1) on regressions.
+ *
+ * Both documents are walked in parallel; every numeric leaf present in
+ * both is compared under a direction-aware rule keyed on its name:
+ *
+ *  - "*speedup*":          lower is worse; regression when the fresh
+ *                          value drops below baseline * (1 - tol).
+ *  - "*seconds*":          higher is worse; regression when the fresh
+ *                          value exceeds baseline * (1 + tol).
+ *  - "*bytes*", "*ratio*": higher is worse (arena growth); compared
+ *                          with the tighter --bytes-tol, since these
+ *                          are deterministic for fixed flags.
+ *  - anything else:        configuration echo (reps, batch, ids) —
+ *                          reported informationally, never a failure.
+ *
+ * Timing tolerances default wide (--tol=0.5) because the benches run
+ * on shared, frequency-drifting hosts; the tool exists to catch
+ * structural regressions (a fusion path losing its win, the arena
+ * planner degrading to the unplanned sum), not 5% jitter.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace spg;
+using obs::JsonValue;
+
+namespace {
+
+enum class Direction { HigherWorse, LowerWorse, Info };
+
+Direction
+classify(const std::string &path)
+{
+    if (path.find("speedup") != std::string::npos)
+        return Direction::LowerWorse;
+    if (path.find("seconds") != std::string::npos ||
+        path.find("bytes") != std::string::npos ||
+        path.find("ratio") != std::string::npos) {
+        return Direction::HigherWorse;
+    }
+    return Direction::Info;
+}
+
+bool
+isSizeMetric(const std::string &path)
+{
+    return path.find("bytes") != std::string::npos ||
+           path.find("ratio") != std::string::npos;
+}
+
+struct Comparison
+{
+    int compared = 0;
+    int regressions = 0;
+    int structure_misses = 0;
+    double tol = 0.5;
+    double speedup_tol = 0.5;
+    double bytes_tol = 0.0;
+    bool verbose = false;
+};
+
+void
+compare(const std::string &path, const JsonValue &fresh,
+        const JsonValue &base, Comparison &c)
+{
+    if (fresh.kind != base.kind) {
+        std::printf("  STRUCT   %s: value kind changed\n", path.c_str());
+        ++c.structure_misses;
+        return;
+    }
+    switch (fresh.kind) {
+    case JsonValue::Kind::Number: {
+        Direction dir = classify(path);
+        if (dir == Direction::Info) {
+            if (c.verbose)
+                std::printf("  info     %s: %g (baseline %g)\n",
+                            path.c_str(), fresh.number, base.number);
+            return;
+        }
+        ++c.compared;
+        double tol = dir == Direction::LowerWorse
+                         ? c.speedup_tol
+                         : isSizeMetric(path) ? c.bytes_tol : c.tol;
+        bool bad =
+            dir == Direction::LowerWorse
+                ? fresh.number < base.number * (1.0 - tol)
+                : fresh.number > base.number * (1.0 + tol);
+        double delta = base.number != 0.0
+                           ? (fresh.number - base.number) / base.number
+                           : 0.0;
+        if (bad) {
+            std::printf("  REGRESS  %s: %g vs baseline %g (%+.1f%%, "
+                        "tol %.0f%%)\n",
+                        path.c_str(), fresh.number, base.number,
+                        delta * 100.0, tol * 100.0);
+            ++c.regressions;
+        } else if (c.verbose) {
+            std::printf("  ok       %s: %g vs baseline %g (%+.1f%%)\n",
+                        path.c_str(), fresh.number, base.number,
+                        delta * 100.0);
+        }
+        return;
+    }
+    case JsonValue::Kind::Object: {
+        for (const auto &[key, base_member] : base.object) {
+            const JsonValue *fresh_member = fresh.find(key);
+            std::string sub = path.empty() ? key : path + "." + key;
+            if (!fresh_member) {
+                std::printf("  STRUCT   %s: missing from fresh run\n",
+                            sub.c_str());
+                ++c.structure_misses;
+                continue;
+            }
+            compare(sub, *fresh_member, base_member, c);
+        }
+        return;
+    }
+    case JsonValue::Kind::Array: {
+        std::size_t n = std::min(fresh.array.size(), base.array.size());
+        if (fresh.array.size() != base.array.size()) {
+            std::printf("  STRUCT   %s: length %zu vs baseline %zu "
+                        "(comparing the overlap)\n",
+                        path.c_str(), fresh.array.size(),
+                        base.array.size());
+            ++c.structure_misses;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            compare(path + "[" + std::to_string(i) + "]",
+                    fresh.array[i], base.array[i], c);
+        return;
+    }
+    default:
+        return;  // strings/bools/nulls are labels, not metrics
+    }
+}
+
+JsonValue
+load(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot read '%s'", path.c_str());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(ss.str(), doc, &error))
+        fatal("'%s': %s", path.c_str(), error.c_str());
+    return doc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Compare a fresh BENCH_*.json against a committed "
+                  "baseline; exit 1 on regression");
+    cli.addString("fresh", "", "freshly generated bench JSON");
+    cli.addString("baseline", "", "committed baseline JSON");
+    cli.addInt("tol-pct", 50,
+               "tolerance in percent for seconds metrics (may grow "
+               "by this much)");
+    cli.addInt("speedup-tol-pct", 50,
+               "tolerance in percent for speedup metrics (ratios of "
+               "interleaved measurements, so drift largely cancels; "
+               "may drop by this much)");
+    cli.addInt("bytes-tol-pct", 0,
+               "tolerance for bytes/ratio metrics in percent "
+               "(deterministic for fixed flags)");
+    cli.addBool("verbose", false, "also print passing metrics");
+    cli.addBool("fail-on-structure", false,
+                "treat structural mismatches as failures");
+    cli.parse(argc, argv);
+
+    std::string fresh_path = cli.getString("fresh");
+    std::string base_path = cli.getString("baseline");
+    if (fresh_path.empty() || base_path.empty())
+        fatal("--fresh and --baseline are both required");
+
+    JsonValue fresh = load(fresh_path);
+    JsonValue base = load(base_path);
+
+    Comparison c;
+    c.tol = static_cast<double>(cli.getInt("tol-pct")) / 100.0;
+    c.speedup_tol =
+        static_cast<double>(cli.getInt("speedup-tol-pct")) / 100.0;
+    c.bytes_tol =
+        static_cast<double>(cli.getInt("bytes-tol-pct")) / 100.0;
+    c.verbose = cli.getBool("verbose");
+
+    std::printf("bench_compare: %s vs %s\n", fresh_path.c_str(),
+                base_path.c_str());
+    compare("", fresh, base, c);
+
+    bool fail = c.regressions > 0 ||
+                (cli.getBool("fail-on-structure") &&
+                 c.structure_misses > 0);
+    std::printf("%d metric(s) compared, %d regression(s), %d "
+                "structural change(s): %s\n",
+                c.compared, c.regressions, c.structure_misses,
+                fail ? "FAIL" : "OK");
+    return fail ? 1 : 0;
+}

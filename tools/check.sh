@@ -41,3 +41,17 @@ if [[ $# -eq 0 ]] && grep -q '^SPG_TRACING:BOOL=ON$' CMakeCache.txt; then
         --require-cats=train,layer,kernel,pool,tuner \
         --min-lanes=2 --expect-drift
 fi
+
+# Bench regression gate: regenerate the fusion bench (reduced reps so
+# the gate stays fast) and diff it against the committed baseline.
+# Timing tolerance is wide — shared hosts drift — so only structural
+# regressions fail: a fusion path losing its speedup outright, or the
+# arena planner degrading toward the unplanned sum. Skipped when a test
+# filter was passed.
+if [[ $# -eq 0 ]]; then
+    ./bench/bench_fusion --reps=3 --net-steps=2 \
+        --json-file="$PWD/BENCH_fusion_fresh.json" > /dev/null
+    ./tools/bench_compare --fresh="$PWD/BENCH_fusion_fresh.json" \
+        --baseline=../bench/baselines/BENCH_fusion.json \
+        --tol-pct=150 --speedup-tol-pct=60 --bytes-tol-pct=10
+fi
