@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Direct register-tiled convolution over blocked NCHWc tensors.
+ *
+ * The engine the blocked layout exists for: no im2col and no GEMM
+ * packing — the inner loops read activations in [C/8][H][W][8] order
+ * and weights in [K/8][C/8][Fy][Fx][8c][8k] order, computing one
+ * register tile of output per visit (see direct_block.hh for the tile
+ * generators and the bit-for-bit contract with the reference loops).
+ *
+ * Operand layouts are negotiated per call: any of in (FP, BP-weights)
+ * and out (FP) may arrive blocked (Layout::Nchwc) — produced/consumed
+ * in place when adjacent layers also run direct — and are staged
+ * through per-call blocked scratch otherwise. Error tensors are always
+ * plain NCHW. When the tuner measures this engine with plain tensors
+ * the staging conversions run inside the timed call, so conversion
+ * cost is amortized into the engine decision automatically.
+ */
+
+#ifndef SPG_CONV_ENGINE_DIRECT_HH
+#define SPG_CONV_ENGINE_DIRECT_HH
+
+#include "conv/engine.hh"
+
+namespace spg {
+
+class DirectEngine : public ConvEngine
+{
+  public:
+    using ConvEngine::backwardData;
+    using ConvEngine::backwardWeights;
+    using ConvEngine::forward;
+
+    std::string name() const override { return "direct"; }
+    bool supports(Phase) const override { return true; }
+
+    /** True when the register-tiled blocked loops are compiled in
+     *  (AVX2+FMA). Layout negotiation must not hand blocked tensors to
+     *  the portable fallback, which runs the plain NCHW reference. */
+    static bool blockedLayoutSupported();
+
+    void forward(const ConvSpec &spec, const Tensor &in,
+                 const Tensor &weights, Tensor &out, ThreadPool &pool,
+                 const Epilogue &epilogue) const override;
+    void backwardData(const ConvSpec &spec, const Tensor &eo,
+                      const Tensor &weights, Tensor &ei, ThreadPool &pool,
+                      const BpMask &mask) const override;
+    void backwardWeights(const ConvSpec &spec, const Tensor &eo,
+                         const Tensor &in, Tensor &dweights,
+                         ThreadPool &pool,
+                         const BpMask &mask) const override;
+};
+
+} // namespace spg
+
+#endif // SPG_CONV_ENGINE_DIRECT_HH

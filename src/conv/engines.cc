@@ -11,6 +11,7 @@ makeAllEngines()
     engines.push_back(std::make_unique<UnfoldGemmPackedEngine>());
     engines.push_back(std::make_unique<GemmInParallelPackedEngine>());
     engines.push_back(std::make_unique<StencilEngine>());
+    engines.push_back(std::make_unique<DirectEngine>());
     engines.push_back(std::make_unique<SparseBpEngine>());
     engines.push_back(std::make_unique<SparseBpCachedEngine>());
     return engines;
@@ -41,6 +42,8 @@ makeEngine(const std::string &name)
         return std::make_unique<GemmInParallelPackedEngine>();
     if (name == "stencil")
         return std::make_unique<StencilEngine>();
+    if (name == "direct")
+        return std::make_unique<DirectEngine>();
     if (name == "sparse")
         return std::make_unique<SparseBpEngine>();
     if (name == "sparse-cached")

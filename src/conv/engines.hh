@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "conv/engine.hh"
+#include "conv/engine_direct.hh"
 #include "conv/engine_fft.hh"
 #include "conv/engine_gemm.hh"
 #include "conv/engine_gemm_packed.hh"
@@ -23,7 +24,8 @@ namespace spg {
 /**
  * @return one instance of every paper-set production engine (excludes
  * the reference oracle and extensions): parallel-gemm,
- * gemm-in-parallel, their packed-operand variants, stencil, sparse.
+ * gemm-in-parallel, their packed-operand variants, stencil, direct,
+ * sparse.
  */
 std::vector<std::unique_ptr<ConvEngine>> makeAllEngines();
 
@@ -38,7 +40,7 @@ std::vector<std::unique_ptr<ConvEngine>> makeExtendedEngines();
  * @return the engine with the given name(), or nullptr when unknown.
  * Recognized names: "reference", "parallel-gemm", "gemm-in-parallel",
  * "parallel-gemm-packed", "gemm-in-parallel-packed", "stencil",
- * "sparse", "sparse-weights", "fft".
+ * "direct", "sparse", "sparse-weights", "fft".
  */
 std::unique_ptr<ConvEngine> makeEngine(const std::string &name);
 

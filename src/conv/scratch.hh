@@ -63,7 +63,16 @@ enum ScratchSlot
     kSlotStencilIn = 6,    ///< strided-split input planes
     kSlotStencilOut = 7,   ///< stencil output staging
     kSlotPanelsB = 8,      ///< im2col emitted directly in B-panel format
-    kSlotMaskedEo = 9      ///< ReLU-masked copy of one image's errors
+    kSlotMaskedEo = 9,     ///< ReLU-masked copy of one image's errors
+    // Direct NCHWc engine. The batch-wide staging slots (In / Weights /
+    // Out) are taken from the DISPATCHING thread's arena and shared
+    // read-only (or disjointly written) by the workers inside one
+    // fork-join region; kSlotDirectDw is a genuinely per-thread
+    // gradient tile.
+    kSlotDirectIn = 10,      ///< blocked input / staged (masked) errors
+    kSlotDirectWeights = 11, ///< KCRSck or BP-gather blocked weights
+    kSlotDirectOut = 12,     ///< blocked output / input-error staging
+    kSlotDirectDw = 13       ///< one task's [fx][8][8] gradient tile
 };
 
 } // namespace spg

@@ -32,6 +32,14 @@ struct EngineTiming
     /** CT-CSR encode share of `seconds` (encode-once sparse engine
      *  only; zero when the phase replayed a cached plan). */
     double encode_seconds = 0;
+    /** Operand layout the engine computes in ("nchw" for everything
+     *  except the direct engine's "nchwc8"). */
+    std::string layout = "nchw";
+    /** Measured cost of the boundary layout conversions included in
+     *  `seconds` that deployment on a negotiated blocked edge elides
+     *  (direct FP only: input pack + output unpack). Cached in the
+     *  plan so retuneBp never re-measures it. */
+    double convert_seconds = 0;
     /** Pool schedule imbalance over the measurement: max/mean
      *  per-worker busy time (1.0 = perfectly balanced). */
     double imbalance = 1.0;

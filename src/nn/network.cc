@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "conv/engine_direct.hh"
 #include "obs/metrics.hh"
+#include "tensor/blocked.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -118,6 +120,7 @@ Network::ensureBuffers(std::int64_t batch)
     struct Buf
     {
         Shape shape;
+        Layout layout;
         std::int64_t start = 0;
         std::int64_t end = 0;
         std::int64_t root = -1;  ///< alias target; -1 = self
@@ -127,7 +130,15 @@ Network::ensureBuffers(std::int64_t batch)
 
     for (std::int64_t i = 0; i < L; ++i) {
         Geometry og = layers[i]->outputGeometry();
-        bufs[i].shape = Shape{batch, og.c, og.h, og.w};
+        if (i < static_cast<std::int64_t>(blocked_edges_.size()) &&
+            blocked_edges_[static_cast<std::size_t>(i)]) {
+            // Negotiated NCHWc edge: the slab holds the channel-blocked
+            // (padded) image; both endpoint engines consume it as-is.
+            bufs[i].shape = nchwcShape(batch, og.c, og.h, og.w);
+            bufs[i].layout = Layout::nchwc(og.c);
+        } else {
+            bufs[i].shape = Shape{batch, og.c, og.h, og.w};
+        }
         bufs[i].start = i;
         std::int64_t end = i;
         if (i + 1 < L) {
@@ -238,7 +249,11 @@ Network::ensureBuffers(std::int64_t batch)
                                   static_cast<std::int64_t>(sizeof(float));
     auto viewOf = [&](std::int64_t b) {
         std::int64_t slot = bufs[rootOf(b)].slot;
-        return Tensor::view(bufs[b].shape, arena_slabs[slot].data());
+        // Slabs are cache-line (64-byte) aligned by construction; the
+        // blocked view constructor asserts that, as the direct engine's
+        // register tiles rely on it.
+        return Tensor::view(bufs[b].shape, arena_slabs[slot].data(),
+                            bufs[b].layout);
     };
     for (std::int64_t i = 0; i < L; ++i)
         acts.push_back(viewOf(i));
@@ -259,6 +274,11 @@ Network::forward(const Tensor &images, ThreadPool &pool)
     if (images.shape() != want)
         fatal("network expects input %s, got %s", want.str().c_str(),
               images.shape().str().c_str());
+    std::vector<char> blocked = negotiateLayouts();
+    if (blocked != blocked_edges_) {
+        blocked_edges_ = std::move(blocked);
+        buffer_batch = 0;  // shapes changed: re-plan the arena
+    }
     ensureBuffers(batch);
     SPG_TRACE_SCOPE_N("train", "forward", "batch", batch);
     const Tensor *in = &images;
@@ -302,6 +322,26 @@ Network::evalAccuracy(const Tensor &images, const std::vector<int> &labels,
     head->setLabels(labels);
     forward(images, pool);
     return head->accuracy();
+}
+
+std::vector<char>
+Network::negotiateLayouts() const
+{
+    const std::size_t L = layers.size();
+    std::vector<char> blocked(L, 0);
+    if (!DirectEngine::blockedLayoutSupported())
+        return blocked;
+    for (std::size_t i = 0; i + 1 < L; ++i) {
+        auto *prod = dynamic_cast<const ConvLayer *>(layers[i].get());
+        auto *cons = dynamic_cast<const ConvLayer *>(layers[i + 1].get());
+        if (prod == nullptr || cons == nullptr)
+            continue;
+        if (prod->engines().fp == "direct" &&
+            cons->engines().fp == "direct" &&
+            cons->engines().bp_weights == "direct")
+            blocked[i] = 1;
+    }
+    return blocked;
 }
 
 std::vector<ConvLayer *>

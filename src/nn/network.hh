@@ -89,6 +89,20 @@ class Network
     std::int64_t fusedPairs() const { return fused_pairs; }
 
     /**
+     * Inter-layer activation edges currently carried in the blocked
+     * NCHWc layout (negotiated: both sides run the direct engine, so
+     * the conversion nodes at the boundary are elided). Valid after
+     * the first forward()/trainStep() following an engine deployment.
+     */
+    std::int64_t blockedEdgeCount() const
+    {
+        std::int64_t n = 0;
+        for (char b : blocked_edges_)
+            n += b;
+        return n;
+    }
+
+    /**
      * Bytes of the liveness-planned activation arena backing the
      * inter-layer buffers (high-water mark of the interval packing).
      * Valid after the first forward()/trainStep() for a batch size.
@@ -103,6 +117,14 @@ class Network
 
   private:
     void ensureBuffers(std::int64_t batch);
+    /** Per-edge layout choice: blocked_edges_[i] != 0 means acts[i]
+     *  (output of layer i) lives in NCHWc. An edge goes blocked only
+     *  when producer and consumer are conv layers whose deployed FP
+     *  engines — and the consumer's BP-weights engine, which re-reads
+     *  the activation — are all "direct", so no engine ever needs the
+     *  plain layout and the boundary conversions are elided entirely.
+     *  Error tensors always stay NCHW. */
+    std::vector<char> negotiateLayouts() const;
 
     Geometry input_geom;
     std::vector<std::unique_ptr<Layer>> layers;
@@ -112,6 +134,7 @@ class Network
     std::vector<Tensor> acts;      ///< acts[i]: output of layer i
     std::vector<Tensor> errs;      ///< errs[i]: error w.r.t. layer i input
     std::int64_t buffer_batch = 0;
+    std::vector<char> blocked_edges_;
     std::int64_t fused_pairs = 0;
     std::int64_t arena_bytes_ = 0;
     std::int64_t arena_unplanned_bytes_ = 0;

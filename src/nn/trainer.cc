@@ -305,6 +305,7 @@ Trainer::collectDriftSamples(
                     for (const EngineTiming &t : it->second) {
                         if (t.engine == sample.engine) {
                             sample.chunk_map = t.chunk_map;
+                            sample.layout = t.layout;
                             break;
                         }
                     }
@@ -329,8 +330,8 @@ Trainer::joinDrift(ThreadPool &pool)
                engine == "parallel-gemm-packed" ||
                engine == "gemm-in-parallel" ||
                engine == "gemm-in-parallel-packed" ||
-               engine == "stencil" || engine == "sparse" ||
-               engine == "sparse-cached";
+               engine == "stencil" || engine == "direct" ||
+               engine == "sparse" || engine == "sparse-cached";
     };
 
     // Calibrate the machine model from a measured single-core SGEMM
@@ -358,6 +359,7 @@ Trainer::joinDrift(ThreadPool &pool)
         out.label = sample.label;
         out.phase = phaseName(sample.phase);
         out.engine = sample.engine;
+        out.layout = sample.layout;
         char region_buf[8];
         std::snprintf(
             region_buf, sizeof(region_buf), "R%d",

@@ -126,6 +126,7 @@ class Trainer
         ConvSpec spec;
         Phase phase;
         std::string engine;
+        std::string layout = "nchw";  ///< from the plan's EngineTiming
         double sparsity = 0;
         double measured_seconds = 0;  ///< per training step
         std::vector<std::int64_t> chunk_map;

@@ -31,6 +31,7 @@ struct DriftSample
     std::string label;   ///< layer name ("conv1")
     std::string phase;   ///< "FP" / "BP-data" / "BP-weights"
     std::string engine;  ///< engine that ran ("gemm-in-parallel")
+    std::string layout;  ///< operand layout it computed in ("nchw")
     std::string region;  ///< Fig. 1 region ("R2")
     double measured_seconds = 0;
     double modeled_seconds = 0;

@@ -1,6 +1,7 @@
 #include "simcpu/conv_model.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "perf/roofline.hh"
 #include "util/logging.hh"
@@ -313,6 +314,83 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         task.bytes = kFloat * elems;
         task.efficiency = machine.axpy_efficiency;
         return scheduleImages(task, flops * batch);
+    }
+
+    if (engine == "direct") {
+        // Blocked NCHWc register-tiled engine. Channel tails are
+        // padded to the 8-lane block, so the executed FLOPs carry the
+        // pad ratio; the staging conversions at the layer boundary are
+        // charged too, matching how the tuner measures the engine on
+        // plain tensors (a negotiated blocked edge elides the FP
+        // pack/unpack share at deployment).
+        const double blk = 8.0;
+        double cbn = std::ceil(static_cast<double>(spec.nc) / blk);
+        double kbn = std::ceil(static_cast<double>(spec.nf) / blk);
+        double in_pad = cbn * blk * spec.ny * spec.nx;
+        double out_pad = kbn * blk * spec.outY() * spec.outX();
+        double w_pad = kbn * blk * cbn * blk * spec.fy * spec.fx;
+        SimTask task;
+        if (phase == Phase::Forward) {
+            // Pack in + weights, compute, unpack out. The blocked
+            // input image is re-streamed once per feature block unless
+            // it stays L2-resident beside an output row. The FP tile
+            // accumulates in double for bit-exactness with the
+            // reference, halving the vector FMA rate.
+            double in_bytes = kFloat * in_pad;
+            double out_row = kFloat * spec.outX() * blk;
+            double in_reload =
+                (in_bytes + out_row <= machine.l2_bytes) ? 1.0 : kbn;
+            double elems = spec.inputElems() + in_pad        // pack in
+                           + spec.weightElems() + w_pad      // pack w
+                           + in_reload * in_pad + w_pad      // compute
+                           + out_pad                         // store
+                           + out_pad + spec.outputElems()    // unpack
+                           + fused_fp_elems;
+            task.flops = dense_flops * (cbn * blk / spec.nc) *
+                         (kbn * blk / spec.nf);
+            task.bytes = kFloat * elems;
+            task.efficiency = 0.5 * machine.stencil_efficiency;
+        } else if (phase == Phase::BackwardData) {
+            // Gather-layout weight pack, blocked EI compute (EO image
+            // re-streamed per channel block unless L2-resident), EI
+            // unpack. Float FMA at stencil rate; pad lanes only on the
+            // input-channel side.
+            double w_gather = cbn * blk * spec.nf * spec.fy * spec.fx;
+            double eo_bytes = kFloat * spec.outputElems();
+            double ei_row = kFloat * spec.nx * blk;
+            double eo_reload =
+                (eo_bytes + ei_row <= machine.l2_bytes) ? 1.0 : cbn;
+            double elems = spec.weightElems() + w_gather     // pack w
+                           + eo_reload * spec.outputElems()  // compute
+                           + w_gather + in_pad               // store
+                           + in_pad + spec.inputElems()      // unpack
+                           + fused_stage_elems;
+            task.flops = dense_flops * (cbn * blk / spec.nc);
+            task.bytes = kFloat * elems;
+            task.efficiency = machine.stencil_efficiency;
+        } else {
+            // Blocked masked EO staging, then one task per (feature
+            // block, channel block, kernel row), each streaming the
+            // paired EO / input block planes; the fy row tasks of a
+            // pair hit L2 when both planes fit. Pad lanes on both
+            // sides of the dw tiles.
+            double eo_plane = blk * spec.outY() * spec.outX();
+            double in_plane = blk * spec.ny * spec.nx;
+            double passes =
+                kFloat * (eo_plane + in_plane) <= machine.l2_bytes
+                    ? 1.0
+                    : spec.fy;
+            double elems = spec.outputElems() + out_pad      // stage EO
+                           + fused_mask_elems
+                           + passes * kbn * cbn *
+                                 (eo_plane + in_plane)       // compute
+                           + 2.0 * w_pad + spec.weightElems();  // dw
+            task.flops = dense_flops * (cbn * blk / spec.nc) *
+                         (kbn * blk / spec.nf);
+            task.bytes = kFloat * elems;
+            task.efficiency = machine.stencil_efficiency;
+        }
+        return scheduleImages(task, useful_one * batch);
     }
 
     panic("no performance model for engine '%s'", engine.c_str());

@@ -66,7 +66,7 @@ SimResult modelGemmInParallelMm(const MachineModel &machine,
  * @param spec Layer geometry.
  * @param phase FP / BP-data / BP-weights.
  * @param engine Engine name ("parallel-gemm", "gemm-in-parallel",
- *        "stencil", "sparse").
+ *        "stencil", "direct", "sparse").
  * @param batch Minibatch size.
  * @param cores Active cores.
  * @param sparsity Fraction of zeros in the output-error gradients
@@ -74,7 +74,8 @@ SimResult modelGemmInParallelMm(const MachineModel &machine,
  * @param chunk_map Optional MEASURED per-core item counts (e.g.
  *        EngineTiming::chunk_map recorded by the tuner). When given,
  *        the image-parallel engines (gemm-in-parallel, stencil,
- *        sparse) charge this schedule via simulateScheduled() instead
+ *        direct, sparse) charge this schedule via simulateScheduled()
+ *        instead
  *        of an idealized even split; its size overrides `cores`.
  *        Parallel-GEMM partitions a single MM rather than scheduling
  *        items, so it ignores the map.

@@ -77,9 +77,24 @@ Tensor::view(Shape shape, float *data)
 }
 
 Tensor
+Tensor::view(Shape shape, float *data, Layout layout)
+{
+    if (layout.blocked() &&
+        (reinterpret_cast<std::uintptr_t>(data) & 63u) != 0) {
+        panic("blocked tensor view %s must be 64-byte aligned "
+              "(got %p)",
+              shape.str().c_str(), static_cast<void *>(data));
+    }
+    Tensor t = view(shape, data);
+    t.layout_ = layout;
+    return t;
+}
+
+Tensor
 Tensor::clone() const
 {
     Tensor copy = Tensor::uninitialized(shape_);
+    copy.layout_ = layout_;
     std::copy(data(), data() + size(), copy.data());
     return copy;
 }

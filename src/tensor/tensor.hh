@@ -55,6 +55,74 @@ class Shape
 };
 
 /**
+ * Physical memory layout tag for a tensor.
+ *
+ * Most tensors are plain NCHW (the default tag carries no extra
+ * information). The direct convolution engine works on channel-blocked
+ * tensors instead:
+ *
+ *  - Nchwc activations: logically [B][C][H][W], stored as
+ *    [B][ceil(C/c)][H][W][c] with the trailing partial channel block
+ *    zero-padded. Within the rank-4 Shape convention this is declared
+ *    as {B, ceil(C/c), H, W*c} — row-major order over that shape is
+ *    exactly the 5-D blocked order, so Shape::elements() is the
+ *    physical (padded) element count.
+ *  - Nchwc weights (KCRSck): logically [K][C][Fy][Fx], stored as
+ *    [ceil(K/c)][ceil(C/c)][Fy][Fx][c_in][c_out], declared as
+ *    {ceil(K/c), ceil(C/c), Fy, Fx*c*c}. Tagged with features = K.
+ *
+ * The tag records the logical channel/feature counts so conversions can
+ * recover the unpadded tensor; blocked() distinguishes the two worlds
+ * at engine boundaries.
+ */
+struct Layout
+{
+    enum class Kind : unsigned char
+    {
+        Nchw,  ///< plain row-major over the declared shape
+        Nchwc  ///< channel-blocked; see struct comment
+    };
+
+    Kind kind = Kind::Nchw;
+    std::int32_t block = 0;     ///< channel block width c (Nchwc only)
+    std::int64_t channels = 0;  ///< logical channel count C (Nchwc only)
+    std::int64_t features = 0;  ///< logical feature count K (blocked
+                                ///< weights only; 0 for activations)
+
+    bool blocked() const { return kind == Kind::Nchwc; }
+
+    static Layout nchw() { return Layout{}; }
+
+    static Layout
+    nchwc(std::int64_t channels, std::int32_t block = 8)
+    {
+        return Layout{Kind::Nchwc, block, channels, 0};
+    }
+
+    static Layout
+    kcrsck(std::int64_t features, std::int64_t channels,
+           std::int32_t block = 8)
+    {
+        return Layout{Kind::Nchwc, block, channels, features};
+    }
+
+    bool
+    operator==(const Layout &o) const
+    {
+        return kind == o.kind && block == o.block &&
+               channels == o.channels && features == o.features;
+    }
+    bool operator!=(const Layout &o) const { return !(*this == o); }
+
+    /** @return "nchw" or "nchwc<block>" for reports. */
+    std::string
+    str() const
+    {
+        return blocked() ? "nchwc" + std::to_string(block) : "nchw";
+    }
+};
+
+/**
  * An owning, aligned, row-major dense float tensor.
  *
  * Move-only (copies must be explicit via clone() so that accidental
@@ -82,6 +150,13 @@ class Tensor
      */
     static Tensor view(Shape shape, float *data);
 
+    /**
+     * A non-owning view carrying a layout tag. Blocked views must be
+     * 64-byte aligned (the direct engine issues aligned vector loads
+     * against blocked slabs); panics otherwise.
+     */
+    static Tensor view(Shape shape, float *data, Layout layout);
+
     Tensor(Tensor &&) = default;
     Tensor &operator=(Tensor &&) = default;
     Tensor(const Tensor &) = delete;
@@ -92,6 +167,12 @@ class Tensor
 
     const Shape &shape() const { return shape_; }
     std::int64_t size() const { return shape_.elements(); }
+
+    /** @return the physical layout tag (Nchw unless explicitly set). */
+    const Layout &layout() const { return layout_; }
+
+    /** Tag this tensor's layout (shape is already the physical shape). */
+    void setLayout(Layout layout) { layout_ = layout; }
 
     float *data() { return view_ ? view_ : buffer.data(); }
     const float *data() const { return view_ ? view_ : buffer.data(); }
@@ -146,6 +227,7 @@ class Tensor
 
   private:
     Shape shape_;
+    Layout layout_;
     AlignedBuffer<float> buffer;
     float *view_ = nullptr;  ///< when set, storage is external
 };

@@ -114,7 +114,8 @@ INSTANTIATE_TEST_SUITE_P(
                           std::string("gemm-in-parallel"),
                           std::string("parallel-gemm-packed"),
                           std::string("gemm-in-parallel-packed"),
-                          std::string("stencil"), std::string("sparse"),
+                          std::string("stencil"), std::string("direct"),
+                          std::string("sparse"),
                           std::string("sparse-cached")),
         ::testing::Values(0.0, 0.85, 0.99)),
     [](const auto &info) {
@@ -134,13 +135,13 @@ TEST(ConvEngines, RegistryKnowsAllNames)
     for (const char *name :
          {"reference", "parallel-gemm", "gemm-in-parallel",
           "parallel-gemm-packed", "gemm-in-parallel-packed", "stencil",
-          "sparse", "sparse-cached"}) {
+          "direct", "sparse", "sparse-cached"}) {
         auto e = makeEngine(name);
         ASSERT_NE(e, nullptr) << name;
         EXPECT_EQ(e->name(), name);
     }
     EXPECT_EQ(makeEngine("no-such-engine"), nullptr);
-    EXPECT_EQ(makeAllEngines().size(), 7u);
+    EXPECT_EQ(makeAllEngines().size(), 8u);
 }
 
 TEST(ConvEngines, PhaseSupportMatrix)

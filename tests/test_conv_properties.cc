@@ -18,10 +18,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "conv/engines.hh"
+#include "tensor/blocked.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 
@@ -256,12 +260,216 @@ TEST_P(ConvProperty, RepeatedCallsAreIdentical)
     EXPECT_EQ(maxAbsDiff(y1, y2), 0.0f);
 }
 
+// ---------------------------------------------------------------------
+// Blocked NCHWc layout: conversions are pure data movement, so a
+// round-trip must reproduce the original tensor bit for bit — in
+// particular across partial trailing channel blocks.
+// ---------------------------------------------------------------------
+
+TEST(BlockedLayout, ActivationRoundTripIsExactForOddChannels)
+{
+    ThreadPool pool(3);
+    Rng rng(7001);
+    for (std::int64_t c : {1, 3, 5, 7, 8, 9, 16, 17, 23}) {
+        Tensor x(Shape{2, c, 5, 6});
+        x.fillUniform(rng);
+        Tensor blocked = nchwToNchwc(x, pool);
+        EXPECT_TRUE(blocked.layout().blocked());
+        EXPECT_EQ(blocked.layout().channels, c);
+        EXPECT_EQ(blocked.shape(), nchwcShape(2, c, 5, 6));
+        // Pad lanes of a partial tail block must be exactly zero.
+        if (c % kChannelBlock != 0) {
+            const std::int64_t live = c % kChannelBlock;
+            const std::int64_t cbn = blockCount(c);
+            for (std::int64_t b = 0; b < 2; ++b)
+                for (std::int64_t p = 0; p < 5 * 6; ++p)
+                    for (std::int64_t ci = live; ci < kChannelBlock;
+                         ++ci) {
+                        std::int64_t idx =
+                            (((b * cbn + cbn - 1) * 5 * 6) + p) *
+                                kChannelBlock +
+                            ci;
+                        ASSERT_EQ(blocked[idx], 0.0f) << c;
+                    }
+        }
+        Tensor back = nchwcToNchw(blocked, pool);
+        ASSERT_EQ(back.shape(), x.shape()) << c;
+        EXPECT_EQ(std::memcmp(back.data(), x.data(),
+                              static_cast<std::size_t>(x.size()) *
+                                  sizeof(float)),
+                  0)
+            << "channels=" << c;
+    }
+}
+
+TEST(BlockedLayout, WeightRoundTripIsExactForOddCounts)
+{
+    ThreadPool pool(3);
+    Rng rng(7002);
+    for (auto [nf, nc] : {std::pair<std::int64_t, std::int64_t>{1, 1},
+                          {3, 7},
+                          {8, 8},
+                          {9, 17},
+                          {16, 5},
+                          {17, 16}}) {
+        Tensor w(Shape{nf, nc, 3, 3});
+        w.fillUniform(rng);
+        Tensor blocked = kcrsToKcrsck(w, pool);
+        EXPECT_EQ(blocked.layout().features, nf);
+        EXPECT_EQ(blocked.layout().channels, nc);
+        Tensor back = kcrsckToKcrs(blocked, pool);
+        ASSERT_EQ(back.shape(), w.shape());
+        EXPECT_EQ(std::memcmp(back.data(), w.data(),
+                              static_cast<std::size_t>(w.size()) *
+                                  sizeof(float)),
+                  0)
+            << nf << "x" << nc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct engine: bit-for-bit against the reference on (spatially
+// reduced) Table 1 geometries, all three phases, with and without the
+// fused ReLU epilogue / BP mask, and with blocked operands negotiated.
+// ---------------------------------------------------------------------
+
+/** Table 1 kernel/channel characters at test-sized spatial extents;
+ *  channel counts reduced where the reference would be too slow, plus
+ *  tail-block (non-multiple-of-8) variants. */
+const ConvSpec kDirectSpecs[] = {
+    ConvSpec::square(16, 32, 32, 4),   // id 0 character
+    ConvSpec::square(8, 48, 24, 2),    // id 1 character (channels cut)
+    ConvSpec::square(12, 32, 16, 3),   // id 2 character (channels cut)
+    ConvSpec::square(14, 16, 8, 7),    // id 3 character
+    ConvSpec::square(13, 24, 16, 5),   // id 4 character (channels cut)
+    ConvSpec::square(16, 64, 16, 11),  // id 5, exact channels
+    ConvSpec{10, 9, 17, 33, 3, 3, 1, 1},   // tail blocks both sides
+    ConvSpec{11, 11, 5, 9, 5, 5, 2, 2},    // stride + tails
+    ConvSpec{12, 10, 1, 3, 4, 2, 3, 3},    // tiny channels, stride 3
+};
+
+class DirectBitForBit : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DirectBitForBit, AllPhasesMatchReference)
+{
+    const ConvSpec &s = kDirectSpecs[GetParam()];
+    const std::int64_t batch = 2;
+    ThreadPool pool(4);
+    Rng rng(800 + GetParam());
+
+    Tensor x(Shape{batch, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    Tensor e(Shape{batch, s.nf, s.outY(), s.outX()});
+    // Mixed-sign data so ReLU masks have structure.
+    x.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -1.0f, 1.0f);
+    e.fillUniform(rng, -1.0f, 1.0f);
+
+    ReferenceEngine ref;
+    DirectEngine direct;
+    Shape out_shape{batch, s.nf, s.outY(), s.outX()};
+
+    // Plain (no epilogue) phases.
+    Tensor y_ref(out_shape), y(out_shape);
+    ref.forward(s, x, w, y_ref, pool);
+    direct.forward(s, x, w, y, pool);
+    EXPECT_EQ(maxAbsDiff(y, y_ref), 0.0f) << s.str() << " FP";
+
+    Tensor xt_ref(x.shape()), xt(x.shape());
+    ref.backwardData(s, e, w, xt_ref, pool);
+    direct.backwardData(s, e, w, xt, pool);
+    EXPECT_EQ(maxAbsDiff(xt, xt_ref), 0.0f) << s.str() << " BP-data";
+
+    Tensor dw_ref(w.shape()), dw(w.shape());
+    ref.backwardWeights(s, e, x, dw_ref, pool);
+    direct.backwardWeights(s, e, x, dw, pool);
+    EXPECT_EQ(maxAbsDiff(dw, dw_ref), 0.0f) << s.str() << " BP-weights";
+
+    // Fused ReLU epilogue + BP mask.
+    std::vector<std::uint8_t> mask_ref(y_ref.size()),
+        mask(y_ref.size());
+    Epilogue ep_ref{Epilogue::Kind::ReluMask, mask_ref.data()};
+    Epilogue ep{Epilogue::Kind::ReluMask, mask.data()};
+    ref.forward(s, x, w, y_ref, pool, ep_ref);
+    direct.forward(s, x, w, y, pool, ep);
+    EXPECT_EQ(maxAbsDiff(y, y_ref), 0.0f) << s.str() << " FP+relu";
+    EXPECT_EQ(std::memcmp(mask.data(), mask_ref.data(), mask.size()), 0)
+        << s.str() << " mask";
+
+    BpMask bp{mask_ref.data()};
+    ref.backwardData(s, e, w, xt_ref, pool, bp);
+    direct.backwardData(s, e, w, xt, pool, bp);
+    EXPECT_EQ(maxAbsDiff(xt, xt_ref), 0.0f)
+        << s.str() << " BP-data+mask";
+
+    ref.backwardWeights(s, e, x, dw_ref, pool, bp);
+    direct.backwardWeights(s, e, x, dw, pool, bp);
+    EXPECT_EQ(maxAbsDiff(dw, dw_ref), 0.0f)
+        << s.str() << " BP-weights+mask";
+}
+
+TEST_P(DirectBitForBit, BlockedOperandsMatchPlain)
+{
+    // The negotiated-layout paths: blocked in and/or out for FP,
+    // blocked in for BP-weights. Results after a round-trip through
+    // the conversion kernels must equal the plain-NCHW call bit for
+    // bit.
+    if (!DirectEngine::blockedLayoutSupported())
+        GTEST_SKIP() << "no blocked kernels on this target";
+    const ConvSpec &s = kDirectSpecs[GetParam()];
+    const std::int64_t batch = 2;
+    ThreadPool pool(4);
+    Rng rng(900 + GetParam());
+
+    Tensor x(Shape{batch, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    Tensor e(Shape{batch, s.nf, s.outY(), s.outX()});
+    x.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -1.0f, 1.0f);
+    e.fillUniform(rng, -1.0f, 1.0f);
+
+    DirectEngine direct;
+    Shape out_shape{batch, s.nf, s.outY(), s.outX()};
+    Tensor y_plain(out_shape);
+    std::vector<std::uint8_t> mask_plain(y_plain.size());
+    Epilogue ep_plain{Epilogue::Kind::ReluMask, mask_plain.data()};
+    direct.forward(s, x, w, y_plain, pool, ep_plain);
+
+    // Blocked input, blocked output.
+    Tensor xb = nchwToNchwc(x, pool);
+    Tensor yb(nchwcShape(batch, s.nf, s.outY(), s.outX()));
+    yb.setLayout(Layout::nchwc(s.nf));
+    std::vector<std::uint8_t> mask_b(y_plain.size());
+    Epilogue ep_b{Epilogue::Kind::ReluMask, mask_b.data()};
+    direct.forward(s, xb, w, yb, pool, ep_b);
+    Tensor y_back = nchwcToNchw(yb, pool);
+    EXPECT_EQ(maxAbsDiff(y_back, y_plain), 0.0f) << s.str();
+    EXPECT_EQ(std::memcmp(mask_b.data(), mask_plain.data(),
+                          mask_b.size()),
+              0)
+        << s.str();
+
+    // BP-weights reading the blocked input.
+    Tensor dw_plain(w.shape()), dw_b(w.shape());
+    BpMask bp{mask_plain.data()};
+    direct.backwardWeights(s, e, x, dw_plain, pool, bp);
+    direct.backwardWeights(s, e, xb, dw_b, pool, bp);
+    EXPECT_EQ(maxAbsDiff(dw_b, dw_plain), 0.0f) << s.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, DirectBitForBit,
+    ::testing::Range(0, static_cast<int>(std::size(kDirectSpecs))));
+
 INSTANTIATE_TEST_SUITE_P(
     Engines, ConvProperty,
     ::testing::Combine(::testing::Range(0, 4),
                        ::testing::Values(std::string("parallel-gemm"),
                                          std::string("gemm-in-parallel"),
                                          std::string("stencil"),
+                                         std::string("direct"),
                                          std::string("sparse"))),
     [](const auto &info) {
         std::string name = "spec" +

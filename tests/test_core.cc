@@ -96,12 +96,12 @@ TEST(Tuner, PicksSupportedEnginesForEveryPhase)
     EXPECT_DOUBLE_EQ(plan.tuned_sparsity, 0.9);
 
     // FP candidates: parallel-gemm, gemm-in-parallel, their packed
-    // variants, and stencil.
-    EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 5u);
+    // variants, stencil, and direct.
+    EXPECT_EQ(plan.timings.at(Phase::Forward).size(), 6u);
     // BP candidates: parallel-gemm, gemm-in-parallel, the packed
-    // variants, sparse, and sparse-cached.
-    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 6u);
-    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 6u);
+    // variants, direct, sparse, and sparse-cached.
+    EXPECT_EQ(plan.timings.at(Phase::BackwardData).size(), 7u);
+    EXPECT_EQ(plan.timings.at(Phase::BackwardWeights).size(), 7u);
     for (const auto &[phase, timings] : plan.timings) {
         for (const auto &timing : timings)
             EXPECT_GT(timing.seconds, 0.0) << phaseName(phase);

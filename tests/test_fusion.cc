@@ -477,3 +477,102 @@ TEST(FusedConvLayer, ReportsPostMaskSparsity)
     EXPECT_GT(expected, 0.0);
     EXPECT_NEAR(layer.lastErrorSparsity(), expected, 1e-12);
 }
+
+// ---------------------------------------------------------------------------
+// Blocked-layout negotiation: with both convs of a conv->conv pair
+// (created by epilogue fusion collapsing conv->relu->conv) deployed on
+// the direct engine, the activation edge between them is carried in
+// NCHWc with no conversion nodes — and training stays bit-for-bit
+// identical to the unfused stack, where the standalone ReLU forces the
+// edge to stay NCHW.
+
+namespace {
+
+NetConfig
+convChainConfig(bool fuse)
+{
+    NetConfig cfg;
+    cfg.name = "conv-chain";
+    cfg.channels = 3;
+    cfg.height = 14;
+    cfg.width = 14;
+    cfg.classes = 4;
+    cfg.fuse_epilogues = fuse;
+    cfg.layers = {
+        LayerConfig{LayerKind::Conv, "", 12, 3, 1, 0},
+        LayerConfig{LayerKind::Relu, "", 0, 0, 1, 0},
+        LayerConfig{LayerKind::Conv, "", 9, 3, 1, 0},
+        LayerConfig{LayerKind::Relu, "", 0, 0, 1, 0},
+        LayerConfig{LayerKind::Fc, "", 0, 0, 1, 4},
+        LayerConfig{LayerKind::Softmax, "", 0, 0, 1, 0},
+    };
+    return cfg;
+}
+
+void
+deployDirect(Network &net)
+{
+    for (ConvLayer *conv : net.convLayers())
+        conv->setEngines(EngineAssignment{"direct", "direct", "direct"});
+}
+
+} // namespace
+
+TEST(BlockedNegotiation, ConvChainElidesConversionsBitForBit)
+{
+    if (!DirectEngine::blockedLayoutSupported())
+        GTEST_SKIP() << "no blocked kernels on this target";
+    ThreadPool pool(3);
+    Network fused(convChainConfig(true), 23);
+    Network plain(convChainConfig(false), 23);
+    deployDirect(fused);
+    deployDirect(plain);
+
+    const std::int64_t batch = 3;
+    Rng data_rng(9);
+    Tensor images(Shape{batch, 3, 14, 14});
+    std::vector<int> labels;
+    for (int step = 0; step < 3; ++step) {
+        fillStepData(data_rng, images, labels, 4);
+        StepStats a = fused.trainStep(images, labels, 0.05f, pool);
+        StepStats b = plain.trainStep(images, labels, 0.05f, pool);
+        ASSERT_EQ(a.loss, b.loss) << "step " << step;
+    }
+    // The fused stack negotiated its conv->conv edge blocked; the
+    // standalone ReLU in the plain stack keeps every edge NCHW.
+    EXPECT_EQ(fused.blockedEdgeCount(), 1);
+    EXPECT_EQ(plain.blockedEdgeCount(), 0);
+
+    for (ConvLayer *cf : fused.convLayers())
+        for (ConvLayer *cp : plain.convLayers())
+            if (cf->spec().str() == cp->spec().str())
+                expectBitEqual(cf->weights(), cp->weights(),
+                               "weights " + cf->spec().str());
+}
+
+TEST(BlockedNegotiation, RedeploymentReplansEdges)
+{
+    if (!DirectEngine::blockedLayoutSupported())
+        GTEST_SKIP() << "no blocked kernels on this target";
+    ThreadPool pool(2);
+    Network net(convChainConfig(true), 31);
+    Rng data_rng(13);
+    Tensor images(Shape{2, 3, 14, 14});
+    std::vector<int> labels;
+    fillStepData(data_rng, images, labels, 4);
+
+    // Default engines: no blocked edges.
+    net.trainStep(images, labels, 0.05f, pool);
+    EXPECT_EQ(net.blockedEdgeCount(), 0);
+
+    // Deploying direct on both convs flips the edge; the arena replans.
+    deployDirect(net);
+    net.trainStep(images, labels, 0.05f, pool);
+    EXPECT_EQ(net.blockedEdgeCount(), 1);
+
+    // Moving one endpoint off direct drops the edge again.
+    net.convLayers()[1]->setEngines(
+        EngineAssignment{"direct", "direct", "gemm-in-parallel"});
+    net.trainStep(images, labels, 0.05f, pool);
+    EXPECT_EQ(net.blockedEdgeCount(), 0);
+}

@@ -55,3 +55,34 @@ if [[ $# -eq 0 ]]; then
         --baseline=../bench/baselines/BENCH_fusion.json \
         --tol-pct=150 --speedup-tol-pct=60 --bytes-tol-pct=10
 fi
+
+# Layout crossover gate: regenerate the NCHWc direct-engine bench and
+# diff it against the committed baseline. The direct-vs-best speedups
+# are ratios of interleaved (round-robin) measurements so frequency
+# drift largely cancels, but the winnable FP cells sit within a few
+# percent of the best GEMM engine, so the speedup tolerance stays wide;
+# the seconds tolerance is wider still because the µs-scale conversion
+# timings at the smallest layer jitter more than the big phase timings.
+# Skipped when a test filter was passed.
+if [[ $# -eq 0 ]]; then
+    ./bench/bench_layout --reps=2 \
+        --json-file="$PWD/BENCH_layout_fresh.json" > /dev/null
+    ./tools/bench_compare --fresh="$PWD/BENCH_layout_fresh.json" \
+        --baseline=../bench/baselines/BENCH_layout.json \
+        --tol-pct=250 --speedup-tol-pct=60
+fi
+
+# Layout/direct-engine sanitizer gate: the NCHWc conversion kernels and
+# the direct engine's register tiles live and die by tail-block and
+# edge-tile indexing, and the pool-parallel converters by their
+# fan-out; run the blocked/direct suites under ASan and TSan so stray
+# pad-lane reads and conversion races are caught in-tree. Recursing
+# with a filter reuses the per-sanitizer build trees and skips the
+# smoke/bench gates above. Skipped inside a sanitized run (the outer
+# invocation already is one) or when a test filter was passed.
+if [[ $# -eq 0 && -z "${SPG_SANITIZE:-}" ]]; then
+    for san in address thread; do
+        SPG_SANITIZE="$san" "$(cd .. && pwd)/tools/check.sh" \
+            -R 'Direct|Blocked|Nchwc'
+    done
+fi
