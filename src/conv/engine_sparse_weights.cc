@@ -2,8 +2,8 @@
 
 #include <cstring>
 
+#include "conv/packed_weights.hh"
 #include "obs/trace.hh"
-#include "sparse/csr.hh"
 #include "sparse/sparse_mm.hh"
 
 namespace spg {
@@ -18,14 +18,17 @@ SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
     checkForwardShapes(spec, in, weights, out);
     std::int64_t batch = in.shape()[0];
     std::int64_t oy = spec.outY(), ox = spec.outX();
-    std::int64_t taps = spec.nc * spec.fy * spec.fx;
 
-    // Compress the weights once per call: row f holds that feature's
-    // non-zero taps, column index encodes (c, ky, kx).
-    CsrMatrix wcsr = CsrMatrix::fromDense(weights.data(), spec.nf, taps);
-    const auto &vals = wcsr.vals();
-    const auto &cidx = wcsr.colIdx();
-    const auto &rptr = wcsr.rowPtr();
+    // Weights encode once per weight version: the plan is shared with
+    // sparse-weights-direct through the persistent PackedWeightCache,
+    // so steady-state calls pay a fingerprint pass instead of a CSR
+    // rebuild. in_off[p] = c*ny*nx + ky*nx + kx replaces the per-tap
+    // (c, ky, kx) decode.
+    auto plan =
+        PackedWeightCache::global().getSparseConv(weights.data(), spec);
+    const float *vals = plan->csr.vals().data();
+    const std::int64_t *rptr = plan->csr.rowPtr().data();
+    const std::int64_t *offs = plan->in_off.data();
 
     pool.parallelForDynamic(batch, [&](std::int64_t b, int) {
         const float *image = in.data() + b * spec.inputElems();
@@ -35,23 +38,18 @@ SparseWeightsFpEngine::forward(const ConvSpec &spec, const Tensor &in,
             std::memset(plane, 0, sizeof(float) * oy * ox);
             for (std::int64_t p = rptr[f]; p < rptr[f + 1]; ++p) {
                 float val = vals[p];
-                std::int64_t tap = cidx[p];
-                std::int64_t c = tap / (spec.fy * spec.fx);
-                std::int64_t ky = tap / spec.fx % spec.fy;
-                std::int64_t kx = tap % spec.fx;
-                const float *iplane = image + c * spec.ny * spec.nx;
+                const float *src0 = image + offs[p];
                 if (spec.sx == 1) {
                     // Unit stride: one vectorized row-AXPY per output
                     // row; the input pointer just shifts by (ky, kx).
                     for (std::int64_t y = 0; y < oy; ++y) {
-                        axpy(ox, val,
-                             iplane + (y * spec.sy + ky) * spec.nx + kx,
+                        axpy(ox, val, src0 + y * spec.sy * spec.nx,
                              plane + y * ox);
                     }
                 } else {
                     for (std::int64_t y = 0; y < oy; ++y) {
                         const float *src =
-                            iplane + (y * spec.sy + ky) * spec.nx + kx;
+                            src0 + y * spec.sy * spec.nx;
                         float *dst = plane + y * ox;
                         for (std::int64_t x = 0; x < ox; ++x)
                             dst[x] += val * src[x * spec.sx];

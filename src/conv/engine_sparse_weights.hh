@@ -7,9 +7,10 @@
  * the complementary direction requiring weight positions to be known
  * in advance. This engine implements that direction with the same
  * in-place pointer-shifting machinery as the Sparse-Kernel: the
- * weights are compressed once into CSR (rows = output features,
- * columns = flattened (c, ky, kx) taps) and forward propagation
- * executes only the non-zero taps —
+ * weights are compressed once PER WEIGHT VERSION into CSR (rows =
+ * output features, columns = flattened (c, ky, kx) taps) via the
+ * persistent PackedWeightCache — steady-state calls reuse the cached
+ * plan — and forward propagation executes only the non-zero taps —
  *
  *     O[f, y, :] += w[f,c,ky,kx] * I[c, y*sy+ky, kx + sx*(0..Ox)]
  *

@@ -22,6 +22,7 @@ makeExtendedEngines()
 {
     auto engines = makeAllEngines();
     engines.push_back(std::make_unique<SparseWeightsFpEngine>());
+    engines.push_back(std::make_unique<SparseDirectFpEngine>());
     engines.push_back(std::make_unique<FftConvEngine>());
     engines.push_back(std::make_unique<WinogradEngine>());
     return engines;
@@ -50,6 +51,8 @@ makeEngine(const std::string &name)
         return std::make_unique<SparseBpCachedEngine>();
     if (name == "sparse-weights")
         return std::make_unique<SparseWeightsFpEngine>();
+    if (name == "sparse-weights-direct")
+        return std::make_unique<SparseDirectFpEngine>();
     if (name == "fft")
         return std::make_unique<FftConvEngine>();
     if (name == "winograd")

@@ -15,6 +15,7 @@
 #include "conv/engine_gemm.hh"
 #include "conv/engine_gemm_packed.hh"
 #include "conv/engine_sparse.hh"
+#include "conv/engine_sparse_direct.hh"
 #include "conv/engine_sparse_weights.hh"
 #include "conv/engine_stencil.hh"
 #include "conv/engine_winograd.hh"
@@ -30,9 +31,9 @@ namespace spg {
 std::vector<std::unique_ptr<ConvEngine>> makeAllEngines();
 
 /**
- * @return the paper-set engines plus extensions (the weight-sparsity
- * FP engine and the FFT FP engine) — the candidate set for tuning
- * pruned or large-kernel models.
+ * @return the paper-set engines plus extensions (the two
+ * weight-sparsity FP engines, the FFT FP engine and Winograd) — the
+ * candidate set for tuning pruned or large-kernel models.
  */
 std::vector<std::unique_ptr<ConvEngine>> makeExtendedEngines();
 
@@ -40,7 +41,8 @@ std::vector<std::unique_ptr<ConvEngine>> makeExtendedEngines();
  * @return the engine with the given name(), or nullptr when unknown.
  * Recognized names: "reference", "parallel-gemm", "gemm-in-parallel",
  * "parallel-gemm-packed", "gemm-in-parallel-packed", "stencil",
- * "direct", "sparse", "sparse-weights", "fft".
+ * "direct", "sparse", "sparse-weights", "sparse-weights-direct",
+ * "fft", "winograd".
  */
 std::unique_ptr<ConvEngine> makeEngine(const std::string &name);
 

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "util/timer.hh"
 
 namespace spg {
 
@@ -67,6 +68,56 @@ PackedWeightCache::getA(const float *w, Trans ta, std::int64_t m,
     return packed;
 }
 
+std::shared_ptr<const SparseWeightPlan>
+PackedWeightCache::getSparseConv(const float *w, const ConvSpec &spec)
+{
+    SparseKey key{w, spec.nf, spec.nc, spec.fy, spec.fx,
+                  spec.ny, spec.nx};
+    std::uint64_t fp = fingerprint(w, spec.weightElems());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sparse_entries_.find(key);
+        if (it != sparse_entries_.end() &&
+            it->second.fingerprint == fp) {
+            ++sparse_stats_.hits;
+            obs::Metrics::global()
+                .counter("packed_weights.sparse_hits")
+                .add();
+            return it->second.plan;
+        }
+    }
+
+    obs::Metrics::global()
+        .counter("packed_weights.sparse_encodes")
+        .add();
+    SPG_TRACE_SCOPE_NN("sparse", "encode sparse weights", "nf",
+                       spec.nf, "taps", spec.nc * spec.fy * spec.fx);
+    Stopwatch watch;
+    auto plan = std::make_shared<SparseWeightPlan>();
+    plan->nf = spec.nf;
+    plan->taps = spec.nc * spec.fy * spec.fx;
+    plan->csr = CsrMatrix::fromDense(w, plan->nf, plan->taps);
+    plan->weight_sparsity = plan->csr.sparsity();
+    plan->in_off.resize(static_cast<std::size_t>(plan->nnz()));
+    const auto &cidx = plan->csr.colIdx();
+    for (std::size_t p = 0; p < cidx.size(); ++p) {
+        std::int64_t tap = cidx[p];
+        std::int64_t c = tap / (spec.fy * spec.fx);
+        std::int64_t ky = tap / spec.fx % spec.fy;
+        std::int64_t kx = tap % spec.fx;
+        plan->in_off[p] = c * spec.ny * spec.nx + ky * spec.nx + kx;
+    }
+    double elapsed = watch.seconds();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sparse_stats_.encodes;
+    sparse_stats_.encode_seconds += elapsed;
+    if (sparse_entries_.size() >= kMaxEntries)
+        sparse_entries_.clear();
+    sparse_entries_[key] = SparseEntry{fp, plan};
+    return plan;
+}
+
 void
 PackedWeightCache::invalidate(const float *w)
 {
@@ -77,6 +128,13 @@ PackedWeightCache::invalidate(const float *w)
         else
             ++it;
     }
+    for (auto it = sparse_entries_.begin();
+         it != sparse_entries_.end();) {
+        if (std::get<0>(it->first) == w)
+            it = sparse_entries_.erase(it);
+        else
+            ++it;
+    }
 }
 
 void
@@ -84,6 +142,7 @@ PackedWeightCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    sparse_entries_.clear();
 }
 
 std::size_t
@@ -91,6 +150,27 @@ PackedWeightCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
+}
+
+std::size_t
+PackedWeightCache::sparseSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sparse_entries_.size();
+}
+
+PackedWeightCache::SparseStats
+PackedWeightCache::sparseStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sparse_stats_;
+}
+
+void
+PackedWeightCache::resetSparseStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sparse_stats_ = SparseStats{};
 }
 
 } // namespace spg

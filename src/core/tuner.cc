@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "conv/engine_direct.hh"
+#include "conv/packed_weights.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sparse/sparse_plan.hh"
@@ -61,6 +62,14 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
     bool encode_once = engine.name() == "sparse-cached";
     SparsePlanCache &plans = SparsePlanCache::global();
     SparsePlanCache::Stats before = plans.stats();
+    // The CSR-weights FP engines encode once per WEIGHT VERSION, not
+    // per call: production amortizes the encode across a whole prune
+    // interval, so the timed reps below run warm and the encode is
+    // measured separately by one cold call up front.
+    bool wsparse_once =
+        phase == Phase::Forward &&
+        (engine.name() == "sparse-weights" ||
+         engine.name() == "sparse-weights-direct");
     PoolStats sched_before = pool.stats();
 
     // When the layer will run with a fused ReLU, measure that path: FP
@@ -87,6 +96,17 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
             fp_mask.resize(static_cast<std::size_t>(out.size()));
             epilogue =
                 Epilogue{Epilogue::Kind::ReluMask, fp_mask.data()};
+        }
+        if (wsparse_once) {
+            PackedWeightCache &wcache = PackedWeightCache::global();
+            wcache.invalidate(weights.data());
+            PackedWeightCache::SparseStats wbefore =
+                wcache.sparseStats();
+            engine.forward(spec, in, weights, out, pool, epilogue);
+            PackedWeightCache::SparseStats wafter =
+                wcache.sparseStats();
+            timing.encode_seconds =
+                wafter.encode_seconds - wbefore.encode_seconds;
         }
         timing.seconds = bestTimeSeconds(opts.reps, [&] {
             engine.forward(spec, in, weights, out, pool, epilogue);
@@ -147,7 +167,7 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
 void
 Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
                   const ConvSpec &spec, double sparsity, ThreadPool &pool,
-                  bool fused_relu) const
+                  bool fused_relu, double weight_sparsity) const
 {
     spec.validate();
     Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(spec.nf * 131 +
@@ -157,10 +177,16 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
     Tensor eo(Shape{opts.batch, spec.nf, spec.outY(), spec.outX()});
     in.fillUniform(rng);
     weights.fillUniform(rng, -0.5f, 0.5f);
+    // Measure at the layer's ACTUAL weight sparsity: the CSR-weights
+    // engines' cost scales with nnz, so the FP crossover must be
+    // decided on weights that look like the pruned layer's.
+    weights.sparsify(rng, weight_sparsity);
+    double actual_ws = weights.sparsity();
     eo.fillUniform(rng);
     eo.sparsify(rng, sparsity);
 
     plan.tuned_sparsity = sparsity;
+    plan.tuned_weight_sparsity = actual_ws;
     for (Phase phase : phases) {
         plan.timings[phase].clear();
         double best = std::numeric_limits<double>::infinity();
@@ -172,6 +198,7 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
             }
             EngineTiming t = measure(*engine, phase, spec, in, weights,
                                      eo, pool, fused_relu);
+            t.weight_sparsity = actual_ws;
             plan.timings[phase].push_back(t);
             if (t.seconds < best) {
                 best = t.seconds;
@@ -202,13 +229,13 @@ Tuner::tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
 
 LayerPlan
 Tuner::tune(const ConvSpec &spec, double sparsity, ThreadPool &pool,
-            bool fused_relu) const
+            bool fused_relu, double weight_sparsity) const
 {
     LayerPlan plan;
     tunePhases(plan,
                {Phase::Forward, Phase::BackwardData,
                 Phase::BackwardWeights},
-               spec, sparsity, pool, fused_relu);
+               spec, sparsity, pool, fused_relu, weight_sparsity);
     return plan;
 }
 
@@ -217,19 +244,24 @@ Tuner::retuneBp(const LayerPlan &previous, const ConvSpec &spec,
                 double sparsity, ThreadPool &pool, bool fused_relu) const
 {
     if (previous.fp_engine.empty())
-        return tune(spec, sparsity, pool, fused_relu);
+        return tune(spec, sparsity, pool, fused_relu,
+                    previous.tuned_weight_sparsity);
     LayerPlan plan;
     // FP carried forward: choice and measurements stay valid because
     // forward cost does not depend on the error-gradient sparsity.
     // This includes each timing's layout and convert_seconds, so the
     // conversion cost a deployed blocked edge elides is never
-    // re-measured on a sparsity-triggered re-tune.
+    // re-measured on a sparsity-triggered re-tune. The weight
+    // sparsity the FP choice was tuned at is carried too — only a
+    // pruning step moves it, and that triggers a full tune instead.
     plan.fp_engine = previous.fp_engine;
     auto it = previous.timings.find(Phase::Forward);
     if (it != previous.timings.end())
         plan.timings[Phase::Forward] = it->second;
     tunePhases(plan, {Phase::BackwardData, Phase::BackwardWeights}, spec,
-               sparsity, pool, fused_relu);
+               sparsity, pool, fused_relu,
+               previous.tuned_weight_sparsity);
+    plan.tuned_weight_sparsity = previous.tuned_weight_sparsity;
     return plan;
 }
 

@@ -29,9 +29,17 @@ struct EngineTiming
 {
     std::string engine;
     double seconds = 0;
-    /** CT-CSR encode share of `seconds` (encode-once sparse engine
-     *  only; zero when the phase replayed a cached plan). */
+    /** Encode share attributable to this engine, in seconds (the
+     *  encode-once engines only; zero when the phase replayed a
+     *  cached plan). For "sparse-cached" this is the per-call CT-CSR
+     *  encode inside `seconds`; for the CSR-weights FP engines it is
+     *  the once-per-weight-version encode measured OUTSIDE the timed
+     *  reps — production amortizes it across a whole prune interval,
+     *  so `seconds` is the steady-state warm cost. */
     double encode_seconds = 0;
+    /** Actual zero fraction of the weight tensor the measurement ran
+     *  with — the sparsity axis of the FP crossover decision. */
+    double weight_sparsity = 0;
     /** Operand layout the engine computes in ("nchw" for everything
      *  except the direct engine's "nchwc8"). */
     std::string layout = "nchw";
@@ -61,6 +69,10 @@ struct LayerPlan
 
     /** Sparsity the BP choices were tuned at. */
     double tuned_sparsity = 0;
+
+    /** Weight sparsity the FP choice was tuned at; pruning past the
+     *  drift threshold re-measures FP at the new value. */
+    double tuned_weight_sparsity = 0;
 
     /** @return the engine chosen for a phase. */
     const std::string &enginesFor(Phase phase) const;
@@ -101,9 +113,14 @@ class Tuner
      * @param fused_relu Measure the engines as the layer will actually
      *        run them: FP with the ReLU-mask epilogue, BP with the
      *        saved byte mask applied to the error gradients.
+     * @param weight_sparsity Zero fraction of the layer's weights —
+     *        the synthetic weight tensor is sparsified to it so the
+     *        CSR-weights FP engines are measured at the sparsity they
+     *        would actually run at (Fig. 4-style crossover).
      */
     LayerPlan tune(const ConvSpec &spec, double sparsity, ThreadPool &pool,
-                   bool fused_relu = false) const;
+                   bool fused_relu = false,
+                   double weight_sparsity = 0.0) const;
 
     /**
      * Re-tune only the BP phases, carrying the FP choice and its
@@ -134,7 +151,8 @@ class Tuner
 
     void tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
                     const ConvSpec &spec, double sparsity,
-                    ThreadPool &pool, bool fused_relu) const;
+                    ThreadPool &pool, bool fused_relu,
+                    double weight_sparsity) const;
 
     TunerOptions opts;
     std::vector<std::unique_ptr<ConvEngine>> engines;

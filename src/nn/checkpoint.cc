@@ -11,7 +11,10 @@ namespace spg {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'P', 'G', 'C'};
-constexpr std::uint32_t kVersion = 1;
+/** v1: parameter tensors only. v2 appends a prune-mask section:
+ *  u32 mask count, then per mask u32 layer index + u64 byte size +
+ *  the keep/drop bytes. v1 checkpoints still load (no masks). */
+constexpr std::uint32_t kVersion = 2;
 
 /** Collect all parameter tensors of the network in layer order. */
 std::vector<Tensor *>
@@ -59,6 +62,24 @@ saveCheckpoint(Network &net, std::ostream &out)
         out.write(reinterpret_cast<const char *>(t->data()),
                   t->size() * sizeof(float));
     }
+
+    // v2 prune-mask section: non-empty masks only, keyed by layer
+    // index so mask-less layers cost nothing.
+    std::uint32_t mask_count = 0;
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        auto *mask = net.layer(i).pruneMask();
+        mask_count += mask && !mask->empty();
+    }
+    writePod(out, mask_count);
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        auto *mask = net.layer(i).pruneMask();
+        if (!mask || mask->empty())
+            continue;
+        writePod(out, static_cast<std::uint32_t>(i));
+        writePod(out, static_cast<std::uint64_t>(mask->size()));
+        out.write(reinterpret_cast<const char *>(mask->data()),
+                  static_cast<std::streamsize>(mask->size()));
+    }
     if (!out)
         fatal("checkpoint: write failed");
 }
@@ -80,7 +101,7 @@ loadCheckpoint(Network &net, std::istream &in)
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         fatal("checkpoint: bad magic (not an spg-CNN checkpoint)");
     auto version = readPod<std::uint32_t>(in);
-    if (version != kVersion)
+    if (version != 1 && version != kVersion)
         fatal("checkpoint: unsupported version %u", version);
 
     auto params = allParams(net);
@@ -106,6 +127,34 @@ loadCheckpoint(Network &net, std::istream &in)
                 t->size() * sizeof(float));
         if (!in)
             fatal("checkpoint: truncated tensor data");
+    }
+
+    // Prune masks: cleared first so a v1 (or unpruned v2) checkpoint
+    // restores a dense, mask-free network.
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        if (auto *mask = net.layer(i).pruneMask())
+            mask->clear();
+    }
+    if (version >= 2) {
+        auto mask_count = readPod<std::uint32_t>(in);
+        for (std::uint32_t m = 0; m < mask_count; ++m) {
+            auto index = readPod<std::uint32_t>(in);
+            auto bytes = readPod<std::uint64_t>(in);
+            if (index >= net.layerCount())
+                fatal("checkpoint: prune mask for layer %u, network "
+                      "has %zu layers",
+                      index, net.layerCount());
+            auto *mask = net.layer(index).pruneMask();
+            if (!mask)
+                fatal("checkpoint: prune mask for non-prunable "
+                      "layer %u",
+                      index);
+            mask->resize(static_cast<std::size_t>(bytes));
+            in.read(reinterpret_cast<char *>(mask->data()),
+                    static_cast<std::streamsize>(bytes));
+            if (!in)
+                fatal("checkpoint: truncated prune mask");
+        }
     }
 
     // Restored weights invalidate any derived caches (packed panels).

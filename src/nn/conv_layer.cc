@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "conv/packed_weights.hh"
+#include "nn/pruning.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/timer.hh"
@@ -22,7 +23,10 @@ ConvLayer::ConvLayer(std::string label, const ConvSpec &spec, Rng &rng)
     float stddev = std::sqrt(
         2.0f / static_cast<float>(spec.nc * spec.fy * spec.fx));
     weights_.fillGaussian(rng, stddev);
-    for (auto &engine : makeAllEngines())
+    // Extended set: the tuner may deploy an extension engine (e.g.
+    // sparse-weights-direct for a pruned layer), so the deploy-side
+    // cache must know every tunable engine, not just the paper set.
+    for (auto &engine : makeExtendedEngines())
         engine_cache[engine->name()] = std::move(engine);
     refreshSpanNames();
     eo_sparsity_gauge =
@@ -160,6 +164,10 @@ ConvLayer::update(float learning_rate)
     const float *dw = dweights.data();
     for (std::int64_t i = 0; i < weights_.size(); ++i)
         w[i] -= learning_rate * dw[i];
+    // Re-prune: the SGD step revives masked weights; zeroing them
+    // again here keeps the layer at its scheduled sparsity between
+    // prune steps.
+    applyPruneMask(weights_, prune_mask);
     PackedWeightCache::global().invalidate(weights_.data());
 }
 
@@ -167,6 +175,22 @@ void
 ConvLayer::paramsUpdated()
 {
     PackedWeightCache::global().invalidate(weights_.data());
+}
+
+void
+ConvLayer::pruneToSparsity(double sparsity)
+{
+    magnitudePrune(weights_, sparsity, prune_mask);
+    obs::Metrics::global()
+        .gauge("conv." + label + ".weight_sparsity")
+        .set(weightSparsity());
+    paramsUpdated();
+}
+
+double
+ConvLayer::weightSparsity() const
+{
+    return weights_.sparsity();
 }
 
 } // namespace spg

@@ -83,6 +83,14 @@ class ConvLayer : public Layer
     std::vector<Tensor *> params() override { return {&weights_}; }
     void paramsUpdated() override;
 
+    bool prunable() const override { return true; }
+    void pruneToSparsity(double sparsity) override;
+    double weightSparsity() const override;
+    std::vector<std::uint8_t> *pruneMask() override
+    {
+        return &prune_mask;
+    }
+
     const ConvSpec &spec() const { return spec_; }
 
     /** Engines currently deployed. */
@@ -121,6 +129,9 @@ class ConvLayer : public Layer
     bool fused_relu = false;
     /** ReLU activity mask [B][Nf][Oy][Ox] saved by the FP epilogue. */
     std::vector<std::uint8_t> relu_mask;
+    /** Magnitude-prune keep/drop mask over weights_ (empty = never
+     *  pruned); re-applied after every SGD update. */
+    std::vector<std::uint8_t> prune_mask;
     double last_eo_sparsity = 0;
     PhaseProfile profile_;
     std::map<std::string, std::unique_ptr<ConvEngine>> engine_cache;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "blas/gemm.hh"
+#include "nn/pruning.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
 
@@ -106,6 +107,21 @@ FcLayer::update(float learning_rate)
         w[i] -= learning_rate * dw[i];
     for (std::int64_t j = 0; j < outputs; ++j)
         bias[j] -= learning_rate * dbias[j];
+    // Re-prune: keep masked weights exactly zero across SGD steps.
+    applyPruneMask(weights, prune_mask);
+}
+
+void
+FcLayer::pruneToSparsity(double sparsity)
+{
+    magnitudePrune(weights, sparsity, prune_mask);
+    paramsUpdated();
+}
+
+double
+FcLayer::weightSparsity() const
+{
+    return weights.sparsity();
 }
 
 SoftmaxLayer::SoftmaxLayer(Geometry geometry) : geom(geometry)

@@ -64,6 +64,14 @@ class FcLayer : public Layer
         return {&weights, &bias};
     }
 
+    bool prunable() const override { return true; }
+    void pruneToSparsity(double sparsity) override;
+    double weightSparsity() const override;
+    std::vector<std::uint8_t> *pruneMask() override
+    {
+        return &prune_mask;
+    }
+
   private:
     Geometry geom;
     std::int64_t outputs;
@@ -76,6 +84,9 @@ class FcLayer : public Layer
     std::vector<std::uint8_t> relu_mask;
     /** Staged (mask ? eo : 0), shared by the three BP consumers. */
     Tensor masked_eo;
+    /** Magnitude-prune keep/drop mask over weights (bias never
+     *  pruned); re-applied after every SGD update. */
+    std::vector<std::uint8_t> prune_mask;
 };
 
 /**

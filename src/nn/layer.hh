@@ -115,6 +115,29 @@ class Layer
      * update() implies this; external writers must call it themselves.
      */
     virtual void paramsUpdated() {}
+
+    /** @return true when the layer supports magnitude weight pruning
+     *  (carries a prune mask over its weight tensor). */
+    virtual bool prunable() const { return false; }
+
+    /**
+     * Magnitude-prune the weight tensor to the given zero fraction,
+     * recomputing the keep/drop mask and dropping weight-derived
+     * caches. update() re-applies the mask after each SGD step so
+     * pruned weights stay exactly zero until the next prune step.
+     */
+    virtual void pruneToSparsity(double /* sparsity */) {}
+
+    /** @return the current zero fraction of the weight tensor. */
+    virtual double weightSparsity() const { return 0.0; }
+
+    /**
+     * @return the keep(1)/drop(0) byte mask over the weight tensor —
+     * empty when never pruned — or nullptr for non-prunable layers.
+     * Checkpointing persists and restores it through this accessor;
+     * restorers must call paramsUpdated() afterwards.
+     */
+    virtual std::vector<std::uint8_t> *pruneMask() { return nullptr; }
 };
 
 } // namespace spg

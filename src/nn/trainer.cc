@@ -1,6 +1,7 @@
 #include "nn/trainer.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 
@@ -42,7 +43,8 @@ Trainer::tuneAll(ThreadPool &pool, double sparsity_hint)
     plans.clear();
     for (ConvLayer *conv : network.convLayers()) {
         LayerPlan plan = tuner.tune(conv->spec(), sparsity_hint, pool,
-                                    conv->fusedRelu());
+                                    conv->fusedRelu(),
+                                    conv->weightSparsity());
         conv->setEngines(EngineAssignment{plan.fp_engine,
                                           plan.bp_data_engine,
                                           plan.bp_weights_engine});
@@ -77,6 +79,50 @@ Trainer::run(ThreadPool &pool)
                 std::int64_t j = static_cast<std::int64_t>(
                     shuffle_rng.below(i + 1));
                 std::swap(order[i], order[j]);
+            }
+        }
+
+        // Pruning step: ramp each prunable layer toward its target.
+        // Pruning mutates weights, so afterwards the FP crossover is
+        // re-checked at the layer's new weight sparsity — the §4.4
+        // drift test applied to the weight axis (a full re-tune, not
+        // retuneBp: weight sparsity shifts the FP ranking).
+        double ramp = pruneRampFraction(opts.prune, epoch);
+        if (opts.prune.enabled() && ramp > 0.0) {
+            SPG_TRACE_SCOPE_N("train", "prune", "epoch", epoch);
+            std::size_t count = 0;
+            for (std::size_t i = 0; i < network.layerCount(); ++i)
+                count += network.layer(i).prunable();
+            std::size_t index = 0;
+            for (std::size_t i = 0; i < network.layerCount(); ++i) {
+                Layer &layer = network.layer(i);
+                if (!layer.prunable())
+                    continue;
+                layer.pruneToSparsity(
+                    ramp * pruneLayerTarget(opts.prune, index, count));
+                ++index;
+            }
+            obs::Metrics::global().counter("prune.steps").add();
+            obs::Metrics::global().gauge("prune.ramp_fraction")
+                .set(ramp);
+            if (opts.mode == TrainerOptions::Mode::Autotune) {
+                auto convs = network.convLayers();
+                for (std::size_t i = 0;
+                     i < convs.size() && i < plans.size(); ++i) {
+                    double ws = convs[i]->weightSparsity();
+                    if (std::abs(ws -
+                                 plans[i].tuned_weight_sparsity) <=
+                        opts.tuner.sparsity_drift)
+                        continue;
+                    plans[i] = tuner.tune(convs[i]->spec(),
+                                          plans[i].tuned_sparsity,
+                                          pool, convs[i]->fusedRelu(),
+                                          ws);
+                    convs[i]->setEngines(
+                        EngineAssignment{plans[i].fp_engine,
+                                         plans[i].bp_data_engine,
+                                         plans[i].bp_weights_engine});
+                }
             }
         }
 
@@ -145,7 +191,30 @@ Trainer::run(ThreadPool &pool)
         for (ConvLayer *conv : network.convLayers()) {
             stats.conv_error_sparsity.push_back(
                 conv->lastErrorSparsity());
+            stats.conv_weight_sparsity.push_back(
+                conv->weightSparsity());
         }
+        {
+            // Pruned fraction over all prunable weight tensors (bias
+            // is never pruned; params()[0] is the weight tensor by
+            // layer convention).
+            std::int64_t zeros = 0, total = 0;
+            for (std::size_t i = 0; i < network.layerCount(); ++i) {
+                Layer &layer = network.layer(i);
+                if (!layer.prunable())
+                    continue;
+                const Tensor *w = layer.params()[0];
+                zeros += w->zeroCount();
+                total += w->size();
+            }
+            stats.weight_sparsity =
+                total > 0 ? static_cast<double>(zeros) /
+                                static_cast<double>(total)
+                          : 0.0;
+        }
+        stats.accuracy_delta =
+            history.empty() ? 0.0
+                            : stats.accuracy - history.back().accuracy;
 
         // Drift samples must capture the engines that RAN this epoch,
         // so collect before any re-tune below swaps them out.
@@ -165,6 +234,12 @@ Trainer::run(ThreadPool &pool)
             metrics.counter("pool.steals").add(steals);
             metrics.counter("pool.chunks").add(chunks);
             metrics.gauge("pool.imbalance").set(stats.pool_imbalance);
+            if (opts.prune.enabled()) {
+                metrics.gauge("prune.weight_sparsity")
+                    .set(stats.weight_sparsity);
+                metrics.gauge("prune.accuracy_delta")
+                    .set(stats.accuracy_delta);
+            }
             metrics.histogram("trainer.epoch_seconds")
                 .observe(stats.seconds);
             // Allocation accounting: how much zero-fill traffic the
@@ -220,6 +295,10 @@ Trainer::run(ThreadPool &pool)
                     stats.fp_seconds * 1e3, stats.bp_data_seconds * 1e3,
                     stats.bp_weights_seconds * 1e3,
                     stats.sparse_encode_seconds * 1e3);
+            if (opts.prune.enabled())
+                inform("  pruned %.1f%% of weights  acc delta %+.3f",
+                       stats.weight_sparsity * 100.0,
+                       stats.accuracy_delta);
         }
         history.push_back(std::move(stats));
     }
@@ -231,14 +310,16 @@ Trainer::run(ThreadPool &pool)
         history.size() > 1) {
         TablePrinter table(
             "Training epochs",
-            {"epoch", "loss", "acc", "img/s", "fp ms", "bp-data ms",
-             "bp-w ms", "encode ms", "encodes", "reuses", "imbalance",
-             "fused", "arena MiB"});
+            {"epoch", "loss", "acc", "d-acc", "w-sp", "img/s", "fp ms",
+             "bp-data ms", "bp-w ms", "encode ms", "encodes", "reuses",
+             "imbalance", "fused", "arena MiB"});
         for (const EpochStats &s : history) {
             table.addRow({TablePrinter::fmt(
                               static_cast<long long>(s.epoch)),
                           TablePrinter::fmt(s.mean_loss, 4),
                           TablePrinter::fmt(s.accuracy, 3),
+                          TablePrinter::fmt(s.accuracy_delta, 3),
+                          TablePrinter::fmt(s.weight_sparsity, 2),
                           TablePrinter::fmt(s.images_per_second, 1),
                           TablePrinter::fmt(s.fp_seconds * 1e3, 1),
                           TablePrinter::fmt(s.bp_data_seconds * 1e3, 1),
@@ -297,6 +378,7 @@ Trainer::collectDriftSamples(
             sample.phase = slice.phase;
             sample.engine = *slice.engine;
             sample.sparsity = sparsity[i];
+            sample.weight_sparsity = convs[i]->weightSparsity();
             sample.measured_seconds = slice.measured / steps;
             sample.fused_relu = convs[i]->fusedRelu();
             if (i < plans.size()) {
@@ -322,16 +404,18 @@ Trainer::joinDrift(ThreadPool &pool)
     if (pending_drift.empty())
         return;
 
-    // The model only covers the paper's engines; extension engines
-    // (fft, winograd, sparse-weights) and the reference have no model
-    // to drift from.
+    // The model only covers the paper's engines plus the CSR-weights
+    // FP engines; the remaining extensions (fft, winograd) and the
+    // reference have no model to drift from.
     auto modeled = [](const std::string &engine) {
         return engine == "parallel-gemm" ||
                engine == "parallel-gemm-packed" ||
                engine == "gemm-in-parallel" ||
                engine == "gemm-in-parallel-packed" ||
                engine == "stencil" || engine == "direct" ||
-               engine == "sparse" || engine == "sparse-cached";
+               engine == "sparse" || engine == "sparse-cached" ||
+               engine == "sparse-weights" ||
+               engine == "sparse-weights-direct";
     };
 
     // Calibrate the machine model from a measured single-core SGEMM
@@ -354,7 +438,7 @@ Trainer::joinDrift(ThreadPool &pool)
             machine, sample.spec, sample.phase, sample.engine, opts.batch,
             cores, sample.sparsity,
             sample.chunk_map.empty() ? nullptr : &sample.chunk_map,
-            sample.fused_relu);
+            sample.fused_relu, sample.weight_sparsity);
         obs::DriftSample out;
         out.label = sample.label;
         out.phase = phaseName(sample.phase);

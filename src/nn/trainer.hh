@@ -19,6 +19,7 @@
 #include "core/tuner.hh"
 #include "data/synthetic.hh"
 #include "nn/network.hh"
+#include "nn/pruning.hh"
 #include "obs/drift.hh"
 
 namespace spg {
@@ -42,6 +43,13 @@ struct TrainerOptions
 
     TunerOptions tuner;
     bool log_epochs = true;
+
+    /** Magnitude weight pruning (pruning.hh); disabled by default.
+     *  When active, each prunable layer is re-pruned at the start of
+     *  each epoch along the ramp, and under Autotune the FP engine
+     *  choice is re-measured at the new weight sparsity whenever the
+     *  pruned fraction moves past the tuner's drift threshold. */
+    PruneOptions prune;
 };
 
 /** Per-epoch record. */
@@ -54,6 +62,13 @@ struct EpochStats
     double images_per_second = 0;
     /** Error-gradient sparsity per conv layer (network order). */
     std::vector<double> conv_error_sparsity;
+    /** Weight sparsity per conv layer (network order). */
+    std::vector<double> conv_weight_sparsity;
+    /** Pruned fraction across all prunable weight tensors. */
+    double weight_sparsity = 0;
+    /** Training-accuracy change vs. the previous epoch (0 for the
+     *  first) — the pruning cost signal next to the pruned fraction. */
+    double accuracy_delta = 0;
     /** Engines deployed per conv layer after any re-tuning. */
     std::vector<EngineAssignment> conv_engines;
 
@@ -128,6 +143,7 @@ class Trainer
         std::string engine;
         std::string layout = "nchw";  ///< from the plan's EngineTiming
         double sparsity = 0;
+        double weight_sparsity = 0;
         double measured_seconds = 0;  ///< per training step
         std::vector<std::int64_t> chunk_map;
         bool fused_relu = false;

@@ -151,7 +151,8 @@ SimResult
 modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                Phase phase, const std::string &engine, std::int64_t batch,
                int cores, double sparsity,
-               const std::vector<std::int64_t> *chunk_map, bool fused_relu)
+               const std::vector<std::int64_t> *chunk_map, bool fused_relu,
+               double weight_sparsity)
 {
     spec.validate();
     SPG_ASSERT(batch >= 1 && cores >= 1);
@@ -173,6 +174,7 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
         return simulateUniform(machine, task, batch, cores, {}, useful);
     };
     sparsity = std::clamp(sparsity, 0.0, 1.0);
+    weight_sparsity = std::clamp(weight_sparsity, 0.0, 1.0);
     PhaseMm mm = phaseMm(spec, phase);
     double dense_flops = 2.0 * mm.m * mm.n * mm.k;
     double useful_one = phase == Phase::Forward
@@ -391,6 +393,47 @@ modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
             task.efficiency = machine.stencil_efficiency;
         }
         return scheduleImages(task, useful_one * batch);
+    }
+
+    if (engine == "sparse-weights" || engine == "sparse-weights-direct") {
+        // CSR-weights FP engines: compute and weight traffic scale with
+        // the surviving taps. The encode is once per weight version and
+        // amortized across a whole prune interval, so the steady-state
+        // model charges only the plan read: value + input-offset per
+        // nnz (2 elements under the AIT convention). The input image is
+        // re-streamed once per output feature unless it stays
+        // L2-resident beside an output plane (same reuse condition as
+        // the dense stencil).
+        SPG_ASSERT(phase == Phase::Forward);
+        double taps = static_cast<double>(spec.nc) * spec.fy * spec.fx;
+        double nnz = (1.0 - weight_sparsity) *
+                     static_cast<double>(spec.nf) * taps;
+        double flops = 2.0 * nnz * spec.outY() * spec.outX();
+        double in_bytes = kFloat * spec.inputElems();
+        double out_plane =
+            kFloat * static_cast<double>(spec.outY()) * spec.outX();
+        double in_reload =
+            (in_bytes + out_plane <= machine.l2_bytes) ? 1.0
+                                                       : spec.nf;
+        double elems = in_reload * spec.inputElems() + 2.0 * nnz;
+        SimTask task;
+        if (engine == "sparse-weights-direct") {
+            // Register-tiled, write-once output; per-pixel double
+            // accumulation halves the vector FMA rate (bit-exactness
+            // with the reference, like the direct engine's FP tile).
+            elems += spec.outputElems();
+            task.efficiency = 0.5 * machine.stencil_efficiency;
+        } else {
+            // Row-AXPY into a zeroed output plane: memset + per-tap
+            // read-modify-write makes the output round-trip.
+            elems += 2.0 * spec.outputElems();
+            task.efficiency = machine.axpy_efficiency;
+        }
+        elems += fused_fp_elems;
+        task.flops = flops;
+        task.bytes = kFloat * elems;
+        // Goodput: every executed FLOP lands on a surviving tap.
+        return scheduleImages(task, flops * batch);
     }
 
     panic("no performance model for engine '%s'", engine.c_str());

@@ -84,6 +84,10 @@ SimResult modelGemmInParallelMm(const MachineModel &machine,
  *        one-shot masked-EO staging, the mask-fused sparse encode adds
  *        only the mask read. The standalone elementwise ReLU pass the
  *        fusion eliminates (see modelReluPassSeconds) is NOT charged.
+ * @param weight_sparsity Zero fraction of the weight tensor — consumed
+ *        by the CSR-weights FP engines ("sparse-weights",
+ *        "sparse-weights-direct"), whose compute and weight traffic
+ *        scale with the surviving taps. Ignored by the dense engines.
  * @return Simulated result; useful_flops reflects goodput (non-zero
  *         work) for BP phases.
  */
@@ -93,7 +97,8 @@ SimResult modelConvPhase(const MachineModel &machine, const ConvSpec &spec,
                          double sparsity = 0.0,
                          const std::vector<std::int64_t> *chunk_map =
                              nullptr,
-                         bool fused_relu = false);
+                         bool fused_relu = false,
+                         double weight_sparsity = 0.0);
 
 /**
  * @return modeled seconds of one standalone elementwise ReLU pass over

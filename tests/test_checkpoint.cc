@@ -91,6 +91,59 @@ TEST(Checkpoint, FileRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(Checkpoint, PruneMaskRoundTrips)
+{
+    // Prune conv + fc, checkpoint, restore into a fresh net: masks and
+    // the exact zero pattern must survive, and subsequent updates on
+    // the restored net must keep pruned weights at zero.
+    Network a(smallConfig(), 21);
+    a.layer(0).pruneToSparsity(0.5);  // conv
+    a.layer(1).pruneToSparsity(0.7);  // fc (relu is fused into conv)
+    ASSERT_FALSE(a.layer(0).pruneMask()->empty());
+    ASSERT_FALSE(a.layer(1).pruneMask()->empty());
+
+    std::stringstream stream;
+    saveCheckpoint(a, stream);
+    Network b(smallConfig(), 22);
+    loadCheckpoint(b, stream);
+
+    EXPECT_EQ(*b.layer(0).pruneMask(), *a.layer(0).pruneMask());
+    EXPECT_EQ(*b.layer(1).pruneMask(), *a.layer(1).pruneMask());
+    EXPECT_DOUBLE_EQ(b.layer(0).weightSparsity(),
+                     a.layer(0).weightSparsity());
+    EXPECT_DOUBLE_EQ(b.layer(1).weightSparsity(),
+                     a.layer(1).weightSparsity());
+
+    // Resume training on the restored net: the mask keeps pruned
+    // positions exactly zero through the SGD update.
+    ThreadPool pool(1);
+    Rng rng(23);
+    Tensor batch(Shape{2, 1, 10, 10});
+    batch.fillUniform(rng);
+    b.trainStep(batch, {0, 1}, 0.1f, pool);
+    EXPECT_GE(b.layer(0).weightSparsity(),
+              a.layer(0).weightSparsity());
+    EXPECT_GE(b.layer(1).weightSparsity(),
+              a.layer(1).weightSparsity());
+}
+
+TEST(Checkpoint, UnprunedCheckpointClearsStaleMasks)
+{
+    // Loading a mask-free checkpoint (v1, or a never-pruned v2 like
+    // this one) into a previously pruned network must drop the stale
+    // masks so training resumes dense.
+    Network a(smallConfig(), 31);
+    std::stringstream stream;
+    saveCheckpoint(a, stream);
+
+    Network b(smallConfig(), 32);
+    b.layer(0).pruneToSparsity(0.6);
+    ASSERT_FALSE(b.layer(0).pruneMask()->empty());
+    loadCheckpoint(b, stream);
+    EXPECT_TRUE(b.layer(0).pruneMask()->empty());
+    EXPECT_DOUBLE_EQ(b.layer(0).weightSparsity(), 0.0);
+}
+
 TEST(CheckpointDeath, RejectsGarbageAndMismatches)
 {
     Network net(smallConfig(), 9);

@@ -243,7 +243,7 @@ TEST(FftEngine, PaddedSizeAndRegistry)
     ASSERT_NE(engine, nullptr);
     EXPECT_TRUE(engine->supports(Phase::Forward));
     EXPECT_FALSE(engine->supports(Phase::BackwardWeights));
-    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 3);
+    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 4);
 }
 
 } // namespace

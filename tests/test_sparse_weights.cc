@@ -1,6 +1,9 @@
 /**
  * @file
- * Tests for the weight-sparsity FP engine (extension).
+ * Tests for the weight-sparsity FP engines (extension): the row-AXPY
+ * "sparse-weights" engine and the register-tiled
+ * "sparse-weights-direct" engine, plus the once-per-weight-version
+ * CSR plan cache both share.
  */
 
 #include <gtest/gtest.h>
@@ -8,6 +11,7 @@
 #include <tuple>
 
 #include "conv/engines.hh"
+#include "conv/packed_weights.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 #include "util/timer.hh"
@@ -62,6 +66,153 @@ INSTANTIATE_TEST_SUITE_P(
                    std::get<1>(info.param) * 100));
     });
 
+TEST_P(SparseWeightsSweep, DirectIsBitForBitWithReference)
+{
+    // The register-tiled engine accumulates every output pixel in
+    // double over the surviving taps in ascending (c,ky,kx) order and
+    // rounds once — exactly the reference loop with the zero terms
+    // removed, so equality is exact at EVERY sparsity.
+    const ConvSpec &s = spec();
+    double w_sparsity = std::get<1>(GetParam());
+    ThreadPool pool(2);
+    Rng rng(900 + std::get<0>(GetParam()));
+
+    Tensor in(Shape{2, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -0.5f, 0.5f);
+    w.sparsify(rng, w_sparsity);
+
+    Tensor ref(Shape{2, s.nf, s.outY(), s.outX()});
+    Tensor got(Shape{2, s.nf, s.outY(), s.outX()});
+    got.fill(42.0f);
+    ReferenceEngine().forward(s, in, w, ref, pool);
+    SparseDirectFpEngine().forward(s, in, w, got, pool);
+    EXPECT_EQ(maxAbsDiff(got, ref), 0.0f);
+}
+
+TEST(SparseDirect, FusedReluMaskIsBitForBit)
+{
+    // Fused epilogue path: the engine applies ReLU + mask per output
+    // row right after writing it; results must match the reference
+    // output clamped the same way, with an identical byte mask.
+    ConvSpec s{13, 11, 3, 6, 3, 3, 1, 1};
+    ThreadPool pool(2);
+    Rng rng(17);
+    Tensor in(Shape{2, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -0.5f, 0.5f);
+    w.sparsify(rng, 0.7);
+
+    Tensor ref(Shape{2, s.nf, s.outY(), s.outX()});
+    ReferenceEngine().forward(s, in, w, ref, pool);
+
+    Tensor got(Shape{2, s.nf, s.outY(), s.outX()});
+    std::vector<std::uint8_t> mask(
+        static_cast<std::size_t>(got.size()), 2);
+    Epilogue epilogue{Epilogue::Kind::ReluMask, mask.data()};
+    SparseDirectFpEngine().forward(s, in, w, got, pool, epilogue);
+
+    const float *r = ref.data();
+    const float *g = got.data();
+    for (std::int64_t i = 0; i < ref.size(); ++i) {
+        float clamped = r[i] > 0.0f ? r[i] : 0.0f;
+        ASSERT_EQ(g[i], clamped) << "at " << i;
+        ASSERT_EQ(mask[static_cast<std::size_t>(i)],
+                  r[i] > 0.0f ? 1 : 0)
+            << "at " << i;
+    }
+}
+
+TEST(SparseDirect, StridedGeometryIsBitForBit)
+{
+    ConvSpec s{21, 17, 2, 5, 3, 4, 2, 3};
+    ThreadPool pool(2);
+    Rng rng(23);
+    Tensor in(Shape{1, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -0.5f, 0.5f);
+    w.sparsify(rng, 0.6);
+
+    Tensor ref(Shape{1, s.nf, s.outY(), s.outX()});
+    Tensor got(Shape{1, s.nf, s.outY(), s.outX()});
+    ReferenceEngine().forward(s, in, w, ref, pool);
+    SparseDirectFpEngine().forward(s, in, w, got, pool);
+    EXPECT_EQ(maxAbsDiff(got, ref), 0.0f);
+}
+
+/** @return CSR-weight encode count delta across @p fn. */
+template <typename Fn>
+std::int64_t
+encodesDuring(Fn &&fn)
+{
+    auto before = PackedWeightCache::global().sparseStats();
+    fn();
+    auto after = PackedWeightCache::global().sparseStats();
+    return after.encodes - before.encodes;
+}
+
+class WeightPlanCacheTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WeightPlanCacheTest, EncodesOncePerWeightVersion)
+{
+    // Regression for the per-call re-encode bug: repeated forwards on
+    // the same weight version must reuse the cached CSR plan; only a
+    // weight update (invalidate or changed bytes) re-encodes.
+    ConvSpec s{16, 16, 2, 4, 3, 3, 1, 1};
+    ThreadPool pool(1);
+    Rng rng(31);
+    Tensor in(Shape{1, s.nc, s.ny, s.nx});
+    Tensor w(Shape{s.nf, s.nc, s.fy, s.fx});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    w.sparsify(rng, 0.5);
+    Tensor out(Shape{1, s.nf, s.outY(), s.outX()});
+
+    auto engine = makeEngine(GetParam());
+    ASSERT_NE(engine, nullptr);
+    PackedWeightCache::global().invalidate(w.data());
+
+    EXPECT_EQ(encodesDuring([&] {
+                  for (int i = 0; i < 4; ++i)
+                      engine->forward(s, in, w, out, pool);
+              }),
+              1);
+
+    // A weight update invalidates the plan: exactly one re-encode.
+    w.data()[0] += 1.0f;
+    PackedWeightCache::global().invalidate(w.data());
+    EXPECT_EQ(encodesDuring([&] {
+                  engine->forward(s, in, w, out, pool);
+                  engine->forward(s, in, w, out, pool);
+              }),
+              1);
+
+    // Changed bytes are caught by the fingerprint even without an
+    // explicit invalidate.
+    w.data()[1] += 1.0f;
+    EXPECT_EQ(encodesDuring([&] {
+                  engine->forward(s, in, w, out, pool);
+              }),
+              1);
+    PackedWeightCache::global().invalidate(w.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WeightPlanCacheTest,
+                         ::testing::Values("sparse-weights",
+                                           "sparse-weights-direct"),
+                         [](const auto &info) {
+                             return info.param ==
+                                            std::string("sparse-weights")
+                                        ? "axpy"
+                                        : "direct";
+                         });
+
 TEST(SparseWeights, AllZeroWeightsGiveZeroOutput)
 {
     ConvSpec s{8, 8, 2, 3, 3, 3, 1, 1};
@@ -78,13 +229,17 @@ TEST(SparseWeights, AllZeroWeightsGiveZeroOutput)
 
 TEST(SparseWeights, RegistryIntegration)
 {
-    auto engine = makeEngine("sparse-weights");
-    ASSERT_NE(engine, nullptr);
-    EXPECT_EQ(engine->name(), "sparse-weights");
-    EXPECT_TRUE(engine->supports(Phase::Forward));
-    EXPECT_FALSE(engine->supports(Phase::BackwardData));
-    // Extended set = paper set + this engine.
-    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 3);
+    for (const char *name : {"sparse-weights", "sparse-weights-direct"}) {
+        auto engine = makeEngine(name);
+        ASSERT_NE(engine, nullptr) << name;
+        EXPECT_EQ(engine->name(), name);
+        EXPECT_TRUE(engine->supports(Phase::Forward));
+        EXPECT_FALSE(engine->supports(Phase::BackwardData));
+        EXPECT_FALSE(engine->supports(Phase::BackwardWeights));
+    }
+    // Extended set = paper set + sparse-weights, sparse-weights-direct,
+    // fft, winograd.
+    EXPECT_EQ(makeExtendedEngines().size(), makeAllEngines().size() + 4);
 }
 
 TEST(SparseWeights, FasterWithPrunedWeights)

@@ -72,17 +72,37 @@ if [[ $# -eq 0 ]]; then
         --tol-pct=250 --speedup-tol-pct=60
 fi
 
+# Weight-sparsity crossover gate: regenerate the CSR-weights bench and
+# diff it against the committed baseline. The direct-vs-axpy speedups
+# are ratios of interleaved measurements so drift largely cancels, but
+# the dense-engine cells run a different code path from the sparse
+# ones, so the seconds tolerance stays wide. The encode_ms cells are
+# informational (µs-scale, jittery) and are not gated. Skipped when a
+# test filter was passed.
+if [[ $# -eq 0 ]]; then
+    ./bench/bench_ext_wsparse --reps=2 \
+        --json-file="$PWD/BENCH_wsparse_fresh.json" > /dev/null
+    ./tools/bench_compare --fresh="$PWD/BENCH_wsparse_fresh.json" \
+        --baseline=../bench/baselines/BENCH_wsparse.json \
+        --tol-pct=250 --speedup-tol-pct=60
+fi
+
 # Layout/direct-engine sanitizer gate: the NCHWc conversion kernels and
 # the direct engine's register tiles live and die by tail-block and
 # edge-tile indexing, and the pool-parallel converters by their
 # fan-out; run the blocked/direct suites under ASan and TSan so stray
-# pad-lane reads and conversion races are caught in-tree. Recursing
-# with a filter reuses the per-sanitizer build trees and skips the
-# smoke/bench gates above. Skipped inside a sanitized run (the outer
-# invocation already is one) or when a test filter was passed.
+# pad-lane reads and conversion races are caught in-tree. The CSR
+# weight-sparsity suites ride along: the sparse-direct masked tails and
+# the pruning/mask/checkpoint machinery are exactly the sort of
+# off-by-one indexing ASan catches, and the PackedWeightCache is shared
+# mutable state the TSan run must prove race-free under the
+# plane-parallel engines. Recursing with a filter reuses the
+# per-sanitizer build trees and skips the smoke/bench gates above.
+# Skipped inside a sanitized run (the outer invocation already is one)
+# or when a test filter was passed.
 if [[ $# -eq 0 && -z "${SPG_SANITIZE:-}" ]]; then
     for san in address thread; do
         SPG_SANITIZE="$san" "$(cd .. && pwd)/tools/check.sh" \
-            -R 'Direct|Blocked|Nchwc'
+            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint'
     done
 fi

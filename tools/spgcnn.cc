@@ -8,10 +8,12 @@
  *                [--dataset-size N] [--epochs N] [--batch N] [--lr F]
  *                [--mode auto|fixed] [--fp E] [--bp E]
  *                [--extensions] [--threads N]
+ *                [--prune <target>[@<start>[:<ramp>]]]
  *                [--save ckpt.bin] [--load ckpt.bin]
  *       Train a network on a synthetic dataset matching its input
  *       geometry, with the spg-CNN scheduler (auto) or a fixed engine
- *       assignment.
+ *       assignment. --prune ramps magnitude weight pruning to the
+ *       target zero fraction (e.g. "0.9@1:4").
  *
  *   spgcnn characterize --n N --nf N --nc N --k N [--stride N]
  *                [--sparsity F]
@@ -20,9 +22,12 @@
  *       modeled paper-machine behaviour.
  *
  *   spgcnn tune --n N --nf N --nc N --k N [--stride N] [--sparsity F]
- *                [--batch N] [--extensions] [--threads N]
+ *                [--weight-sparsity F] [--batch N] [--extensions]
+ *                [--threads N]
  *       Measure every applicable engine on this machine and print the
- *       scheduler's choice per phase.
+ *       scheduler's choice per phase. --weight-sparsity measures the
+ *       FP engines on a weight tensor pruned to that zero fraction
+ *       (the Fig. 4-style crossover axis of the CSR-weights engines).
  *
  *   spgcnn engines
  *       List the available execution engines.
@@ -102,6 +107,9 @@ cmdTrain(int argc, char **argv)
     cli.addBool("extensions", false,
                 "let the tuner consider extension engines");
     cli.addInt("threads", 0, "worker threads (0 = hardware)");
+    cli.addString("prune", "",
+                  "magnitude-pruning schedule "
+                  "<target>[@<start>[:<ramp>]], e.g. 0.9@1:4");
     cli.addString("save", "", "write a checkpoint after training");
     cli.addString("load", "", "restore a checkpoint before training");
     cli.addString("trace", "",
@@ -124,6 +132,8 @@ cmdTrain(int argc, char **argv)
     options.batch = cli.getInt("batch");
     options.learning_rate = static_cast<float>(cli.getDouble("lr"));
     options.tuner.use_extensions = cli.getBool("extensions");
+    if (!cli.getString("prune").empty())
+        options.prune = parsePruneSchedule(cli.getString("prune"));
     std::string mode = cli.getString("mode");
     if (mode == "fixed") {
         options.mode = TrainerOptions::Mode::Fixed;
@@ -239,6 +249,9 @@ cmdTune(int argc, char **argv)
     cli.addInt("k", 5, "kernel size");
     cli.addInt("stride", 1, "stride");
     cli.addDouble("sparsity", 0.85, "BP error sparsity");
+    cli.addDouble("weight-sparsity", 0.0,
+                  "zero fraction of the measurement weights (CSR-"
+                  "weights FP crossover)");
     cli.addInt("batch", 8, "measurement minibatch");
     cli.addBool("extensions", false, "include extension engines");
     cli.addInt("threads", 0, "worker threads (0 = hardware)");
@@ -250,17 +263,24 @@ cmdTune(int argc, char **argv)
     topts.use_extensions = cli.getBool("extensions");
     Tuner tuner(topts);
     ThreadPool pool(static_cast<int>(cli.getInt("threads")));
-    LayerPlan plan = tuner.tune(spec, cli.getDouble("sparsity"), pool);
+    LayerPlan plan =
+        tuner.tune(spec, cli.getDouble("sparsity"), pool,
+                   /*fused_relu=*/false,
+                   cli.getDouble("weight-sparsity"));
 
     TablePrinter table("measured engine times for " + spec.str() +
                            " (" + std::to_string(pool.threads()) +
                            " thread(s))",
-                       {"phase", "engine", "ms", "chosen"});
+                       {"phase", "engine", "ms", "encode ms", "chosen"});
     for (Phase phase :
          {Phase::Forward, Phase::BackwardData, Phase::BackwardWeights}) {
         for (const auto &timing : plan.timings.at(phase)) {
             table.addRow({phaseName(phase), timing.engine,
                           TablePrinter::fmt(timing.seconds * 1e3, 3),
+                          timing.encode_seconds > 0
+                              ? TablePrinter::fmt(
+                                    timing.encode_seconds * 1e3, 3)
+                              : "",
                           timing.engine == plan.enginesFor(phase)
                               ? "<=="
                               : ""});
@@ -276,7 +296,8 @@ cmdEngines()
     std::printf("paper-set engines:\n");
     for (const auto &engine : makeAllEngines())
         std::printf("  %s\n", engine->name().c_str());
-    std::printf("extensions:\n  sparse-weights\n  fft\n  winograd\n");
+    std::printf("extensions:\n  sparse-weights\n"
+                "  sparse-weights-direct\n  fft\n  winograd\n");
     std::printf("oracle:\n  reference\n");
     return 0;
 }
