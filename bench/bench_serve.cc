@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Serving goodput under open-loop load (MEASURED, this host).
+ *
+ * For each network (Table 1 MNIST / CIFAR-10 geometries):
+ *
+ *  - Saturation capacity: the queue is pre-filled before the instance
+ *    threads start and the drain is timed — offered load = infinity
+ *    with no load-generator interference — once with dynamic batching
+ *    (max_batch, coalesced fused forward passes) and once with
+ *    batch-1 serving. Their ratio is the dynamic-batching speedup at
+ *    saturation, the headline gated metric.
+ *
+ *  - Goodput-vs-load curve: open-loop Poisson arrivals at fixed
+ *    fractions of the measured capacity, from light load through the
+ *    overload knee. Each point reports completed QPS, goodput (within
+ *    SLO), exact p50/p99 latency, mean coalesced batch and queue
+ *    rejections. The knee is the largest offered rate whose goodput
+ *    still covers >= 90% of it.
+ *
+ * Results go to a table and BENCH_serve.json so tools/bench_compare
+ * can track the trajectory across PRs ("batching_speedup" is gated
+ * LowerWorse; the qps/goodput/latency series are informational).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/net_config.hh"
+#include "data/suites.hh"
+#include "data/synthetic.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+
+using namespace spg;
+
+namespace {
+
+const double kLoadFractions[] = {0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5};
+
+struct NetResult
+{
+    std::string name;
+    double capacity_qps = 0;
+    double batch1_capacity_qps = 0;
+    double batching_speedup = 0;
+    double knee_qps = 0;
+    std::vector<serve::LoadGenResult> points;
+    /** Per conv layer: label + engine per bucket (from the server). */
+    std::vector<std::string> plan_labels;
+    std::vector<ServingLayerPlan> plans;
+};
+
+NetConfig
+configFor(const std::string &name)
+{
+    if (name == "mnist")
+        return parseNetConfig(mnistNetConfigText());
+    if (name == "cifar10")
+        return parseNetConfig(cifar10NetConfigText());
+    if (name == "imagenet100")
+        return parseNetConfig(imagenet100NetConfigText());
+    return parseNetConfigFile(name);
+}
+
+Dataset
+datasetFor(const NetConfig &config, std::int64_t count)
+{
+    SyntheticSpec spec;
+    spec.name = config.name + "-serve";
+    spec.channels = config.channels;
+    spec.height = config.height;
+    spec.width = config.width;
+    spec.classes =
+        config.classes > 0 ? static_cast<int>(config.classes) : 10;
+    spec.count = count;
+    return makeSynthetic(spec);
+}
+
+std::vector<std::string>
+parseNets(const std::string &csv)
+{
+    std::vector<std::string> nets;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            nets.push_back(item);
+    if (nets.empty())
+        fatal("--nets must name at least one network");
+    return nets;
+}
+
+void
+writeJson(const std::string &path, const CliParser &cli,
+          const std::vector<NetResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write '%s'", path.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+    std::fprintf(f, "  \"requests\": %lld,\n",
+                 static_cast<long long>(cli.getInt("requests")));
+    std::fprintf(f, "  \"max_batch\": %lld,\n",
+                 static_cast<long long>(cli.getInt("max-batch")));
+    std::fprintf(f, "  \"budget_ms\": %g,\n",
+                 cli.getDouble("budget-ms"));
+    std::fprintf(f, "  \"slo_ms\": %g,\n", cli.getDouble("slo-ms"));
+    std::fprintf(f, "  \"nets\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const NetResult &r = results[i];
+        std::fprintf(f, "    {\"name\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f,
+                     "     \"capacity_qps\": %.2f, "
+                     "\"batch1_capacity_qps\": %.2f, "
+                     "\"batching_speedup\": %.4f, "
+                     "\"knee_qps\": %.2f,\n",
+                     r.capacity_qps, r.batch1_capacity_qps,
+                     r.batching_speedup, r.knee_qps);
+        std::fprintf(f, "     \"plans\": [");
+        for (std::size_t j = 0; j < r.plans.size(); ++j) {
+            std::fprintf(f, "%s\n       {\"layer\": \"%s\", "
+                            "\"buckets\": [",
+                         j ? "," : "", r.plan_labels[j].c_str());
+            const ServingLayerPlan &plan = r.plans[j];
+            for (std::size_t b = 0; b < plan.buckets.size(); ++b)
+                std::fprintf(
+                    f, "%s{\"batch\": %lld, \"engine\": \"%s\"}",
+                    b ? ", " : "",
+                    static_cast<long long>(plan.buckets[b]),
+                    plan.fp_engines[b].c_str());
+            std::fprintf(f, "]}");
+        }
+        std::fprintf(f, "],\n     \"points\": [\n");
+        for (std::size_t p = 0; p < r.points.size(); ++p) {
+            const serve::LoadGenResult &pt = r.points[p];
+            std::fprintf(
+                f,
+                "       {\"offered_qps\": %.2f, \"qps\": %.2f, "
+                "\"goodput_qps\": %.2f, \"p50_ms\": %.4f, "
+                "\"p99_ms\": %.4f, \"mean_batch\": %.3f, "
+                "\"rejected\": %lld}%s\n",
+                pt.offered_qps, pt.qps, pt.goodput_qps, pt.p50_ms,
+                pt.p99_ms, pt.mean_batch,
+                static_cast<long long>(pt.rejected),
+                p + 1 < r.points.size() ? "," : "");
+        }
+        std::fprintf(f, "     ]}%s\n",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("bench_serve");
+    cli.addString("nets", "mnist,cifar10",
+                  "comma-separated networks to serve");
+    cli.addInt("requests", 512, "pre-filled requests per capacity probe");
+    cli.addDouble("duration", 0.5, "arrival window per sweep point, s");
+    cli.addInt("max-batch", 8, "largest coalesced batch");
+    cli.addDouble("budget-ms", 2.0, "dynamic-batching latency budget");
+    cli.addInt("threads", 1, "pool threads per instance");
+    cli.addInt("instances", 1, "concurrent model instances");
+    cli.addInt("tune", 1, "run the serving tuner (0 = default engine)");
+    cli.addInt("tuner-reps", 3, "timed reps per tuner measurement");
+    cli.addDouble("slo-ms", 50.0, "latency SLO defining goodput");
+    cli.addInt("seed", 42, "arrival / image sampling seed");
+    cli.addInt("dataset-size", 64, "synthetic examples");
+    cli.addString("json-file", "BENCH_serve.json",
+                  "machine-readable output path ('' to skip)");
+    cli.parse(argc, argv);
+
+    std::int64_t requests = cli.getInt("requests");
+    std::uint64_t seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    std::vector<NetResult> results;
+    for (const std::string &name : parseNets(cli.getString("nets"))) {
+        NetConfig config = configFor(name);
+        Dataset dataset = datasetFor(config, cli.getInt("dataset-size"));
+        NetResult res;
+        res.name = name;
+
+        serve::ServerOptions sopts;
+        sopts.instances = static_cast<int>(cli.getInt("instances"));
+        sopts.max_batch = cli.getInt("max-batch");
+        sopts.batch_budget_ms = cli.getDouble("budget-ms");
+        sopts.queue_capacity = static_cast<std::size_t>(
+            std::max<std::int64_t>(requests, 4096));
+        sopts.threads_per_instance =
+            static_cast<int>(cli.getInt("threads"));
+        sopts.tune = cli.getInt("tune") != 0;
+        sopts.tuner_reps = static_cast<int>(cli.getInt("tuner-reps"));
+
+        // Saturation capacity with dynamic batching; the server stays
+        // running and serves the open-loop sweep afterwards.
+        serve::Server batched(config, sopts);
+        res.capacity_qps =
+            serve::capacityProbe(batched, dataset, requests, seed);
+        res.plan_labels = batched.planLabels();
+        res.plans = batched.servingPlans();
+
+        for (double frac : kLoadFractions) {
+            serve::LoadGenOptions lopts;
+            lopts.rate_qps = res.capacity_qps * frac;
+            lopts.duration_s = cli.getDouble("duration");
+            lopts.seed = seed + static_cast<std::uint64_t>(frac * 100);
+            lopts.slo_ms = cli.getDouble("slo-ms");
+            res.points.push_back(
+                serve::runOpenLoop(batched, dataset, lopts));
+        }
+        batched.stop();
+
+        // Batch-1 serving, tuned the same way (its single bucket gets
+        // the best batch-1 engine), measured at saturation.
+        serve::ServerOptions s1 = sopts;
+        s1.max_batch = 1;
+        serve::Server single(config, s1);
+        res.batch1_capacity_qps =
+            serve::capacityProbe(single, dataset, requests, seed);
+        single.stop();
+
+        res.batching_speedup =
+            res.batch1_capacity_qps > 0
+                ? res.capacity_qps / res.batch1_capacity_qps
+                : 0;
+        for (const serve::LoadGenResult &pt : res.points)
+            if (pt.goodput_qps >= 0.9 * pt.offered_qps &&
+                pt.goodput_qps > res.knee_qps)
+                res.knee_qps = pt.goodput_qps;
+        results.push_back(std::move(res));
+    }
+
+    for (const NetResult &r : results) {
+        TablePrinter table(
+            "serving goodput under open-loop load: " + r.name +
+                " (MEASURED, max_batch " +
+                std::to_string(cli.getInt("max-batch")) + ", " +
+                std::to_string(cli.getInt("threads")) +
+                " thread(s)/instance)",
+            {"offered qps", "qps", "goodput", "p50 ms", "p99 ms",
+             "batch", "rejected"});
+        for (const serve::LoadGenResult &pt : r.points)
+            table.addRow({TablePrinter::fmt(pt.offered_qps, 1),
+                          TablePrinter::fmt(pt.qps, 1),
+                          TablePrinter::fmt(pt.goodput_qps, 1),
+                          TablePrinter::fmt(pt.p50_ms, 2),
+                          TablePrinter::fmt(pt.p99_ms, 2),
+                          TablePrinter::fmt(pt.mean_batch, 2),
+                          std::to_string(pt.rejected)});
+        table.print();
+        std::printf("%s: capacity %.1f qps (batch-1 %.1f) -> "
+                    "batching speedup %.2fx, knee %.1f qps\n\n",
+                    r.name.c_str(), r.capacity_qps,
+                    r.batch1_capacity_qps, r.batching_speedup,
+                    r.knee_qps);
+    }
+
+    if (!cli.getString("json-file").empty())
+        writeJson(cli.getString("json-file"), cli, results);
+    return 0;
+}

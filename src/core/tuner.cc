@@ -41,7 +41,7 @@ Tuner::Tuner(TunerOptions options)
 EngineTiming
 Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
                const Tensor &in, const Tensor &weights, const Tensor &eo,
-               ThreadPool &pool, bool fused_relu) const
+               ThreadPool &pool, bool fused_relu, bool serving) const
 {
     std::int64_t batch = in.shape()[0];
     EngineTiming timing;
@@ -92,7 +92,11 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
         Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
         Epilogue epilogue;
         std::vector<std::uint8_t> fp_mask;
-        if (fused_relu) {
+        if (fused_relu && serving) {
+            // Forward-only deployment clamps without recording the BP
+            // activity mask; measure exactly that.
+            epilogue = Epilogue{Epilogue::Kind::Relu};
+        } else if (fused_relu) {
             fp_mask.resize(static_cast<std::size_t>(out.size()));
             epilogue =
                 Epilogue{Epilogue::Kind::ReluMask, fp_mask.data()};
@@ -262,6 +266,86 @@ Tuner::retuneBp(const LayerPlan &previous, const ConvSpec &spec,
                sparsity, pool, fused_relu,
                previous.tuned_weight_sparsity);
     plan.tuned_weight_sparsity = previous.tuned_weight_sparsity;
+    return plan;
+}
+
+std::size_t
+ServingLayerPlan::bucketForBatch(std::int64_t batch) const
+{
+    SPG_ASSERT(!buckets.empty());
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        if (buckets[i] >= batch)
+            return i;
+    return buckets.size() - 1;
+}
+
+const std::string &
+ServingLayerPlan::engineForBatch(std::int64_t batch) const
+{
+    return fp_engines[bucketForBatch(batch)];
+}
+
+std::vector<std::int64_t>
+Tuner::servingBuckets(std::int64_t max_batch)
+{
+    SPG_ASSERT(max_batch >= 1);
+    std::vector<std::int64_t> buckets;
+    for (std::int64_t b = 1; b < max_batch; b *= 2)
+        buckets.push_back(b);
+    buckets.push_back(max_batch);
+    return buckets;
+}
+
+ServingLayerPlan
+Tuner::tuneServing(const ConvSpec &spec, std::int64_t max_batch,
+                   ThreadPool &pool, bool fused_relu,
+                   double weight_sparsity) const
+{
+    spec.validate();
+    ServingLayerPlan plan;
+    plan.buckets = servingBuckets(max_batch);
+
+    Rng rng(0x5E59E ^ static_cast<std::uint64_t>(spec.nf * 131 +
+                                                 spec.nx));
+    Tensor weights(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+    weights.fillUniform(rng, -0.5f, 0.5f);
+    // Measure at the layer's actual weight sparsity — the CSR-weights
+    // engines win or lose the small-batch buckets exactly there.
+    weights.sparsify(rng, weight_sparsity);
+    plan.tuned_weight_sparsity = weights.sparsity();
+    // The BP mask path never runs at serving time; eo is a dummy the
+    // Forward measurement ignores.
+    Tensor eo(Shape{1, spec.nf, spec.outY(), spec.outX()});
+    eo.zero();
+
+    for (std::int64_t bucket : plan.buckets) {
+        Tensor in(Shape{bucket, spec.nc, spec.ny, spec.nx});
+        in.fillUniform(rng);
+        std::vector<EngineTiming> timings;
+        double best = std::numeric_limits<double>::infinity();
+        std::string best_name;
+        for (const auto &engine : engines) {
+            if (!engine->supports(Phase::Forward) ||
+                !engine->supportsGeometry(spec)) {
+                continue;
+            }
+            EngineTiming t =
+                measure(*engine, Phase::Forward, spec, in, weights, eo,
+                        pool, fused_relu, /*serving=*/true);
+            t.weight_sparsity = plan.tuned_weight_sparsity;
+            timings.push_back(t);
+            if (t.seconds < best) {
+                best = t.seconds;
+                best_name = engine->name();
+            }
+        }
+        SPG_ASSERT(!best_name.empty());
+        verbose("serving-tuned conv %s batch %lld -> %s (%.3f ms)",
+                spec.str().c_str(), static_cast<long long>(bucket),
+                best_name.c_str(), best * 1e3);
+        plan.fp_engines.push_back(best_name);
+        plan.timings.push_back(std::move(timings));
+    }
     return plan;
 }
 

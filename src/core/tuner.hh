@@ -78,6 +78,31 @@ struct LayerPlan
     const std::string &enginesFor(Phase phase) const;
 };
 
+/**
+ * The serving scheduler's decision for one conv layer: an FP engine
+ * per coalesced-batch-size bucket. A dynamic batcher hands the network
+ * whatever batch coalesced under its latency budget, and the best FP
+ * engine shifts with that batch size (small batches amortize less
+ * im2col/pack overhead, so the crossovers sit elsewhere than at the
+ * training minibatch). BP phases do not exist in this regime.
+ */
+struct ServingLayerPlan
+{
+    /** Bucket batch sizes, ascending; always ends at max_batch. */
+    std::vector<std::int64_t> buckets;
+    /** Chosen FP engine per bucket (parallel to `buckets`). */
+    std::vector<std::string> fp_engines;
+    /** All measurements behind each choice (parallel to `buckets`). */
+    std::vector<std::vector<EngineTiming>> timings;
+    /** Weight sparsity the measurements ran at. */
+    double tuned_weight_sparsity = 0;
+
+    /** Bucket index serving a coalesced batch: the smallest bucket
+     *  >= batch, or the last bucket for anything larger. */
+    std::size_t bucketForBatch(std::int64_t batch) const;
+    const std::string &engineForBatch(std::int64_t batch) const;
+};
+
 /** Tuning knobs. */
 struct TunerOptions
 {
@@ -141,13 +166,33 @@ class Tuner
     bool shouldRetune(const LayerPlan &plan, double observed_sparsity,
                       int epoch) const;
 
+    /**
+     * Serving-regime tuning: measure every applicable FP engine at
+     * each coalesced-batch-size bucket (servingBuckets(max_batch)) and
+     * return the per-bucket winners. Measurements run the exact
+     * serving path — a fused ReLU is the plain clamp epilogue, no
+     * activity mask is stored — so the choice reflects what a
+     * forward-only instance will actually execute.
+     */
+    ServingLayerPlan tuneServing(const ConvSpec &spec,
+                                 std::int64_t max_batch,
+                                 ThreadPool &pool,
+                                 bool fused_relu = false,
+                                 double weight_sparsity = 0.0) const;
+
+    /** Power-of-two bucket ladder 1, 2, 4, ... capped at (and always
+     *  including) max_batch. */
+    static std::vector<std::int64_t> servingBuckets(
+        std::int64_t max_batch);
+
     const TunerOptions &options() const { return opts; }
 
   private:
     EngineTiming measure(const ConvEngine &engine, Phase phase,
                          const ConvSpec &spec, const Tensor &in,
                          const Tensor &weights, const Tensor &eo,
-                         ThreadPool &pool, bool fused_relu) const;
+                         ThreadPool &pool, bool fused_relu,
+                         bool serving = false) const;
 
     void tunePhases(LayerPlan &plan, const std::vector<Phase> &phases,
                     const ConvSpec &spec, double sparsity,

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "nn/pruning.hh"
 #include "util/logging.hh"
 
 namespace spg {
@@ -154,6 +155,25 @@ loadCheckpoint(Network &net, std::istream &in)
                     static_cast<std::streamsize>(bytes));
             if (!in)
                 fatal("checkpoint: truncated prune mask");
+        }
+    }
+
+    // A forward-only network never runs update(), so nothing would
+    // re-apply a restored prune mask after the fact — bake it into the
+    // weights once (the saved weights are already zero where masked,
+    // but a checkpoint written mid-step could disagree) and drop it.
+    // The network then serves plain dense-with-zeros weights, and the
+    // CSR-weights engines still see the real sparsity.
+    if (net.forwardOnly()) {
+        for (std::size_t i = 0; i < net.layerCount(); ++i) {
+            Layer &layer = net.layer(i);
+            auto *mask = layer.pruneMask();
+            if (!mask || mask->empty())
+                continue;
+            auto params = layer.params();
+            SPG_ASSERT(!params.empty());
+            applyPruneMask(*params.front(), *mask);
+            mask->clear();
         }
     }
 

@@ -97,9 +97,16 @@ ConvLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
     Stopwatch watch;
     Epilogue epilogue;
     if (fused_relu) {
-        relu_mask.resize(static_cast<std::size_t>(batch) *
-                         spec_.outputElems());
-        epilogue = Epilogue{Epilogue::Kind::ReluMask, relu_mask.data()};
+        if (inference_only) {
+            // No BP pass will read the activity mask: clamp in the
+            // epilogue while the tile is hot and store nothing.
+            epilogue = Epilogue{Epilogue::Kind::Relu};
+        } else {
+            relu_mask.resize(static_cast<std::size_t>(batch) *
+                             spec_.outputElems());
+            epilogue =
+                Epilogue{Epilogue::Kind::ReluMask, relu_mask.data()};
+        }
         static obs::Counter &fused_passes =
             obs::Metrics::global().counter("nn.fused_relu_passes");
         fused_passes.add();
@@ -114,6 +121,7 @@ void
 ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
                     Tensor &ei, ThreadPool &pool)
 {
+    SPG_ASSERT(!inference_only);
     std::int64_t batch = eo.shape()[0];
     BpMask mask;
     if (fused_relu) {
@@ -160,6 +168,7 @@ ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
 void
 ConvLayer::update(float learning_rate)
 {
+    SPG_ASSERT(!inference_only);
     float *w = weights_.data();
     const float *dw = dweights.data();
     for (std::int64_t i = 0; i < weights_.size(); ++i)
@@ -175,6 +184,15 @@ void
 ConvLayer::paramsUpdated()
 {
     PackedWeightCache::global().invalidate(weights_.data());
+}
+
+void
+ConvLayer::setInferenceOnly()
+{
+    inference_only = true;
+    dweights = Tensor();
+    relu_mask.clear();
+    relu_mask.shrink_to_fit();
 }
 
 void

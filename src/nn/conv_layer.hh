@@ -91,6 +91,11 @@ class ConvLayer : public Layer
         return &prune_mask;
     }
 
+    /** Forward-only mode: the gradient accumulator is released and a
+     *  fused ReLU runs as a plain clamp epilogue — no activity mask is
+     *  allocated or stored, since no BP pass will ever read it. */
+    void setInferenceOnly() override;
+
     const ConvSpec &spec() const { return spec_; }
 
     /** Engines currently deployed. */
@@ -127,6 +132,7 @@ class ConvLayer : public Layer
     Tensor dweights;
     EngineAssignment assignment;
     bool fused_relu = false;
+    bool inference_only = false;
     /** ReLU activity mask [B][Nf][Oy][Ox] saved by the FP epilogue. */
     std::vector<std::uint8_t> relu_mask;
     /** Magnitude-prune keep/drop mask over weights_ (empty = never

@@ -40,7 +40,19 @@ FcLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
     parallelGemm(pool, Trans::No, Trans::Yes, batch, outputs, d,
                  in.data(), weights.data(), 0.0f, out.data());
     float *o = out.data();
-    if (fused_relu) {
+    if (fused_relu && inference_only) {
+        // Forward-only: clamp in the bias epilogue, store no mask.
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t j = 0; j < outputs; ++j) {
+                std::int64_t idx = b * outputs + j;
+                float v = o[idx] + bias[j];
+                o[idx] = v > 0.0f ? v : 0.0f;
+            }
+        }
+        static obs::Counter &fused_passes =
+            obs::Metrics::global().counter("nn.fused_relu_passes");
+        fused_passes.add();
+    } else if (fused_relu) {
         // ReLU fused into the bias epilogue: clamp while the row is
         // hot and save the activity mask the BP staging will use.
         relu_mask.resize(static_cast<std::size_t>(batch) * outputs);
@@ -68,6 +80,7 @@ void
 FcLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
                   Tensor &ei, ThreadPool &pool)
 {
+    SPG_ASSERT(!inference_only);
     std::int64_t batch = in.shape()[0];
     std::int64_t d = geom.elems();
     const float *go = eo.data();
@@ -99,8 +112,20 @@ FcLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
 }
 
 void
+FcLayer::setInferenceOnly()
+{
+    inference_only = true;
+    dweights = Tensor();
+    dbias = Tensor();
+    masked_eo = Tensor();
+    relu_mask.clear();
+    relu_mask.shrink_to_fit();
+}
+
+void
 FcLayer::update(float learning_rate)
 {
+    SPG_ASSERT(!inference_only);
     float *w = weights.data();
     const float *dw = dweights.data();
     for (std::int64_t i = 0; i < weights.size(); ++i)

@@ -72,9 +72,15 @@ class FcLayer : public Layer
         return &prune_mask;
     }
 
+    /** Forward-only mode: gradient accumulators and the masked-error
+     *  staging buffer are released; a fused ReLU clamps in the bias
+     *  epilogue without saving the activity mask. */
+    void setInferenceOnly() override;
+
   private:
     Geometry geom;
     std::int64_t outputs;
+    bool inference_only = false;
     Tensor weights;   ///< [outputs][D]
     Tensor bias;      ///< [outputs]
     Tensor dweights;  ///< gradient accumulator

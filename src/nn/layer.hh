@@ -138,6 +138,17 @@ class Layer
      * restorers must call paramsUpdated() afterwards.
      */
     virtual std::vector<std::uint8_t> *pruneMask() { return nullptr; }
+
+    /**
+     * Put the layer into forward-only (serving) mode: release gradient
+     * accumulators and BP staging state, and stop recording BP
+     * artifacts during forward() (e.g. ReLU activity masks become a
+     * plain fused clamp, pooling skips the argmax record). One-way for
+     * the lifetime of the layer; backward()/update() must not be
+     * called afterwards. Default no-op: parameterless layers with no
+     * BP state have nothing to shed.
+     */
+    virtual void setInferenceOnly() {}
 };
 
 } // namespace spg

@@ -10,7 +10,9 @@
 
 namespace spg {
 
-Network::Network(const NetConfig &config, std::uint64_t seed)
+Network::Network(const NetConfig &config, std::uint64_t seed,
+                 bool inference_only)
+    : inference_only_(inference_only)
 {
     input_geom = Geometry{config.channels, config.height, config.width};
     Rng rng(seed);
@@ -96,17 +98,48 @@ Network::Network(const NetConfig &config, std::uint64_t seed)
 
     head = dynamic_cast<SoftmaxLayer *>(layers.back().get());
     SPG_ASSERT(head != nullptr);
+
+    if (inference_only_) {
+        for (auto &layer : layers)
+            layer->setInferenceOnly();
+    }
 }
 
 void
 Network::ensureBuffers(std::int64_t batch)
 {
-    if (buffer_batch == batch)
-        return;
-    buffer_batch = batch;
+    // The plan (slots + slabs) is kept as long as it is big enough:
+    // a smaller batch only needs its views rebuilt, since every
+    // buffer shape is linear in the batch extent. reserveBatch() can
+    // pre-size the plan so ragged serving batches never re-plan.
+    if (plan_batch_ < batch)
+        planArena(std::max(batch, reserve_batch_));
+    if (view_batch_ != batch)
+        buildViews(batch);
+}
+
+void
+Network::reserveBatch(std::int64_t max_batch)
+{
+    SPG_ASSERT(max_batch >= 1);
+    reserve_batch_ = std::max(reserve_batch_, max_batch);
+    std::vector<char> blocked = negotiateLayouts();
+    if (blocked != blocked_edges_) {
+        blocked_edges_ = std::move(blocked);
+        plan_batch_ = 0;  // shapes changed: re-plan the arena
+    }
+    ensureBuffers(max_batch);
+}
+
+void
+Network::planArena(std::int64_t batch)
+{
     acts.clear();
     errs.clear();
     arena_slabs.clear();
+    buf_plans_.clear();
+    view_batch_ = 0;
+    plan_batch_ = batch;
 
     // Liveness-planned activation arena. Logical buffer b < L is
     // acts[b] (output of layer b); buffer L + i is errs[i] (error
@@ -116,6 +149,12 @@ Network::ensureBuffers(std::int64_t batch)
     // inclusive [start, end] live interval from the layers' declared
     // BP reads, aliasable in-place layers are merged, and the
     // surviving root buffers are first-fit packed into reusable slabs.
+    //
+    // Forward-only networks plan the FP prefix alone: no error
+    // buffers exist, no BP mirror steps extend the activation
+    // intervals, and an elementwise layer can always run in place
+    // (nothing ever revisits its operands), so the packing collapses
+    // to a ping-pong of the two largest neighbouring activations.
     const std::int64_t L = static_cast<std::int64_t>(layers.size());
     struct Buf
     {
@@ -126,7 +165,8 @@ Network::ensureBuffers(std::int64_t batch)
         std::int64_t root = -1;  ///< alias target; -1 = self
         std::int64_t slot = -1;
     };
-    std::vector<Buf> bufs(static_cast<std::size_t>(2 * L + 1));
+    const std::int64_t nbufs = inference_only_ ? L : 2 * L + 1;
+    std::vector<Buf> bufs(static_cast<std::size_t>(nbufs));
 
     for (std::int64_t i = 0; i < L; ++i) {
         Geometry og = layers[i]->outputGeometry();
@@ -143,36 +183,41 @@ Network::ensureBuffers(std::int64_t batch)
         std::int64_t end = i;
         if (i + 1 < L) {
             end = std::max(end, i + 1);  // next layer's FP input
-            if (layers[i + 1]->backwardUsesInput())
+            if (!inference_only_ && layers[i + 1]->backwardUsesInput())
                 end = std::max(end, 2 * L - 2 - i);
         }
-        if (layers[i]->backwardUsesOutput())
+        if (!inference_only_ && layers[i]->backwardUsesOutput())
             end = std::max(end, 2 * L - 1 - i);
         // The last activation (class probabilities) is returned to the
         // caller: pin it past the timeline so it is never recycled.
         if (i == L - 1)
-            end = 2 * L;
+            end = inference_only_ ? L + 1 : 2 * L;
         bufs[i].end = end;
     }
-    bufs[L].shape = Shape{batch, input_geom.c, input_geom.h, input_geom.w};
-    bufs[L].start = 2 * L - 1;  // written by layer 0's BP, never read
-    bufs[L].end = 2 * L - 1;
-    for (std::int64_t i = 1; i <= L; ++i) {
-        Geometry og = layers[i - 1]->outputGeometry();
-        bufs[L + i].shape = Shape{batch, og.c, og.h, og.w};
-        if (i == L) {
-            // Dummy eo handed to the head at its BP step; never written.
-            bufs[L + i].start = L;
-            bufs[L + i].end = L;
-        } else {
-            bufs[L + i].start = 2 * L - 1 - i;  // written by layer i BP
-            bufs[L + i].end = 2 * L - i;        // read by layer i-1 BP
+    if (!inference_only_) {
+        bufs[L].shape =
+            Shape{batch, input_geom.c, input_geom.h, input_geom.w};
+        bufs[L].start = 2 * L - 1;  // written by layer 0's BP, never read
+        bufs[L].end = 2 * L - 1;
+        for (std::int64_t i = 1; i <= L; ++i) {
+            Geometry og = layers[i - 1]->outputGeometry();
+            bufs[L + i].shape = Shape{batch, og.c, og.h, og.w};
+            if (i == L) {
+                // Dummy eo handed to the head at its BP step; never
+                // written.
+                bufs[L + i].start = L;
+                bufs[L + i].end = L;
+            } else {
+                bufs[L + i].start = 2 * L - 1 - i;  // written by layer i
+                bufs[L + i].end = 2 * L - i;  // read by layer i-1 BP
+            }
         }
     }
 
     // In-place merging: an elementwise layer whose BP needs neither its
     // input nor the previous layer's output (e.g. an unfused ReLU after
-    // a pool) runs with out aliasing in and ei aliasing eo.
+    // a pool) runs with out aliasing in and ei aliasing eo. Without a
+    // BP pass the aliasing is unconditionally safe.
     auto rootOf = [&](std::int64_t b) {
         while (bufs[b].root >= 0)
             b = bufs[b].root;
@@ -189,9 +234,12 @@ Network::ensureBuffers(std::int64_t batch)
         bufs[victim].root = target;
     };
     for (std::int64_t i = 1; i < L; ++i) {
-        if (layers[i]->inPlaceCapable() &&
-            !layers[i]->backwardUsesInput() &&
-            !layers[i - 1]->backwardUsesOutput()) {
+        if (!layers[i]->inPlaceCapable())
+            continue;
+        if (inference_only_) {
+            mergeInto(i, i - 1);  // acts[i] aliases acts[i-1]
+        } else if (!layers[i]->backwardUsesInput() &&
+                   !layers[i - 1]->backwardUsesOutput()) {
             mergeInto(i, i - 1);          // acts[i] aliases acts[i-1]
             mergeInto(L + i, L + i + 1);  // errs[i] aliases errs[i+1]
         }
@@ -205,7 +253,7 @@ Network::ensureBuffers(std::int64_t batch)
     };
     std::vector<Slot> slots;
     std::vector<std::int64_t> roots;
-    for (std::int64_t b = 0; b < 2 * L + 1; ++b)
+    for (std::int64_t b = 0; b < nbufs; ++b)
         if (bufs[b].root < 0)
             roots.push_back(b);
     std::sort(roots.begin(), roots.end(),
@@ -233,8 +281,8 @@ Network::ensureBuffers(std::int64_t batch)
     }
 
     // Back the slots with uninitialized slabs (every buffer is fully
-    // defined by its producer before any consumer reads it) and hand
-    // out views. Aliased buffers view their root's slab.
+    // defined by its producer before any consumer reads it). Aliased
+    // buffers resolve to their root's slot.
     arena_slabs.reserve(slots.size());
     arena_bytes_ = 0;
     for (const Slot &slot : slots) {
@@ -247,23 +295,61 @@ Network::ensureBuffers(std::int64_t batch)
     for (const Buf &buf : bufs)
         arena_unplanned_bytes_ += buf.shape.elements() *
                                   static_cast<std::int64_t>(sizeof(float));
-    auto viewOf = [&](std::int64_t b) {
-        std::int64_t slot = bufs[rootOf(b)].slot;
-        // Slabs are cache-line (64-byte) aligned by construction; the
-        // blocked view constructor asserts that, as the direct engine's
-        // register tiles rely on it.
-        return Tensor::view(bufs[b].shape, arena_slabs[slot].data(),
-                            bufs[b].layout);
-    };
-    for (std::int64_t i = 0; i < L; ++i)
-        acts.push_back(viewOf(i));
-    for (std::int64_t i = 0; i <= L; ++i)
-        errs.push_back(viewOf(L + i));
+
+    // Record the per-buffer plan buildViews() rebuilds views from:
+    // per-image geometry + layout flag + resolved slot. Shapes are
+    // linear in batch, so the same plan serves every batch <= ours.
+    buf_plans_.resize(static_cast<std::size_t>(nbufs));
+    for (std::int64_t b = 0; b < nbufs; ++b) {
+        BufPlan &plan = buf_plans_[static_cast<std::size_t>(b)];
+        if (b < L) {
+            plan.geom = layers[b]->outputGeometry();
+            plan.blocked =
+                b < static_cast<std::int64_t>(blocked_edges_.size()) &&
+                blocked_edges_[static_cast<std::size_t>(b)];
+        } else if (b == L) {
+            plan.geom = input_geom;
+        } else {
+            plan.geom = layers[b - L - 1]->outputGeometry();
+        }
+        plan.slot = bufs[rootOf(b)].slot;
+    }
 
     obs::Metrics::global().gauge("nn.arena_bytes").set(
         static_cast<double>(arena_bytes_));
     obs::Metrics::global().gauge("nn.arena_unplanned_bytes").set(
         static_cast<double>(arena_unplanned_bytes_));
+}
+
+void
+Network::buildViews(std::int64_t batch)
+{
+    SPG_ASSERT(batch >= 1 && batch <= plan_batch_);
+    const std::int64_t L = static_cast<std::int64_t>(layers.size());
+    acts.clear();
+    errs.clear();
+    auto viewOf = [&](std::int64_t b) {
+        const BufPlan &plan = buf_plans_[static_cast<std::size_t>(b)];
+        // Slabs are cache-line (64-byte) aligned by construction; the
+        // blocked view constructor asserts that, as the direct engine's
+        // register tiles rely on it.
+        if (plan.blocked) {
+            return Tensor::view(
+                nchwcShape(batch, plan.geom.c, plan.geom.h, plan.geom.w),
+                arena_slabs[plan.slot].data(),
+                Layout::nchwc(plan.geom.c));
+        }
+        return Tensor::view(
+            Shape{batch, plan.geom.c, plan.geom.h, plan.geom.w},
+            arena_slabs[plan.slot].data(), Layout{});
+    };
+    for (std::int64_t i = 0; i < L; ++i)
+        acts.push_back(viewOf(i));
+    if (!inference_only_) {
+        for (std::int64_t i = 0; i <= L; ++i)
+            errs.push_back(viewOf(L + i));
+    }
+    view_batch_ = batch;
 }
 
 const Tensor &
@@ -277,7 +363,7 @@ Network::forward(const Tensor &images, ThreadPool &pool)
     std::vector<char> blocked = negotiateLayouts();
     if (blocked != blocked_edges_) {
         blocked_edges_ = std::move(blocked);
-        buffer_batch = 0;  // shapes changed: re-plan the arena
+        plan_batch_ = 0;  // shapes changed: re-plan the arena
     }
     ensureBuffers(batch);
     SPG_TRACE_SCOPE_N("train", "forward", "batch", batch);
@@ -293,6 +379,8 @@ StepStats
 Network::trainStep(const Tensor &images, const std::vector<int> &labels,
                    float learning_rate, ThreadPool &pool)
 {
+    if (inference_only_)
+        fatal("trainStep() on a forward-only network");
     SPG_TRACE_SCOPE_N("train", "step", "batch", images.shape()[0]);
     head->setLabels(labels);
     forward(images, pool);

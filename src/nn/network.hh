@@ -38,8 +38,13 @@ class Network
      * @param config Network description; must end with a softmax (one
      *        is appended when missing).
      * @param seed Weight-initialization seed.
+     * @param inference_only Build a forward-only network for serving:
+     *        layers shed gradient accumulators and BP artifacts, the
+     *        activation arena is planned over the FP timeline alone
+     *        (no error buffers at all), and trainStep() is forbidden.
      */
-    explicit Network(const NetConfig &config, std::uint64_t seed = 1);
+    explicit Network(const NetConfig &config, std::uint64_t seed = 1,
+                     bool inference_only = false);
 
     /**
      * Run FP over a minibatch.
@@ -115,8 +120,35 @@ class Network
         return arena_unplanned_bytes_;
     }
 
+    /** @return true when built forward-only (serving mode). */
+    bool forwardOnly() const { return inference_only_; }
+
+    /**
+     * Error-buffer views currently held (0 in forward-only mode — the
+     * FP timeline allocates no BP slab at all). Valid after the first
+     * forward().
+     */
+    std::size_t errorBufferCount() const { return errs.size(); }
+
+    /**
+     * Plan the activation arena for coalesced batches up to
+     * @p max_batch and keep it: later forward() calls with any batch
+     * size <= max_batch only rebuild tensor views into the existing
+     * slabs instead of re-planning and re-allocating. A serving
+     * instance calls this once at warmup so ragged dynamic batches
+     * never touch the allocator on the request path. Every per-buffer
+     * shape is linear in the batch extent, so a slot sized at
+     * max_batch fits the same buffer at any smaller batch.
+     */
+    void reserveBatch(std::int64_t max_batch);
+
   private:
     void ensureBuffers(std::int64_t batch);
+    /** Compute live intervals, pack slots, allocate slabs for
+     *  @p batch. Invalidates the current views. */
+    void planArena(std::int64_t batch);
+    /** Rebuild acts/errs views at @p batch into the planned slabs. */
+    void buildViews(std::int64_t batch);
     /** Per-edge layout choice: blocked_edges_[i] != 0 means acts[i]
      *  (output of layer i) lives in NCHWc. An edge goes blocked only
      *  when producer and consumer are conv layers whose deployed FP
@@ -129,11 +161,23 @@ class Network
     Geometry input_geom;
     std::vector<std::unique_ptr<Layer>> layers;
     SoftmaxLayer *head = nullptr;  ///< owned by `layers`, always last
-    /** Arena slabs backing acts/errs views; rebuilt per batch size. */
+    bool inference_only_ = false;
+    /** Arena slabs backing acts/errs views; sized at plan_batch_. */
     std::vector<AlignedBuffer<float>> arena_slabs;
     std::vector<Tensor> acts;      ///< acts[i]: output of layer i
     std::vector<Tensor> errs;      ///< errs[i]: error w.r.t. layer i input
-    std::int64_t buffer_batch = 0;
+    /** One planned logical buffer: enough to rebuild its view at any
+     *  batch <= plan_batch_ (shapes are linear in the batch extent). */
+    struct BufPlan
+    {
+        Geometry geom;        ///< per-image extents
+        bool blocked = false; ///< NCHWc slab (negotiated edge)
+        std::int64_t slot = 0;
+    };
+    std::vector<BufPlan> buf_plans_;  ///< acts then errs, root slots
+    std::int64_t plan_batch_ = 0;  ///< batch the slots were sized for
+    std::int64_t view_batch_ = 0;  ///< batch the current views carry
+    std::int64_t reserve_batch_ = 0;
     std::vector<char> blocked_edges_;
     std::int64_t fused_pairs = 0;
     std::int64_t arena_bytes_ = 0;

@@ -63,7 +63,8 @@ PoolLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
     Geometry og = outputGeometry();
     std::int64_t in_stride = geom.elems();
     std::int64_t out_stride = og.elems();
-    if (mode == Mode::Max)
+    bool record_argmax = mode == Mode::Max && !inference_only;
+    if (record_argmax)
         argmax.assign(batch * out_stride, 0);
 
     // (image × channel) space: each task owns one output plane, which
@@ -72,7 +73,7 @@ PoolLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
         batch, geom.c, [&](std::int64_t b, std::int64_t c, int) {
             const float *img = in.data() + b * in_stride;
             float *dst = out.data() + b * out_stride;
-            std::int32_t *am = mode == Mode::Max
+            std::int32_t *am = record_argmax
                                    ? argmax.data() + b * out_stride
                                    : nullptr;
             const float *plane = img + c * geom.h * geom.w;
@@ -92,8 +93,9 @@ PoolLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
                                 }
                             }
                         dst[(c * og.h + y) * og.w + x] = best;
-                        am[(c * og.h + y) * og.w + x] =
-                            static_cast<std::int32_t>(best_idx);
+                        if (am != nullptr)
+                            am[(c * og.h + y) * og.w + x] =
+                                static_cast<std::int32_t>(best_idx);
                     } else {
                         float sum = 0;
                         for (std::int64_t ky = 0; ky < kernel; ++ky)
@@ -111,6 +113,7 @@ void
 PoolLayer::backward(const Tensor &, const Tensor &, const Tensor &eo,
                     Tensor &ei, ThreadPool &pool)
 {
+    SPG_ASSERT(!inference_only);
     std::int64_t batch = eo.shape()[0];
     Geometry og = outputGeometry();
     std::int64_t in_stride = geom.elems();

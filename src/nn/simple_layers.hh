@@ -75,11 +75,22 @@ class PoolLayer : public Layer
     bool backwardUsesInput() const override { return false; }
     bool backwardUsesOutput() const override { return false; }
 
+    /** Forward-only mode: the argmax record exists solely for the BP
+     *  scatter, so forward() stops writing it and the buffer is
+     *  released. */
+    void setInferenceOnly() override
+    {
+        inference_only = true;
+        argmax.clear();
+        argmax.shrink_to_fit();
+    }
+
   private:
     Geometry geom;
     std::int64_t kernel;
     std::int64_t stride;
     Mode mode;
+    bool inference_only = false;
     /** argmax flat index per output element (max mode), per batch. */
     std::vector<std::int32_t> argmax;
 };

@@ -143,6 +143,38 @@ Histogram::bucketBound(int b)
     return std::ldexp(1e-9, b);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    std::int64_t n = count();
+    if (n <= 0)
+        return 0.0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Nearest rank: the k-th smallest sample, k in [1, n].
+    std::int64_t rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    std::int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += bucketCount(b);
+        if (seen >= rank) {
+            double bound = bucketBound(b);
+            double lo = minValue();
+            double hi = maxValue();
+            if (bound < lo)
+                bound = lo;
+            if (bound > hi)
+                bound = hi;
+            return bound;
+        }
+    }
+    return maxValue();
+}
+
 void
 Histogram::reset()
 {

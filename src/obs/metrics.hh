@@ -107,6 +107,16 @@ class Histogram
     /** Upper bound (in sample units) of bucket b. */
     static double bucketBound(int b);
 
+    /**
+     * Approximate nearest-rank percentile from the power-of-two
+     * buckets: the upper bound of the bucket holding the q-quantile
+     * sample, clamped into [minValue, maxValue] so the coarse bucket
+     * edges never report outside the observed range. Within-a-factor-
+     * of-two accuracy — the right tool for serving p50/p95/p99 tails,
+     * not for microbenchmark deltas. @p q in [0, 1]; 0 when empty.
+     */
+    double percentile(double q) const;
+
     void reset();
 
   private:

@@ -1,0 +1,175 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace spg {
+namespace serve {
+
+namespace {
+
+/** Exact nearest-rank percentile over a sorted sample. */
+double
+sortedPercentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    auto n = static_cast<std::int64_t>(sorted.size());
+    std::int64_t rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+/** Draw Poisson-process arrival offsets (ns) covering the window. */
+std::vector<std::int64_t>
+drawArrivals(double rate_qps, double duration_s, Rng &rng)
+{
+    std::vector<std::int64_t> offsets;
+    double t = 0;
+    for (;;) {
+        double u = rng.uniform();
+        if (u >= 1.0)
+            u = 0.9999999;
+        t += -std::log(1.0 - u) / rate_qps;
+        if (t >= duration_s)
+            break;
+        offsets.push_back(static_cast<std::int64_t>(t * 1e9));
+    }
+    return offsets;
+}
+
+void
+bindImage(Request &req, const Dataset &data, Rng &rng)
+{
+    std::int64_t elems =
+        data.channels * data.height * data.width;
+    std::int64_t idx = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(data.count())));
+    req.image = data.images.data() + idx * elems;
+    req.elems = elems;
+}
+
+void
+summarize(LoadGenResult &res, std::vector<Request> &reqs,
+          double slo_ms, std::int64_t window_ns)
+{
+    std::vector<double> lat_ms;
+    lat_ms.reserve(reqs.size());
+    double batch_sum = 0;
+    for (Request &req : reqs) {
+        if (!req.done.load(std::memory_order_acquire))
+            continue;
+        double ms = req.latencySeconds() * 1e3;
+        lat_ms.push_back(ms);
+        batch_sum += static_cast<double>(req.batch);
+        if (ms <= slo_ms)
+            ++res.within_slo;
+    }
+    res.completed = static_cast<std::int64_t>(lat_ms.size());
+    std::sort(lat_ms.begin(), lat_ms.end());
+    res.p50_ms = sortedPercentile(lat_ms, 0.50);
+    res.p95_ms = sortedPercentile(lat_ms, 0.95);
+    res.p99_ms = sortedPercentile(lat_ms, 0.99);
+    res.max_ms = lat_ms.empty() ? 0 : lat_ms.back();
+    double sum = 0;
+    for (double ms : lat_ms)
+        sum += ms;
+    res.mean_ms =
+        lat_ms.empty() ? 0 : sum / static_cast<double>(lat_ms.size());
+    res.mean_batch = res.completed > 0
+                         ? batch_sum /
+                               static_cast<double>(res.completed)
+                         : 0;
+    res.window_s = static_cast<double>(window_ns) * 1e-9;
+    if (res.window_s > 0) {
+        res.qps = static_cast<double>(res.completed) / res.window_s;
+        res.goodput_qps =
+            static_cast<double>(res.within_slo) / res.window_s;
+    }
+}
+
+} // namespace
+
+LoadGenResult
+runOpenLoop(Server &server, const Dataset &data,
+            const LoadGenOptions &opts)
+{
+    SPG_ASSERT(opts.rate_qps > 0 && opts.duration_s > 0);
+    Rng rng(opts.seed);
+    std::vector<std::int64_t> offsets =
+        drawArrivals(opts.rate_qps, opts.duration_s, rng);
+    // Requests hold an atomic and are pinned in place: size the vector
+    // once, never grow it.
+    std::vector<Request> reqs(offsets.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].id = static_cast<std::int64_t>(i);
+        bindImage(reqs[i], data, rng);
+    }
+
+    LoadGenResult res;
+    res.offered_qps =
+        static_cast<double>(offsets.size()) / opts.duration_s;
+
+    // Open loop: submit on the pre-drawn schedule. sleep_until only —
+    // spinning would starve the serving instance on a single core.
+    // When the clock is already past an arrival, submit immediately
+    // (catch-up burst) rather than shifting the schedule.
+    std::int64_t start_ns = nowNs();
+    auto start_tp = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        auto target = start_tp + std::chrono::nanoseconds(offsets[i]);
+        if (std::chrono::steady_clock::now() < target)
+            std::this_thread::sleep_until(target);
+        ++res.submitted;
+        if (!server.submit(reqs[i]))
+            ++res.rejected;
+    }
+    server.drain();
+    std::int64_t end_ns = nowNs();
+
+    summarize(res, reqs, opts.slo_ms, end_ns - start_ns);
+    return res;
+}
+
+double
+capacityProbe(Server &server, const Dataset &data, std::int64_t n,
+              std::uint64_t seed)
+{
+    SPG_ASSERT(n > 0);
+    SPG_ASSERT(static_cast<std::size_t>(n) <=
+               server.queue().capacity());
+    Rng rng(seed);
+    std::vector<Request> reqs(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].id = static_cast<std::int64_t>(i);
+        bindImage(reqs[i], data, rng);
+    }
+
+    // Pay the one-time costs before the clock starts.
+    server.warmup();
+
+    for (Request &req : reqs)
+        if (!server.submit(req))
+            fatal("capacityProbe: queue rejected a pre-fill request");
+
+    std::int64_t start_ns = nowNs();
+    server.start();
+    server.drain();
+    std::int64_t end_ns = nowNs();
+
+    double seconds = static_cast<double>(end_ns - start_ns) * 1e-9;
+    SPG_ASSERT(seconds > 0);
+    return static_cast<double>(n) / seconds;
+}
+
+} // namespace serve
+} // namespace spg

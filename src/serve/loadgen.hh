@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Open-loop Poisson load generation and saturation capacity probing.
+ *
+ * The open-loop generator draws exponential inter-arrival times at a
+ * fixed offered rate and submits on schedule regardless of how the
+ * server is doing — the regime where goodput, not raw throughput, is
+ * the honest metric: past the knee the server still completes work,
+ * but a growing share of it misses the latency SLO. Arrivals that
+ * fall behind the wall clock (a long GC-free pause does not exist
+ * here, but a long batch does) are submitted immediately in a burst,
+ * preserving open-loop semantics: the schedule never waits for the
+ * server.
+ *
+ * The capacity probe measures QPS at saturation with no load-generator
+ * interference: it pre-fills the queue before the instance threads
+ * start and times the drain. On a single-core host this matters — a
+ * sleeping submitter still steals cycles from the serving instance,
+ * so "offered load = infinity" is cleanest as work that is already
+ * queued.
+ */
+
+#ifndef SPG_SERVE_LOADGEN_HH
+#define SPG_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "serve/server.hh"
+
+namespace spg {
+namespace serve {
+
+/** Open-loop run parameters. */
+struct LoadGenOptions
+{
+    double rate_qps = 50.0;   ///< offered arrival rate
+    double duration_s = 2.0;  ///< arrival window length
+    std::uint64_t seed = 1234;
+    double slo_ms = 50.0;     ///< latency SLO defining goodput
+};
+
+/** Measured outcome of one open-loop run. */
+struct LoadGenResult
+{
+    double offered_qps = 0;  ///< arrivals generated / duration
+    std::int64_t submitted = 0;
+    std::int64_t rejected = 0;   ///< queue-full drops
+    std::int64_t completed = 0;
+    std::int64_t within_slo = 0;
+    double window_s = 0;      ///< first submit -> last completion
+    double qps = 0;           ///< completed / window
+    double goodput_qps = 0;   ///< completed within SLO / window
+    /** Exact sorted-sample percentiles (not histogram buckets). */
+    double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0, mean_ms = 0;
+    double mean_batch = 0;    ///< average coalesced batch size
+};
+
+/**
+ * Run one open-loop episode against a started server and drain it.
+ * The server must have been start()ed; it is left running.
+ */
+LoadGenResult runOpenLoop(Server &server, const Dataset &data,
+                          const LoadGenOptions &opts);
+
+/**
+ * Saturation capacity: pre-fill @p n requests into the queue of a
+ * not-yet-started server (its queue_capacity must admit all of them),
+ * then start the instance threads and time the drain.
+ *
+ * @return completed requests per second at infinite offered load.
+ * The server is left running (start() has been called).
+ */
+double capacityProbe(Server &server, const Dataset &data,
+                     std::int64_t n, std::uint64_t seed);
+
+} // namespace serve
+} // namespace spg
+
+#endif // SPG_SERVE_LOADGEN_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Inference request: the unit of work flowing through the serving
+ * runtime.
+ *
+ * Requests are owned by the submitter (the load generator keeps them
+ * in one flat array); the queue and the serving instances only pass
+ * pointers around. The instance that runs a request writes its result
+ * fields and then publishes `done` with release ordering, so a
+ * submitter that observes done == true (acquire) reads consistent
+ * results without any lock.
+ */
+
+#ifndef SPG_SERVE_REQUEST_HH
+#define SPG_SERVE_REQUEST_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spg {
+namespace serve {
+
+/** @return monotonic wall time in nanoseconds (steady clock). */
+inline std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One classification request over a single image. */
+struct Request
+{
+    std::int64_t id = 0;
+    /** Input image, [C][H][W] row-major floats; not owned. */
+    const float *image = nullptr;
+    std::int64_t elems = 0;
+    /** Steady-clock stamp taken just before submit(). */
+    std::int64_t submit_ns = 0;
+
+    // --- written by the serving instance, published via `done` ---
+    int predicted = -1;
+    std::int64_t done_ns = 0;
+    /** Size of the coalesced batch this request rode in. */
+    std::int64_t batch = 0;
+    std::atomic<bool> done{false};
+
+    /** End-to-end latency in seconds; valid once done. */
+    double
+    latencySeconds() const
+    {
+        return static_cast<double>(done_ns - submit_ns) * 1e-9;
+    }
+};
+
+} // namespace serve
+} // namespace spg
+
+#endif // SPG_SERVE_REQUEST_HH

@@ -271,6 +271,34 @@ TEST(Metrics, HistogramBucketsArePowerOfTwoNanoseconds)
     EXPECT_DOUBLE_EQ(obs::Histogram::bucketBound(3), 8e-9);
 }
 
+TEST(Metrics, HistogramPercentileWalksBucketsWithinObservedRange)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0.0);  // empty
+
+    // 90 fast samples around 1ms, 10 slow around 1s: the p50 must
+    // stay in the fast mode, the p99 must land in the slow tail, and
+    // both clamp into [min, max] despite power-of-two bucket edges.
+    for (int i = 0; i < 90; ++i)
+        h.observe(1e-3);
+    for (int i = 0; i < 10; ++i)
+        h.observe(1.0);
+    double p50 = h.percentile(0.50);
+    double p99 = h.percentile(0.99);
+    EXPECT_GE(p50, h.minValue());
+    EXPECT_LE(p50, 2e-3 + 1e-12);  // within a factor of two of 1ms
+    EXPECT_GE(p99, 0.5);           // within a factor of two of 1s
+    EXPECT_LE(p99, h.maxValue());
+    EXPECT_LE(h.percentile(0.0), p50);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), h.maxValue());
+
+    // Single sample: every percentile is that sample.
+    obs::Histogram one;
+    one.observe(0.125);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 0.125);
+    EXPECT_DOUBLE_EQ(one.percentile(0.99), 0.125);
+}
+
 TEST(Metrics, JsonDumpParses)
 {
     obs::Metrics &m = obs::Metrics::global();

@@ -87,6 +87,22 @@ if [[ $# -eq 0 ]]; then
         --tol-pct=250 --speedup-tol-pct=60
 fi
 
+# Serving goodput gate: regenerate the open-loop serving bench
+# (reduced request count / window so the gate stays fast) and diff it
+# against the committed baseline. Only the dynamic-batching speedup at
+# saturation is gated (wide tolerance — it is a ratio of two drain
+# timings on a shared host); the qps/goodput/latency series and the
+# per-bucket serving plans are informational trajectory. The loadgen
+# smoke (fixed seed, low rate, zero drops, bounded p99) runs as a
+# ctest fixture above. Skipped when a test filter was passed.
+if [[ $# -eq 0 ]]; then
+    ./bench/bench_serve --requests=256 --duration=0.2 --tuner-reps=2 \
+        --json-file="$PWD/BENCH_serve_fresh.json" > /dev/null
+    ./tools/bench_compare --fresh="$PWD/BENCH_serve_fresh.json" \
+        --baseline=../bench/baselines/BENCH_serve.json \
+        --tol-pct=250 --speedup-tol-pct=60
+fi
+
 # Layout/direct-engine sanitizer gate: the NCHWc conversion kernels and
 # the direct engine's register tiles live and die by tail-block and
 # edge-tile indexing, and the pool-parallel converters by their
@@ -98,11 +114,14 @@ fi
 # mutable state the TSan run must prove race-free under the
 # plane-parallel engines. Recursing with a filter reuses the
 # per-sanitizer build trees and skips the smoke/bench gates above.
-# Skipped inside a sanitized run (the outer invocation already is one)
-# or when a test filter was passed.
+# The serving suites join both runs: the request queue, the
+# done-publication handshake and the per-instance pools are exactly
+# what TSan must prove race-free, and the ragged-batch arena views are
+# what ASan must prove in-bounds. Skipped inside a sanitized run (the
+# outer invocation already is one) or when a test filter was passed.
 if [[ $# -eq 0 && -z "${SPG_SANITIZE:-}" ]]; then
     for san in address thread; do
         SPG_SANITIZE="$san" "$(cd .. && pwd)/tools/check.sh" \
-            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint'
+            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint|Serve'
     done
 fi

@@ -29,6 +29,15 @@
  *       FP engines on a weight tensor pruned to that zero fraction
  *       (the Fig. 4-style crossover axis of the CSR-weights engines).
  *
+ *   spgcnn serve --net mnist|cifar10|imagenet100|<path>
+ *                [--instances N] [--max-batch N] [--budget-ms F]
+ *                [--queue-cap N] [--threads N] [--rate F]
+ *                [--duration F] [--slo-ms F] [--load ckpt.bin]
+ *                [--no-tune] [--extensions]
+ *       Serve the network forward-only under open-loop Poisson load:
+ *       dynamic batching, per-bucket serving engine plans, latency
+ *       percentiles, QPS and goodput against the SLO.
+ *
  *   spgcnn engines
  *       List the available execution engines.
  */
@@ -37,16 +46,21 @@
 #include <cstring>
 #include <string>
 
+#include "blas/gemm.hh"
 #include "core/tuner.hh"
 #include "data/suites.hh"
 #include "data/synthetic.hh"
 #include "nn/checkpoint.hh"
 #include "nn/trainer.hh"
+#include "obs/drift.hh"
 #include "obs/trace.hh"
 #include "perf/region.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "simcpu/conv_model.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
+#include "util/timer.hh"
 
 using namespace spg;
 
@@ -290,6 +304,203 @@ cmdTune(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Serving drift report: chosen per-bucket FP engines, measured by the
+ * serving tuner, against the calibrated machine model evaluated at
+ * each bucket's batch size (the trainer's joinDrift idiom, FP only).
+ */
+obs::DriftReport
+servingDrift(const serve::Server &server, Network &net, int cores)
+{
+    obs::DriftReport drift;
+    auto modeled = [](const std::string &engine) {
+        return engine == "parallel-gemm" ||
+               engine == "parallel-gemm-packed" ||
+               engine == "gemm-in-parallel" ||
+               engine == "gemm-in-parallel-packed" ||
+               engine == "stencil" || engine == "direct" ||
+               engine == "sparse-weights" ||
+               engine == "sparse-weights-direct";
+    };
+
+    constexpr std::int64_t kDim = 256;
+    std::vector<float> a(kDim * kDim, 1.0f), b(kDim * kDim, 0.5f),
+        c(kDim * kDim, 0.0f);
+    double gemm_seconds = bestTimeSeconds(3, [&] {
+        sgemm(Trans::No, Trans::No, kDim, kDim, kDim, 1.0f, a.data(),
+              kDim, b.data(), kDim, 0.0f, c.data(), kDim);
+    });
+    double gflops = 2.0 * kDim * kDim * kDim / gemm_seconds / 1e9;
+    MachineModel machine = MachineModel::hostCalibrated(gflops);
+
+    auto convs = net.convLayers();
+    const auto &plans = server.servingPlans();
+    for (std::size_t i = 0; i < plans.size() && i < convs.size(); ++i) {
+        const ServingLayerPlan &plan = plans[i];
+        for (std::size_t bi = 0; bi < plan.buckets.size(); ++bi) {
+            const std::string &engine = plan.fp_engines[bi];
+            if (!modeled(engine))
+                continue;
+            const EngineTiming *timing = nullptr;
+            for (const EngineTiming &t : plan.timings[bi])
+                if (t.engine == engine)
+                    timing = &t;
+            if (timing == nullptr)
+                continue;
+            SimResult modeled_result = modelConvPhase(
+                machine, convs[i]->spec(), Phase::Forward, engine,
+                plan.buckets[bi], cores, /*sparsity=*/0.0,
+                timing->chunk_map.empty() ? nullptr
+                                          : &timing->chunk_map,
+                convs[i]->fusedRelu(), plan.tuned_weight_sparsity);
+            obs::DriftSample out;
+            out.label = server.planLabels()[i] + " b" +
+                        std::to_string(plan.buckets[bi]);
+            out.phase = phaseName(Phase::Forward);
+            out.engine = engine;
+            out.layout = timing->layout;
+            char region_buf[8];
+            std::snprintf(region_buf, sizeof(region_buf), "R%d",
+                          static_cast<int>(
+                              classifyRegion(convs[i]->spec(), 0.0)));
+            out.region = region_buf;
+            out.measured_seconds = timing->seconds;
+            out.modeled_seconds = modeled_result.seconds;
+            drift.add(std::move(out));
+        }
+    }
+    return drift;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    CliParser cli("spgcnn serve");
+    cli.addString("net", "mnist",
+                  "mnist | cifar10 | imagenet100 | config file path");
+    cli.addInt("dataset-size", 64, "synthetic examples backing requests");
+    cli.addInt("instances", 1, "concurrent model instances");
+    cli.addInt("max-batch", 8, "largest coalesced batch");
+    cli.addDouble("budget-ms", 2.0,
+                  "dynamic-batching latency budget per request");
+    cli.addInt("queue-cap", 256, "request queue bound");
+    cli.addInt("threads", 1,
+               "pool threads per instance (0 = hardware)");
+    cli.addBool("extensions", false,
+                "let the serving tuner consider extension engines");
+    cli.addInt("tuner-reps", 3, "timed reps per tuner measurement");
+    cli.addBool("no-tune", false,
+                "skip the serving tuner (default engine everywhere)");
+    cli.addDouble("rate", 100.0, "offered open-loop load, requests/s");
+    cli.addDouble("duration", 2.0, "arrival window, seconds");
+    cli.addDouble("slo-ms", 50.0, "latency SLO defining goodput");
+    cli.addInt("seed", 1234, "arrival / image sampling seed");
+    cli.addString("load", "", "restore a checkpoint into the replicas");
+    cli.addString("trace", "",
+                  "write a Chrome trace-event JSON to this path");
+    cli.parse(argc, argv);
+
+    if (!cli.getString("trace").empty())
+        obs::Tracer::global().enable(cli.getString("trace"));
+
+    NetConfig config = resolveNet(cli.getString("net"));
+    serve::ServerOptions sopts;
+    sopts.instances = static_cast<int>(cli.getInt("instances"));
+    sopts.max_batch = cli.getInt("max-batch");
+    sopts.batch_budget_ms = cli.getDouble("budget-ms");
+    sopts.queue_capacity =
+        static_cast<std::size_t>(cli.getInt("queue-cap"));
+    sopts.threads_per_instance =
+        static_cast<int>(cli.getInt("threads"));
+    sopts.tune = !cli.getBool("no-tune");
+    sopts.use_extensions = cli.getBool("extensions");
+    sopts.tuner_reps = static_cast<int>(cli.getInt("tuner-reps"));
+
+    serve::Server server(config, sopts);
+    Network &net = server.instanceNet(0);
+    net.describe();
+    if (!cli.getString("load").empty())
+        server.loadWeights(cli.getString("load"));
+
+    server.warmup();
+
+    if (!server.servingPlans().empty()) {
+        // Per-bucket serving plan next to the training-minibatch
+        // choice, so the plan divergence is visible at a glance.
+        TablePrinter table("serving plans (per coalesced-batch bucket)",
+                           {"layer", "bucket", "engine", "ms",
+                            "train plan"});
+        Tuner train_tuner(TunerOptions{});
+        auto convs = net.convLayers();
+        ThreadPool tune_pool(sopts.threads_per_instance);
+        for (std::size_t i = 0; i < convs.size(); ++i) {
+            const ServingLayerPlan &plan = server.servingPlans()[i];
+            LayerPlan train_plan = train_tuner.tune(
+                convs[i]->spec(), /*sparsity=*/0.5, tune_pool,
+                convs[i]->fusedRelu(), convs[i]->weightSparsity());
+            for (std::size_t bi = 0; bi < plan.buckets.size(); ++bi) {
+                double ms = 0;
+                for (const EngineTiming &t : plan.timings[bi])
+                    if (t.engine == plan.fp_engines[bi])
+                        ms = t.seconds * 1e3;
+                table.addRow(
+                    {bi == 0 ? server.planLabels()[i] : "",
+                     std::to_string(plan.buckets[bi]),
+                     plan.fp_engines[bi], TablePrinter::fmt(ms, 3),
+                     bi == 0 ? train_plan.fp_engine : ""});
+            }
+        }
+        table.print();
+
+        obs::DriftReport drift =
+            servingDrift(server, net, tune_pool.threads());
+        if (!drift.empty()) {
+            std::printf("\nserving drift (measured vs modeled, per "
+                        "bucket):\n");
+            drift.print();
+            if (obs::Tracer::global().enabled()) {
+                std::string drift_path = obs::sidecarPath(
+                    obs::Tracer::global().path(), ".drift.json");
+                drift.writeTo(drift_path);
+                inform("drift report written to %s",
+                       drift_path.c_str());
+            }
+        }
+    }
+
+    Dataset dataset = datasetFor(config, cli.getInt("dataset-size"));
+    serve::LoadGenOptions lopts;
+    lopts.rate_qps = cli.getDouble("rate");
+    lopts.duration_s = cli.getDouble("duration");
+    lopts.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    lopts.slo_ms = cli.getDouble("slo-ms");
+
+    server.start();
+    serve::LoadGenResult res =
+        serve::runOpenLoop(server, dataset, lopts);
+    server.stop();
+
+    std::printf("\nopen-loop: offered %.1f qps for %.1fs "
+                "(%lld requests)\n",
+                res.offered_qps, lopts.duration_s,
+                static_cast<long long>(res.submitted));
+    std::printf("  completed %lld  rejected %lld  qps %.1f  "
+                "goodput %.1f (SLO %.0fms)\n",
+                static_cast<long long>(res.completed),
+                static_cast<long long>(res.rejected), res.qps,
+                res.goodput_qps, lopts.slo_ms);
+    std::printf("  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  "
+                "max %.2f\n",
+                res.p50_ms, res.p95_ms, res.p99_ms, res.max_ms);
+    auto counters = server.counters();
+    std::printf("  batches %lld  mean occupancy %.2f\n",
+                static_cast<long long>(counters.batches),
+                res.mean_batch);
+
+    obs::finalize();
+    return 0;
+}
+
 int
 cmdEngines()
 {
@@ -306,7 +517,8 @@ void
 usage()
 {
     std::printf(
-        "usage: spgcnn <train|characterize|tune|engines> [flags]\n"
+        "usage: spgcnn <train|characterize|tune|serve|engines> "
+        "[flags]\n"
         "run 'spgcnn <subcommand> --help' for the flag list\n");
 }
 
@@ -330,6 +542,8 @@ main(int argc, char **argv)
         return cmdCharacterize(argc - 1, argv + 1);
     if (cmd == "tune")
         return cmdTune(argc - 1, argv + 1);
+    if (cmd == "serve")
+        return cmdServe(argc - 1, argv + 1);
     if (cmd == "engines")
         return cmdEngines();
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
