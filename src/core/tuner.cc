@@ -6,6 +6,7 @@
 #include "conv/engine_direct.hh"
 #include "conv/packed_weights.hh"
 #include "obs/metrics.hh"
+#include "obs/perfcnt.hh"
 #include "obs/trace.hh"
 #include "sparse/sparse_plan.hh"
 #include "tensor/blocked.hh"
@@ -87,6 +88,29 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
     if (!mask.empty())
         bp_mask.mask = mask.data();
 
+    // Wrap the main timed block with counter reads: own-thread delta
+    // (serial shares + participate(0)) plus the pool workers' totals
+    // delta covers every byte the phase moved. Normalized per call
+    // over warmup + reps — the warmup's cold misses smear in, which
+    // is the price of not perturbing bestTimeSeconds.
+    auto timedWithPerf = [&](auto &&fn) {
+        const bool perf_on = obs::perfEnabled();
+        obs::PerfSample own0, pool0;
+        if (perf_on) {
+            own0 = obs::perfReadThread();
+            pool0 = pool.perfTotals();
+        }
+        double secs = bestTimeSeconds(opts.reps, fn);
+        if (perf_on) {
+            obs::PerfSample d = obs::perfReadThread().delta(own0);
+            d.accumulate(pool.perfTotals().delta(pool0));
+            double bytes = d.llcMissBytes();
+            if (bytes >= 0)
+                timing.measured_bytes = bytes / (opts.reps + 1);
+        }
+        return secs;
+    };
+
     switch (phase) {
       case Phase::Forward: {
         Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
@@ -112,7 +136,7 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
             timing.encode_seconds =
                 wafter.encode_seconds - wbefore.encode_seconds;
         }
-        timing.seconds = bestTimeSeconds(opts.reps, [&] {
+        timing.seconds = timedWithPerf([&] {
             engine.forward(spec, in, weights, out, pool, epilogue);
         });
         // The direct engine computes in NCHWc; measured with plain
@@ -136,7 +160,7 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
       }
       case Phase::BackwardData: {
         Tensor ei(Shape{batch, spec.nc, spec.ny, spec.nx});
-        timing.seconds = bestTimeSeconds(opts.reps, [&] {
+        timing.seconds = timedWithPerf([&] {
             if (encode_once)
                 plans.invalidate(eo.data());
             engine.backwardData(spec, eo, weights, ei, pool, bp_mask);
@@ -145,7 +169,7 @@ Tuner::measure(const ConvEngine &engine, Phase phase, const ConvSpec &spec,
       }
       case Phase::BackwardWeights: {
         Tensor dw(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
-        timing.seconds = bestTimeSeconds(opts.reps, [&] {
+        timing.seconds = timedWithPerf([&] {
             engine.backwardWeights(spec, eo, in, dw, pool, bp_mask);
         });
         break;

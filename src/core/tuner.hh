@@ -55,6 +55,14 @@ struct EngineTiming
      *  measurement — the schedule that actually ran, which simcpu can
      *  charge instead of an idealized even split. */
     std::vector<std::int64_t> chunk_map;
+    /** Hardware-counter DRAM traffic per phase execution (LLC misses
+     *  x cache line, averaged over warmup + timed reps, summed over
+     *  the measuring thread and every pool worker). -1 when counters
+     *  are unavailable — distinguish from a measured zero. Feeds the
+     *  drift report's measured-vs-modeled traffic join and lets
+     *  MachineModel::calibrate fit the bandwidth axis from counters
+     *  instead of timed kernels alone. */
+    double measured_bytes = -1.0;
 };
 
 /** The tuner's decision for one layer. */

@@ -12,6 +12,20 @@
 
 namespace spg {
 
+namespace {
+
+/** Counter snapshot of the phase-measuring thread plus the pool's
+ *  worker totals — together they cover every byte a phase moves. */
+obs::PerfSample
+phasePerfSnapshot(ThreadPool &pool)
+{
+    obs::PerfSample s = obs::perfReadThread();
+    s.accumulate(pool.perfTotals());
+    return s;
+}
+
+} // namespace
+
 ConvLayer::ConvLayer(std::string label, const ConvSpec &spec, Rng &rng)
     : label(std::move(label)),
       spec_(spec),
@@ -111,9 +125,16 @@ ConvLayer::forward(const Tensor &in, Tensor &out, ThreadPool &pool)
             obs::Metrics::global().counter("nn.fused_relu_passes");
         fused_passes.add();
     }
+    const bool perf_on = obs::perfEnabled();
+    obs::PerfSample perf0;
+    if (perf_on)
+        perf0 = phasePerfSnapshot(pool);
     engineByName(assignment.fp)
         .forward(spec_, in, weights_, out, pool, epilogue);
     profile_.fp_seconds += watch.seconds();
+    if (perf_on)
+        profile_.fp_perf.accumulate(
+            phasePerfSnapshot(pool).delta(perf0));
     ++profile_.calls;
 }
 
@@ -149,20 +170,32 @@ ConvLayer::backward(const Tensor &in, const Tensor &, const Tensor &eo,
     static obs::Counter &bp_flops =
         obs::Metrics::global().counter("conv.bp_flops");
     bp_flops.add(2 * spec_.flops() * batch);
+    const bool perf_on = obs::perfEnabled();
+    obs::PerfSample perf0;
     Stopwatch watch;
     {
         SPG_TRACE_SCOPE_N("layer", span_bp_data, "batch", batch);
+        if (perf_on)
+            perf0 = phasePerfSnapshot(pool);
         engineByName(assignment.bp_data)
             .backwardData(spec_, eo, weights_, ei, pool, mask);
     }
     profile_.bp_data_seconds += watch.seconds();
+    if (perf_on)
+        profile_.bp_data_perf.accumulate(
+            phasePerfSnapshot(pool).delta(perf0));
     watch.reset();
     {
         SPG_TRACE_SCOPE_N("layer", span_bp_weights, "batch", batch);
+        if (perf_on)
+            perf0 = phasePerfSnapshot(pool);
         engineByName(assignment.bp_weights)
             .backwardWeights(spec_, eo, in, dweights, pool, mask);
     }
     profile_.bp_weights_seconds += watch.seconds();
+    if (perf_on)
+        profile_.bp_weights_perf.accumulate(
+            phasePerfSnapshot(pool).delta(perf0));
 }
 
 void

@@ -17,6 +17,7 @@
 
 #include "conv/engines.hh"
 #include "nn/layer.hh"
+#include "obs/perfcnt.hh"
 #include "util/random.hh"
 
 namespace spg {
@@ -106,13 +107,20 @@ class ConvLayer : public Layer
     /** Sparsity of the most recent output-error gradients. */
     double lastErrorSparsity() const { return last_eo_sparsity; }
 
-    /** Cumulative time spent per phase since construction. */
+    /** Cumulative time spent per phase since construction, plus the
+     *  hardware-counter deltas each phase accumulated (own thread +
+     *  pool workers; empty samples when counters are unavailable).
+     *  The counter reads ride the same span boundaries as the phase
+     *  stopwatches, so time and traffic describe the same regions. */
     struct PhaseProfile
     {
         double fp_seconds = 0;
         double bp_data_seconds = 0;
         double bp_weights_seconds = 0;
         std::int64_t calls = 0;
+        obs::PerfSample fp_perf;
+        obs::PerfSample bp_data_perf;
+        obs::PerfSample bp_weights_perf;
     };
     const PhaseProfile &profile() const { return profile_; }
     void resetProfile() { profile_ = PhaseProfile{}; }

@@ -7,6 +7,7 @@
 
 #include "blas/gemm.hh"
 #include "obs/metrics.hh"
+#include "obs/perfcnt.hh"
 #include "obs/trace.hh"
 #include "perf/region.hh"
 #include "simcpu/conv_model.hh"
@@ -136,6 +137,18 @@ Trainer::run(ThreadPool &pool)
         for (ConvLayer *conv : network.convLayers())
             prof_before.push_back(conv->profile());
         PoolStats sched_before = pool.stats();
+        // Hardware telemetry brackets the training steps: package
+        // energy from RAPL, counter totals from the trainer thread's
+        // session plus the pool workers'. Both degrade to "n/a".
+        obs::RaplReader &meter = obs::energyMeter();
+        double joules_before =
+            meter.available() ? meter.totalJoules() : 0.0;
+        const bool perf_on = obs::perfEnabled();
+        obs::PerfSample perf_before;
+        if (perf_on) {
+            perf_before = obs::perfReadThread();
+            perf_before.accumulate(pool.perfTotals());
+        }
         Stopwatch watch;
         double loss_sum = 0, acc_sum = 0;
         std::int64_t steps = 0, images = 0;
@@ -156,11 +169,24 @@ Trainer::run(ThreadPool &pool)
         SPG_ASSERT(steps > 0);
 
         stats.seconds = watch.seconds();
+        if (meter.available()) {
+            stats.joules = meter.totalJoules() - joules_before;
+            if (stats.joules > 0)
+                stats.images_per_joule = images / stats.joules;
+            drift.addEpochEnergy(epoch, stats.joules);
+        }
+        obs::PerfSample epoch_perf;
+        if (perf_on) {
+            epoch_perf = obs::perfReadThread();
+            epoch_perf.accumulate(pool.perfTotals());
+            epoch_perf = epoch_perf.delta(perf_before);
+        }
         // Phase breakdown and schedule telemetry cover the training
         // steps only — snapshots are taken before any re-tuning below.
         stats.pool_imbalance = pool.stats().delta(sched_before).imbalance();
         {
             auto convs = network.convLayers();
+            obs::PerfSample conv_perf;
             for (std::size_t i = 0; i < convs.size(); ++i) {
                 const ConvLayer::PhaseProfile &p = convs[i]->profile();
                 stats.fp_seconds +=
@@ -170,7 +196,16 @@ Trainer::run(ThreadPool &pool)
                 stats.bp_weights_seconds +=
                     p.bp_weights_seconds -
                     prof_before[i].bp_weights_seconds;
+                conv_perf.accumulate(
+                    p.fp_perf.delta(prof_before[i].fp_perf));
+                conv_perf.accumulate(
+                    p.bp_data_perf.delta(prof_before[i].bp_data_perf));
+                conv_perf.accumulate(p.bp_weights_perf.delta(
+                    prof_before[i].bp_weights_perf));
             }
+            double conv_bytes = conv_perf.llcMissBytes();
+            if (conv_bytes >= 0)
+                stats.conv_bytes = conv_bytes;
         }
         SparsePlanCache::Stats plans_after =
             SparsePlanCache::global().stats();
@@ -242,6 +277,44 @@ Trainer::run(ThreadPool &pool)
             }
             metrics.histogram("trainer.epoch_seconds")
                 .observe(stats.seconds);
+            // Hardware telemetry flush: counter totals land in the
+            // metrics sidecar and as Chrome trace counter lanes, so
+            // the per-epoch traffic/IPC/energy trajectory is visible
+            // in both documents.
+            for (int ev = 0; ev < obs::kPerfEventCount; ++ev) {
+                if (!epoch_perf.has(ev))
+                    continue;
+                metrics.counter(std::string("perf.") +
+                                obs::perfEventName(ev))
+                    .add(static_cast<std::int64_t>(
+                        epoch_perf.values[ev]));
+            }
+            if (epoch_perf.llcMissBytes() >= 0 &&
+                obs::traceEnabled()) {
+                obs::traceCounter("perf.llc_miss_mb",
+                                  static_cast<std::int64_t>(
+                                      epoch_perf.llcMissBytes() / 1e6));
+            }
+            if (epoch_perf.has(obs::kPerfCycles) &&
+                epoch_perf.has(obs::kPerfInstructions) &&
+                epoch_perf.values[obs::kPerfCycles] > 0 &&
+                obs::traceEnabled()) {
+                obs::traceCounter(
+                    "perf.ipc_x100",
+                    static_cast<std::int64_t>(
+                        100.0 *
+                        epoch_perf.values[obs::kPerfInstructions] /
+                        epoch_perf.values[obs::kPerfCycles]));
+            }
+            if (stats.joules >= 0) {
+                metrics.histogram("trainer.epoch_joules")
+                    .observe(stats.joules);
+                if (obs::traceEnabled() && stats.seconds > 0)
+                    obs::traceCounter("energy.watts",
+                                      static_cast<std::int64_t>(
+                                          stats.joules /
+                                          stats.seconds));
+            }
             // Allocation accounting: how much zero-fill traffic the
             // uninitialized (arena / staging) path avoided so far.
             const AllocCounters &alloc = allocCounters();
@@ -290,6 +363,10 @@ Trainer::run(ThreadPool &pool)
                    static_cast<long long>(stats.fused_relu_passes),
                    stats.arena_bytes / (1024.0 * 1024.0),
                    stats.arena_unplanned_bytes / (1024.0 * 1024.0));
+            if (stats.joules >= 0)
+                inform("  energy %.1f J  %.1f W  %.2f img/J",
+                       stats.joules, stats.joules / stats.seconds,
+                       stats.images_per_joule);
             verbose("  phases: fp %.1f ms  bp-data %.1f ms  "
                     "bp-weights %.1f ms  encode %.1f ms",
                     stats.fp_seconds * 1e3, stats.bp_data_seconds * 1e3,
@@ -312,7 +389,7 @@ Trainer::run(ThreadPool &pool)
             "Training epochs",
             {"epoch", "loss", "acc", "d-acc", "w-sp", "img/s", "fp ms",
              "bp-data ms", "bp-w ms", "encode ms", "encodes", "reuses",
-             "imbalance", "fused", "arena MiB"});
+             "imbalance", "fused", "arena MiB", "J", "img/J"});
         for (const EpochStats &s : history) {
             table.addRow({TablePrinter::fmt(
                               static_cast<long long>(s.epoch)),
@@ -335,7 +412,13 @@ Trainer::run(ThreadPool &pool)
                           TablePrinter::fmt(static_cast<long long>(
                               s.fused_relu_passes)),
                           TablePrinter::fmt(
-                              s.arena_bytes / (1024.0 * 1024.0), 1)});
+                              s.arena_bytes / (1024.0 * 1024.0), 1),
+                          s.joules >= 0
+                              ? TablePrinter::fmt(s.joules, 1)
+                              : "n/a",
+                          s.images_per_joule >= 0
+                              ? TablePrinter::fmt(s.images_per_joule, 2)
+                              : "n/a"});
         }
         table.print();
     }
@@ -358,16 +441,22 @@ Trainer::collectDriftSamples(
             Phase phase;
             double measured;
             const std::string *engine;
+            double bytes;  ///< counter-derived traffic; -1 when n/a
         };
         const PhaseSlice slices[] = {
             {Phase::Forward,
-             p.fp_seconds - prof_before[i].fp_seconds, &engines.fp},
+             p.fp_seconds - prof_before[i].fp_seconds, &engines.fp,
+             p.fp_perf.delta(prof_before[i].fp_perf).llcMissBytes()},
             {Phase::BackwardData,
              p.bp_data_seconds - prof_before[i].bp_data_seconds,
-             &engines.bp_data},
+             &engines.bp_data,
+             p.bp_data_perf.delta(prof_before[i].bp_data_perf)
+                 .llcMissBytes()},
             {Phase::BackwardWeights,
              p.bp_weights_seconds - prof_before[i].bp_weights_seconds,
-             &engines.bp_weights},
+             &engines.bp_weights,
+             p.bp_weights_perf.delta(prof_before[i].bp_weights_perf)
+                 .llcMissBytes()},
         };
         for (const PhaseSlice &slice : slices) {
             if (slice.measured <= 0 || steps <= 0)
@@ -380,6 +469,8 @@ Trainer::collectDriftSamples(
             sample.sparsity = sparsity[i];
             sample.weight_sparsity = convs[i]->weightSparsity();
             sample.measured_seconds = slice.measured / steps;
+            if (slice.bytes >= 0)
+                sample.measured_bytes = slice.bytes / steps;
             sample.fused_relu = convs[i]->fusedRelu();
             if (i < plans.size()) {
                 auto it = plans[i].timings.find(slice.phase);
@@ -428,7 +519,11 @@ Trainer::joinDrift(ThreadPool &pool)
               kDim, b.data(), kDim, 0.0f, c.data(), kDim);
     });
     double gflops = 2.0 * kDim * kDim * kDim / gemm_seconds / 1e9;
-    MachineModel machine = MachineModel::hostCalibrated(gflops);
+    // When counters are live, the bandwidth axis comes from an
+    // LLC-miss-metered streaming sweep instead of the default guess;
+    // hostCalibrated falls back on a non-positive result.
+    MachineModel machine = MachineModel::hostCalibrated(
+        gflops, obs::measuredStreamBandwidthGbs());
     int cores = pool.threads();
 
     for (const PendingDrift &sample : pending_drift) {
@@ -452,6 +547,8 @@ Trainer::joinDrift(ThreadPool &pool)
         out.region = region_buf;
         out.measured_seconds = sample.measured_seconds;
         out.modeled_seconds = modeled_result.seconds;
+        out.measured_bytes = sample.measured_bytes;
+        out.modeled_bytes = modeled_result.total_bytes;
         drift.add(std::move(out));
     }
     pending_drift.clear();

@@ -88,6 +88,15 @@ struct EpochStats
      *  max/mean per-worker busy time (1.0 = perfectly balanced). */
     double pool_imbalance = 1.0;
 
+    /** Package energy the epoch drew (RAPL), -1 when unavailable. */
+    double joules = -1;
+    /** Goodput per watt: images trained per joule ((img/s)/W); -1
+     *  when energy is unavailable. */
+    double images_per_joule = -1;
+    /** DRAM traffic the epoch's conv phases moved (LLC misses x cache
+     *  line, own thread + pool workers); -1 when counters are off. */
+    double conv_bytes = -1;
+
     /** Fused ReLU epilogue passes executed this epoch (each one is an
      *  eliminated standalone elementwise sweep over an activation). */
     std::int64_t fused_relu_passes = 0;
@@ -145,6 +154,7 @@ class Trainer
         double sparsity = 0;
         double weight_sparsity = 0;
         double measured_seconds = 0;  ///< per training step
+        double measured_bytes = -1;   ///< per step; -1 when no counters
         std::vector<std::int64_t> chunk_map;
         bool fused_relu = false;
     };

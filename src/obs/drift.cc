@@ -48,18 +48,44 @@ statsOf(const std::string &key,
     stats.mean_signed =
         group.empty() ? 0
                       : signed_sum / static_cast<double>(group.size());
+
+    // Traffic percentiles over the counter-carrying subset only: a
+    // sample without counters is "not measured", never "0% error".
+    std::vector<double> traffic_abs;
+    double traffic_signed = 0;
+    for (const DriftSample *s : group) {
+        if (!s->hasTraffic())
+            continue;
+        double e = s->trafficRelError();
+        traffic_signed += e;
+        traffic_abs.push_back(std::fabs(e));
+    }
+    std::sort(traffic_abs.begin(), traffic_abs.end());
+    stats.traffic_samples = static_cast<int>(traffic_abs.size());
+    stats.traffic_p50 = percentile(traffic_abs, 0.50);
+    stats.traffic_p90 = percentile(traffic_abs, 0.90);
+    stats.traffic_max = traffic_abs.empty() ? 0 : traffic_abs.back();
+    stats.traffic_mean_signed =
+        traffic_abs.empty()
+            ? 0
+            : traffic_signed / static_cast<double>(traffic_abs.size());
     return stats;
 }
 
 void
 appendStatsJson(std::string &out, const DriftStats &stats)
 {
-    char buf[160];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "{\"samples\": %d, \"p50\": %.6g, \"p90\": %.6g, "
-                  "\"max\": %.6g, \"mean_signed\": %.6g}",
+                  "\"max\": %.6g, \"mean_signed\": %.6g, "
+                  "\"traffic_samples\": %d, \"traffic_p50\": %.6g, "
+                  "\"traffic_p90\": %.6g, \"traffic_max\": %.6g, "
+                  "\"traffic_mean_signed\": %.6g}",
                   stats.samples, stats.p50, stats.p90, stats.max,
-                  stats.mean_signed);
+                  stats.mean_signed, stats.traffic_samples,
+                  stats.traffic_p50, stats.traffic_p90,
+                  stats.traffic_max, stats.traffic_mean_signed);
     out += buf;
 }
 
@@ -73,10 +99,30 @@ DriftSample::relError() const
     return (measured_seconds - modeled_seconds) / measured_seconds;
 }
 
+bool
+DriftSample::hasTraffic() const
+{
+    return measured_bytes > 0 && modeled_bytes > 0;
+}
+
+double
+DriftSample::trafficRelError() const
+{
+    if (!hasTraffic())
+        return 0;
+    return (measured_bytes - modeled_bytes) / measured_bytes;
+}
+
 void
 DriftReport::add(DriftSample sample)
 {
     rows.push_back(std::move(sample));
+}
+
+void
+DriftReport::addEpochEnergy(int epoch, double joules)
+{
+    energy.push_back(EpochEnergy{epoch, joules});
 }
 
 std::vector<DriftStats>
@@ -128,9 +174,30 @@ DriftReport::toJson() const
                "\", \"region\": \"" + s.region + "\"";
         std::snprintf(buf, sizeof(buf),
                       ", \"measured\": %.6g, \"modeled\": %.6g, "
-                      "\"rel_error\": %.6g}",
+                      "\"rel_error\": %.6g",
                       s.measured_seconds, s.modeled_seconds,
                       s.relError());
+        out += buf;
+        if (s.hasTraffic()) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"measured_bytes\": %.6g, "
+                          "\"modeled_bytes\": %.6g, "
+                          "\"traffic_rel_error\": %.6g",
+                          s.measured_bytes, s.modeled_bytes,
+                          s.trafficRelError());
+            out += buf;
+        }
+        out += "}";
+    }
+    out += "\n  ],\n  \"epoch_energy\": [";
+    first = true;
+    for (const EpochEnergy &e : energy) {
+        char buf[96];
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"epoch\": %d, \"joules\": %.6g}", e.epoch,
+                      e.joules);
         out += buf;
     }
     out += "\n  ]\n}\n";
@@ -140,27 +207,49 @@ DriftReport::toJson() const
 void
 DriftReport::print(std::FILE *stream) const
 {
+    // Time columns always; traffic columns only where hardware
+    // counters contributed samples ("n/a" otherwise, so a run without
+    // perf access is visibly unmeasured rather than suspiciously
+    // perfect).
+    auto row = [](const DriftStats &stats) {
+        std::vector<std::string> cells{
+            stats.key,
+            TablePrinter::fmt(static_cast<long long>(stats.samples)),
+            TablePrinter::fmt(stats.p50 * 100, 1) + "%",
+            TablePrinter::fmt(stats.p90 * 100, 1) + "%",
+            TablePrinter::fmt(stats.max * 100, 1) + "%",
+            TablePrinter::fmt(stats.mean_signed * 100, 1) + "%"};
+        if (stats.traffic_samples > 0) {
+            cells.push_back(TablePrinter::fmt(
+                static_cast<long long>(stats.traffic_samples)));
+            cells.push_back(
+                TablePrinter::fmt(stats.traffic_p50 * 100, 1) + "%");
+            cells.push_back(
+                TablePrinter::fmt(stats.traffic_p90 * 100, 1) + "%");
+            cells.push_back(
+                TablePrinter::fmt(stats.traffic_max * 100, 1) + "%");
+        } else {
+            cells.insert(cells.end(), {"n/a", "n/a", "n/a", "n/a"});
+        }
+        return cells;
+    };
     TablePrinter table("Model drift (|measured-modeled|/measured)",
                        {"region", "samples", "p50", "p90", "max",
-                        "bias"});
-    for (const DriftStats &stats : byRegion()) {
-        table.addRow({stats.key,
-                      TablePrinter::fmt(
-                          static_cast<long long>(stats.samples)),
-                      TablePrinter::fmt(stats.p50 * 100, 1) + "%",
-                      TablePrinter::fmt(stats.p90 * 100, 1) + "%",
-                      TablePrinter::fmt(stats.max * 100, 1) + "%",
-                      TablePrinter::fmt(stats.mean_signed * 100, 1) +
-                          "%"});
-    }
-    DriftStats all = overall();
-    table.addRow({all.key,
-                  TablePrinter::fmt(static_cast<long long>(all.samples)),
-                  TablePrinter::fmt(all.p50 * 100, 1) + "%",
-                  TablePrinter::fmt(all.p90 * 100, 1) + "%",
-                  TablePrinter::fmt(all.max * 100, 1) + "%",
-                  TablePrinter::fmt(all.mean_signed * 100, 1) + "%"});
+                        "bias", "tr-n", "tr-p50", "tr-p90", "tr-max"});
+    for (const DriftStats &stats : byRegion())
+        table.addRow(row(stats));
+    table.addRow(row(overall()));
     table.print(stream);
+
+    if (!energy.empty()) {
+        TablePrinter etable("Epoch energy (RAPL package)",
+                            {"epoch", "joules"});
+        for (const EpochEnergy &e : energy)
+            etable.addRow({TablePrinter::fmt(
+                               static_cast<long long>(e.epoch)),
+                           TablePrinter::fmt(e.joules, 1)});
+        etable.print(stream);
+    }
 }
 
 void

@@ -35,9 +35,21 @@ struct DriftSample
     std::string region;  ///< Fig. 1 region ("R2")
     double measured_seconds = 0;
     double modeled_seconds = 0;
+    /** Hardware-counter DRAM traffic (LLC misses x line) for the same
+     *  execution; -1 when counters were unavailable. */
+    double measured_bytes = -1;
+    /** modelConvPhase's traffic estimate for the same point. */
+    double modeled_bytes = 0;
 
     /** Signed relative error: (measured - modeled) / measured. */
     double relError() const;
+
+    /** True when the traffic join has both sides of the comparison. */
+    bool hasTraffic() const;
+
+    /** Signed traffic error: (measured - modeled) / measured bytes;
+     *  0 when !hasTraffic(). */
+    double trafficRelError() const;
 };
 
 /** Error percentiles over one group of samples. */
@@ -49,6 +61,22 @@ struct DriftStats
     double p90 = 0;
     double max = 0;
     double mean_signed = 0;  ///< bias: >0 means the model is optimistic
+
+    /** Traffic join (measured LLC-miss bytes vs modeled bytes) over
+     *  the subset of samples that carried counters; 0 samples means
+     *  the columns print "n/a". */
+    int traffic_samples = 0;
+    double traffic_p50 = 0;
+    double traffic_p90 = 0;
+    double traffic_max = 0;
+    double traffic_mean_signed = 0;
+};
+
+/** Package energy one training epoch drew (RAPL). */
+struct EpochEnergy
+{
+    int epoch = 0;
+    double joules = 0;
 };
 
 /** Accumulates samples and summarizes model error per region. */
@@ -57,7 +85,12 @@ class DriftReport
   public:
     void add(DriftSample sample);
 
+    /** Record the package energy one epoch drew (skip when RAPL is
+     *  unavailable — absent rows render as "n/a", not zero). */
+    void addEpochEnergy(int epoch, double joules);
+
     const std::vector<DriftSample> &samples() const { return rows; }
+    const std::vector<EpochEnergy> &epochEnergy() const { return energy; }
     bool empty() const { return rows.empty(); }
 
     /** Per-region stats, region name order (R0..R5 sorts naturally). */
@@ -77,6 +110,7 @@ class DriftReport
 
   private:
     std::vector<DriftSample> rows;
+    std::vector<EpochEnergy> energy;
 };
 
 } // namespace obs

@@ -225,17 +225,68 @@ Metrics::histogram(const std::string &name)
     return *slot;
 }
 
+void
+Metrics::setUnit(const std::string &name, std::string unit)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    units[name] = std::move(unit);
+}
+
+std::string
+Metrics::unitOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = units.find(name);
+    if (it != units.end())
+        return it->second;
+    return unitFor(name);
+}
+
+std::string
+Metrics::unitFor(const std::string &name)
+{
+    static const struct
+    {
+        const char *needle;
+        const char *unit;
+    } kDimensioned[] = {
+        {"joules", "joules"},   {"watts", "watts"},
+        {"seconds", "seconds"}, {"bytes", "bytes"},
+        {"flops", "flops"},     {"cycles", "cycles"},
+        {"instructions", "instructions"},
+    };
+    for (const auto &rule : kDimensioned)
+        if (name.find(rule.needle) != std::string::npos)
+            return rule.unit;
+    static const char *const kRatioNeedles[] = {
+        "sparsity", "imbalance", "ratio",     "fraction",
+        "occupancy", "available", "accuracy",
+    };
+    for (const char *needle : kRatioNeedles)
+        if (name.find(needle) != std::string::npos)
+            return "ratio";
+    return "count";
+}
+
 std::string
 Metrics::toJson() const
 {
     std::lock_guard<std::mutex> lock(mu);
+    auto unit_of = [this](const std::string &name) {
+        // mu is already held; inline unitOf without re-locking.
+        auto it = units.find(name);
+        return it != units.end() ? it->second : unitFor(name);
+    };
     std::string out = "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[name, c] : counters) {
         out += first ? "\n    " : ",\n    ";
         first = false;
         appendName(out, name);
-        out += ": " + std::to_string(c->value());
+        out += ": {\"value\": " + std::to_string(c->value()) +
+               ", \"unit\": ";
+        appendName(out, unit_of(name));
+        out += "}";
     }
     out += "\n  },\n  \"gauges\": {";
     first = true;
@@ -243,8 +294,11 @@ Metrics::toJson() const
         out += first ? "\n    " : ",\n    ";
         first = false;
         appendName(out, name);
-        out += ": ";
+        out += ": {\"value\": ";
         appendDouble(out, g->value());
+        out += ", \"unit\": ";
+        appendName(out, unit_of(name));
+        out += "}";
     }
     out += "\n  },\n  \"histograms\": {";
     first = true;
@@ -253,7 +307,9 @@ Metrics::toJson() const
         first = false;
         appendName(out, name);
         std::int64_t n = h->count();
-        out += ": {\"count\": " + std::to_string(n) + ", \"sum\": ";
+        out += ": {\"unit\": ";
+        appendName(out, unit_of(name));
+        out += ", \"count\": " + std::to_string(n) + ", \"sum\": ";
         appendDouble(out, h->sum());
         out += ", \"mean\": ";
         appendDouble(out, h->mean());

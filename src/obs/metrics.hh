@@ -141,6 +141,26 @@ class Metrics
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
 
+    /**
+     * Unit a metric's JSON entry will carry. Explicit setUnit()
+     * overrides win; otherwise the unit is inferred from the name
+     * (unitFor). The dump schema (see DESIGN.md "Metrics sidecar
+     * schema") is:
+     *   counters/gauges: {"value": <number>, "unit": "<unit>"}
+     *   histograms:      {..., "unit": "<unit>"} (sample unit)
+     */
+    void setUnit(const std::string &name, std::string unit);
+    std::string unitOf(const std::string &name) const;
+
+    /**
+     * Name-based unit inference: "seconds", "bytes", "flops",
+     * "joules", "watts", "cycles", "instructions" substrings map to
+     * themselves; dimensionless fraction-family names (sparsity,
+     * imbalance, ratio, fraction, occupancy, available, accuracy)
+     * map to "ratio"; everything else is a plain "count".
+     */
+    static std::string unitFor(const std::string &name);
+
     /** One JSON document with every registered metric. */
     std::string toJson() const;
 
@@ -157,6 +177,7 @@ class Metrics
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::string> units;  ///< explicit overrides
 };
 
 } // namespace obs

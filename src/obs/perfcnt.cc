@@ -1,0 +1,525 @@
+#include "obs/perfcnt.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "util/timer.hh"
+
+#ifdef __linux__
+#include <dirent.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace spg {
+namespace obs {
+
+namespace {
+
+const char *const kEventNames[kPerfEventCount] = {
+    "cycles",     "instructions", "stalled_cycles", "l1d_loads",
+    "l1d_misses", "llc_loads",    "llc_misses",
+};
+
+/** CAS-loop accumulate (atomic<double>::fetch_add is C++20 but its
+ *  library support is spotty; the loop is portable). */
+void
+addDouble(std::atomic<double> &slot, double delta)
+{
+    double old = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(old, old + delta,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::atomic<int> g_mode{static_cast<int>(PerfMode::Auto)};
+std::atomic<bool> g_mode_explicit{false};
+std::once_flag g_env_once;
+std::atomic<int> g_avail{-1};  ///< -1 unknown, 0 absent, 1 present
+
+bool
+modeIsOff()
+{
+    return g_mode.load(std::memory_order_relaxed) ==
+           static_cast<int>(PerfMode::Off);
+}
+
+#ifdef __linux__
+
+/** type/config pair for each PerfEvent slot. */
+struct EventDesc
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t
+cacheConfig(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+const EventDesc kEventDescs[kPerfEventCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/**
+ * One perf_event group bound to the calling thread. Members that
+ * fail to open (PMC budget, missing generic event on this
+ * microarchitecture) are simply dropped — the group carries whatever
+ * subset the kernel granted, and the valid mask reflects it.
+ */
+struct PerfGroup
+{
+    int leader = -1;
+    std::vector<int> fds;
+    std::vector<int> events;  ///< PerfEvent per fd, in open order
+
+    void
+    open(const int *wanted, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            perf_event_attr attr{};
+            attr.size = sizeof(attr);
+            attr.type = kEventDescs[wanted[i]].type;
+            attr.config = kEventDescs[wanted[i]].config;
+            attr.disabled = leader < 0 ? 1 : 0;
+            attr.exclude_kernel = 1;
+            attr.exclude_hv = 1;
+            attr.read_format = PERF_FORMAT_GROUP |
+                               PERF_FORMAT_TOTAL_TIME_ENABLED |
+                               PERF_FORMAT_TOTAL_TIME_RUNNING;
+            int fd = static_cast<int>(
+                perfEventOpen(&attr, 0, -1, leader, 0));
+            if (fd < 0)
+                continue;
+            if (leader < 0)
+                leader = fd;
+            fds.push_back(fd);
+            events.push_back(wanted[i]);
+        }
+        if (leader >= 0)
+            ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+
+    bool
+    read(PerfSample &out) const
+    {
+        if (leader < 0)
+            return true;
+        std::uint64_t buf[3 + kPerfEventCount];
+        ssize_t got = ::read(leader, buf, sizeof(buf));
+        if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t)))
+            return false;
+        return parsePerfGroupRead(
+            buf, static_cast<std::size_t>(got) / sizeof(std::uint64_t),
+            events.data(), events.size(), out);
+    }
+
+    void
+    close()
+    {
+        for (int fd : fds)
+            ::close(fd);
+        fds.clear();
+        events.clear();
+        leader = -1;
+    }
+};
+
+/**
+ * Per-thread counter session: two groups so the seven events fit the
+ * typical 4-programmable-PMC budget (cycles / instructions / stalled
+ * mostly land on fixed counters; the four cache events share the
+ * programmable ones, multiplexed if needed and scaled on read).
+ */
+class PerfThreadSession
+{
+  public:
+    PerfThreadSession()
+    {
+        static const int kGroupA[] = {kPerfCycles, kPerfInstructions,
+                                      kPerfStalledCycles};
+        static const int kGroupB[] = {kPerfL1dLoads, kPerfL1dMisses,
+                                      kPerfLlcLoads, kPerfLlcMisses};
+        groups_[0].open(kGroupA, 3);
+        groups_[1].open(kGroupB, 4);
+    }
+
+    ~PerfThreadSession()
+    {
+        groups_[0].close();
+        groups_[1].close();
+    }
+
+    PerfThreadSession(const PerfThreadSession &) = delete;
+    PerfThreadSession &operator=(const PerfThreadSession &) = delete;
+
+    PerfSample
+    read() const
+    {
+        PerfSample out;
+        groups_[0].read(out);
+        groups_[1].read(out);
+        return out;
+    }
+
+  private:
+    PerfGroup groups_[2];
+};
+
+bool
+probeCounters()
+{
+    static const int kProbe[] = {kPerfCycles, kPerfInstructions};
+    PerfGroup g;
+    g.open(kProbe, 2);
+    bool ok = g.leader >= 0;
+    g.close();
+    return ok;
+}
+
+#else  // !__linux__
+
+bool
+probeCounters()
+{
+    return false;
+}
+
+#endif
+
+bool
+readFileString(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    char buf[64];
+    std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[got] = '\0';
+    out.assign(buf, got);
+    return true;
+}
+
+} // namespace
+
+const char *
+perfEventName(int ev)
+{
+    if (ev < 0 || ev >= kPerfEventCount)
+        return "?";
+    return kEventNames[ev];
+}
+
+PerfSample
+PerfSample::delta(const PerfSample &earlier) const
+{
+    // The later sample's mask wins: an event absent from `earlier`
+    // had accumulated nothing yet (sessions and PerfTotals both start
+    // from zero), so subtracting zero is the right answer — and an
+    // intersection would wrongly blank the first interval read from a
+    // fresh accumulator.
+    PerfSample d;
+    d.valid = valid;
+    for (int ev = 0; ev < kPerfEventCount; ++ev)
+        if (d.has(ev))
+            d.values[ev] =
+                values[ev] - (earlier.has(ev) ? earlier.values[ev] : 0.0);
+    return d;
+}
+
+void
+PerfSample::accumulate(const PerfSample &d)
+{
+    for (int ev = 0; ev < kPerfEventCount; ++ev)
+        if (d.has(ev))
+            values[ev] += d.values[ev];
+    valid |= d.valid;
+}
+
+double
+PerfSample::llcMissBytes() const
+{
+    if (!has(kPerfLlcMisses))
+        return -1.0;
+    return values[kPerfLlcMisses] * kCacheLineBytes;
+}
+
+bool
+parsePerfGroupRead(const std::uint64_t *words, std::size_t n_words,
+                   const int *events, std::size_t n_events,
+                   PerfSample &out)
+{
+    if (n_words < 3)
+        return false;
+    std::uint64_t nr = words[0];
+    if (nr != n_events || n_words < 3 + nr)
+        return false;
+    std::uint64_t enabled = words[1];
+    std::uint64_t running = words[2];
+    if (running == 0)
+        return true;  // group never scheduled: nothing valid
+    double scale = static_cast<double>(enabled) /
+                   static_cast<double>(running);
+    for (std::size_t i = 0; i < n_events; ++i) {
+        int ev = events[i];
+        if (ev < 0 || ev >= kPerfEventCount)
+            return false;
+        out.values[ev] = static_cast<double>(words[3 + i]) * scale;
+        out.valid |= 1u << ev;
+    }
+    return true;
+}
+
+void
+perfConfigure(PerfMode mode)
+{
+    g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+    g_mode_explicit.store(true, std::memory_order_relaxed);
+    g_avail.store(-1, std::memory_order_relaxed);
+}
+
+void
+perfInitFromEnv()
+{
+    std::call_once(g_env_once, [] {
+        if (g_mode_explicit.load(std::memory_order_relaxed))
+            return;
+        const char *env = std::getenv("SPG_PERF");
+        if (env == nullptr)
+            return;
+        std::string v(env);
+        if (v == "off" || v == "0")
+            g_mode.store(static_cast<int>(PerfMode::Off),
+                         std::memory_order_relaxed);
+        else if (v == "on" || v == "1")
+            g_mode.store(static_cast<int>(PerfMode::On),
+                         std::memory_order_relaxed);
+        // anything else (including "auto"): keep Auto
+    });
+}
+
+bool
+perfAvailable()
+{
+    perfInitFromEnv();
+    int a = g_avail.load(std::memory_order_relaxed);
+    if (a < 0) {
+        a = probeCounters() ? 1 : 0;
+        g_avail.store(a, std::memory_order_relaxed);
+        Metrics::global().gauge("perf.available").set(a);
+    }
+    return a == 1;
+}
+
+bool
+perfEnabled()
+{
+    perfInitFromEnv();
+    if (modeIsOff())
+        return false;
+    return perfAvailable();
+}
+
+PerfSample
+perfReadThread()
+{
+    if (!perfEnabled())
+        return {};
+#ifdef __linux__
+    thread_local std::unique_ptr<PerfThreadSession> session;
+    if (!session)
+        session = std::make_unique<PerfThreadSession>();
+    return session->read();
+#else
+    return {};
+#endif
+}
+
+void
+PerfTotals::add(const PerfSample &d)
+{
+    for (int ev = 0; ev < kPerfEventCount; ++ev)
+        if (d.has(ev))
+            addDouble(values_[ev], d.values[ev]);
+    valid_.fetch_or(d.valid, std::memory_order_relaxed);
+}
+
+PerfSample
+PerfTotals::snapshot() const
+{
+    PerfSample s;
+    s.valid = valid_.load(std::memory_order_relaxed);
+    for (int ev = 0; ev < kPerfEventCount; ++ev)
+        if (s.has(ev))
+            s.values[ev] = values_[ev].load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+PerfTotals::reset()
+{
+    valid_.store(0, std::memory_order_relaxed);
+    for (auto &v : values_)
+        v.store(0.0, std::memory_order_relaxed);
+}
+
+RaplReader::RaplReader(const std::string &root)
+{
+#ifdef __linux__
+    if (root.empty())
+        return;
+    DIR *dir = opendir(root.c_str());
+    if (dir == nullptr)
+        return;
+    while (dirent *ent = readdir(dir)) {
+        std::string name = ent->d_name;
+        // Top-level package domains only: "intel-rapl:<digits>".
+        const std::string prefix = "intel-rapl:";
+        if (name.size() <= prefix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        bool digits = true;
+        for (std::size_t i = prefix.size(); i < name.size(); ++i)
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                digits = false;
+        if (!digits)
+            continue;
+        Domain d;
+        d.energy_path = root + "/" + name + "/energy_uj";
+        std::string text;
+        if (!readFileString(d.energy_path, text) ||
+            !parseMicrojoules(text, d.last_raw))
+            continue;
+        if (readFileString(root + "/" + name + "/max_energy_range_uj",
+                           text)) {
+            std::uint64_t range = 0;
+            if (parseMicrojoules(text, range))
+                d.max_range = range;
+        }
+        domains_.push_back(std::move(d));
+    }
+    closedir(dir);
+#else
+    (void)root;
+#endif
+}
+
+double
+RaplReader::totalJoules()
+{
+    double total_uj = 0.0;
+    for (Domain &d : domains_) {
+        std::string text;
+        std::uint64_t cur = 0;
+        if (readFileString(d.energy_path, text) &&
+            parseMicrojoules(text, cur)) {
+            if (cur >= d.last_raw)
+                d.accum_uj += static_cast<double>(cur - d.last_raw);
+            else if (d.max_range > 0)
+                d.accum_uj += static_cast<double>(
+                    (d.max_range - d.last_raw) + cur);
+            // else: wrapped with unknown range — drop this delta
+            d.last_raw = cur;
+        }
+        total_uj += d.accum_uj;
+    }
+    return total_uj / 1e6;
+}
+
+bool
+RaplReader::parseMicrojoules(const std::string &text, std::uint64_t &out)
+{
+    std::size_t i = 0;
+    std::uint64_t v = 0;
+    bool any = false;
+    for (; i < text.size(); ++i) {
+        char c = text[i];
+        if (c >= '0' && c <= '9') {
+            v = v * 10 + static_cast<std::uint64_t>(c - '0');
+            any = true;
+            continue;
+        }
+        break;
+    }
+    // Only trailing whitespace may follow the digits.
+    for (; i < text.size(); ++i)
+        if (!std::isspace(static_cast<unsigned char>(text[i])))
+            return false;
+    if (!any)
+        return false;
+    out = v;
+    return true;
+}
+
+RaplReader &
+energyMeter()
+{
+    static RaplReader *meter = [] {
+        perfInitFromEnv();
+        auto *r = new RaplReader(modeIsOff() ? std::string()
+                                             : "/sys/class/powercap");
+        Metrics::global().gauge("perf.rapl.available")
+            .set(r->available() ? 1.0 : 0.0);
+        return r;
+    }();
+    return *meter;
+}
+
+double
+measuredStreamBandwidthGbs()
+{
+    if (!perfEnabled())
+        return -1.0;
+    // 64 MiB of floats — far beyond any LLC, so every line streamed
+    // from DRAM shows up as an LLC miss.
+    const std::size_t n = (64u << 20) / sizeof(float);
+    std::vector<float> buf(n, 1.0f);
+    const int kPasses = 3;
+    PerfSample before = perfReadThread();
+    Stopwatch sw;
+    double acc = 0.0;
+    for (int pass = 0; pass < kPasses; ++pass)
+        for (std::size_t i = 0; i < n; i += 16)  // one read per line
+            acc += buf[i];
+    double seconds = sw.seconds();
+    PerfSample d = perfReadThread().delta(before);
+    volatile double sink = acc;
+    (void)sink;
+    double bytes = d.llcMissBytes();
+    if (bytes <= 0.0 || seconds <= 1e-6)
+        return -1.0;
+    return bytes / seconds / 1e9;
+}
+
+} // namespace obs
+} // namespace spg

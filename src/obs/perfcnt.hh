@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Hardware performance counters and package energy, with graceful
+ * degradation.
+ *
+ * The drift report (obs/drift.hh) validates the simcpu model against
+ * *time*; this module closes the loop on *traffic* and *energy*, the
+ * two quantities the paper's roofline argument (§3.1–3.2) actually
+ * reasons about. Three building blocks:
+ *
+ *  - Per-thread counter sessions over perf_event_open(2) groups:
+ *    cycles, instructions, stalled cycles, L1D/LLC loads and misses.
+ *    Counters are read at region boundaries (layer-phase spans, tuner
+ *    reps, pool participations) and the deltas attributed to the
+ *    enclosing phase. DRAM traffic is estimated as LLC misses × the
+ *    cache-line size — the same "each operand stream counted once"
+ *    convention simcpu::modelConvPhase uses, so the two are directly
+ *    comparable.
+ *
+ *  - A package-level energy reader over the Linux powercap sysfs tree
+ *    (/sys/class/powercap/intel-rapl:N/energy_uj), with wraparound
+ *    correction from max_energy_range_uj. The sysfs root is
+ *    injectable so the parser and wraparound logic are unit-testable
+ *    without RAPL hardware.
+ *
+ *  - Feature detection. Neither facility is assumed to exist:
+ *    containers, perf_event_paranoid, VMs without a vPMU, and
+ *    non-Intel hosts all lack one or both. Detection runs once,
+ *    lazily; when unavailable every read returns an empty sample
+ *    (valid == 0), the `perf.available` / `perf.rapl.available`
+ *    gauges report 0, and downstream columns print "n/a". The master
+ *    switch is SPG_PERF=off|auto|on (default auto); "off" also
+ *    disables the energy reader so one knob forces the fallback path.
+ */
+
+#ifndef SPG_OBS_PERFCNT_HH
+#define SPG_OBS_PERFCNT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spg {
+namespace obs {
+
+/** Event slots tracked per thread, in fixed order. */
+enum PerfEvent : int {
+    kPerfCycles = 0,
+    kPerfInstructions,
+    kPerfStalledCycles,
+    kPerfL1dLoads,
+    kPerfL1dMisses,
+    kPerfLlcLoads,
+    kPerfLlcMisses,
+    kPerfEventCount
+};
+
+/** Stable short name for metric keys and table headers. */
+const char *perfEventName(int ev);
+
+/** Bytes per cache line assumed for the LLC-miss traffic estimate. */
+constexpr double kCacheLineBytes = 64.0;
+
+/**
+ * One snapshot (or accumulated total) of the tracked counters.
+ * `valid` is a bitmask over PerfEvent: a bit is clear when that
+ * counter could not be opened or never ran, and its value must be
+ * treated as "n/a", not zero. Values are doubles because multiplexed
+ * counters are scaled by time_enabled / time_running.
+ */
+struct PerfSample
+{
+    double values[kPerfEventCount] = {};
+    unsigned valid = 0;
+
+    bool
+    has(int ev) const
+    {
+        return ((valid >> ev) & 1u) != 0;
+    }
+
+    double
+    value(int ev) const
+    {
+        return has(ev) ? values[ev] : 0.0;
+    }
+
+    /** this - earlier, event-wise; valid follows THIS sample (events
+     *  absent from `earlier` subtract zero — accumulators start
+     *  empty, so absence means "contributed nothing yet"). */
+    PerfSample delta(const PerfSample &earlier) const;
+
+    /** this += d, event-wise; valid is the union. */
+    void accumulate(const PerfSample &d);
+
+    /** LLC misses × cache line size, or -1 when the miss counter is
+     *  not valid (so callers can distinguish "no traffic" from
+     *  "cannot measure"). */
+    double llcMissBytes() const;
+};
+
+/**
+ * Decode one PERF_FORMAT_GROUP read(2) buffer:
+ *   { nr, time_enabled, time_running, value[nr] }
+ * into @p out, mapping value[i] to events[i] (the order the group
+ * members were opened in). Counters that were multiplexed are scaled
+ * by enabled/running; a group that never ran (running == 0) parses
+ * successfully but marks nothing valid. Returns false on a malformed
+ * buffer (short read, nr mismatch). Pure function — unit-testable
+ * with synthetic buffers, no perf fd required.
+ */
+bool parsePerfGroupRead(const std::uint64_t *words, std::size_t n_words,
+                        const int *events, std::size_t n_events,
+                        PerfSample &out);
+
+/** Master switch, normally from SPG_PERF. */
+enum class PerfMode { Auto, On, Off };
+
+/** Force a mode (tests); resets the cached availability probe. */
+void perfConfigure(PerfMode mode);
+
+/** Parse SPG_PERF (off|auto|on, default auto). Idempotent; called
+ *  lazily by perfEnabled() so explicit setup is optional. */
+void perfInitFromEnv();
+
+/** True when counters were probed present (independent of mode). */
+bool perfAvailable();
+
+/** Mode != off AND counters present. The cheap gate instrumentation
+ *  sites check before touching a session. */
+bool perfEnabled();
+
+/**
+ * Cumulative counters for the calling thread since its session
+ * opened (lazily, on first call). Empty sample (valid == 0) when
+ * disabled or unavailable — always safe to call.
+ */
+PerfSample perfReadThread();
+
+/**
+ * Thread-safe accumulator for counter deltas; pool workers fold
+ * their per-participation deltas in, phase-level readers snapshot
+ * before/after. Lock-free (relaxed atomics) like the metrics
+ * registry.
+ */
+class PerfTotals
+{
+  public:
+    void add(const PerfSample &d);
+    PerfSample snapshot() const;
+    void reset();
+
+  private:
+    std::atomic<double> values_[kPerfEventCount] = {};
+    std::atomic<unsigned> valid_{0};
+};
+
+/**
+ * Package-level energy over the powercap sysfs tree. Reads every
+ * top-level intel-rapl:N domain under @p root; totalJoules() is the
+ * monotonically accumulated energy since construction, with counter
+ * wraparound corrected via max_energy_range_uj. Constructing against
+ * a root with no (or garbled) domains yields available() == false
+ * and totalJoules() == 0 — never an error.
+ */
+class RaplReader
+{
+  public:
+    explicit RaplReader(const std::string &root = "/sys/class/powercap");
+
+    bool
+    available() const
+    {
+        return !domains_.empty();
+    }
+
+    int
+    domainCount() const
+    {
+        return static_cast<int>(domains_.size());
+    }
+
+    /** Refresh every domain and return accumulated joules. */
+    double totalJoules();
+
+    /** Strict non-negative integer parse of an energy_uj payload
+     *  (digits + optional trailing newline). Pure; unit-testable. */
+    static bool parseMicrojoules(const std::string &text,
+                                 std::uint64_t &out);
+
+  private:
+    struct Domain
+    {
+        std::string energy_path;
+        std::uint64_t last_raw = 0;
+        std::uint64_t max_range = 0;  ///< 0: unknown, wrap deltas dropped
+        double accum_uj = 0.0;
+    };
+
+    std::vector<Domain> domains_;
+};
+
+/** Process-global energy meter (honors SPG_PERF=off: permanently
+ *  unavailable). First call scans sysfs; reference stable forever. */
+RaplReader &energyMeter();
+
+/**
+ * Measure sustainable single-thread DRAM read bandwidth (GB/s) with
+ * a streaming sweep over a cache-busting buffer, bytes taken from
+ * the LLC-miss counter. Feeds MachineModel::hostCalibrated so the
+ * roofline's bandwidth axis comes from counters, not a guess.
+ * Returns <= 0 when counters (or the miss event) are unavailable.
+ */
+double measuredStreamBandwidthGbs();
+
+} // namespace obs
+} // namespace spg
+
+#endif // SPG_OBS_PERFCNT_HH

@@ -22,4 +22,16 @@ MachineModel::hostCalibrated(double measured_gemm_gflops)
     return m;
 }
 
+MachineModel
+MachineModel::hostCalibrated(double measured_gemm_gflops,
+                             double measured_bw_gbs)
+{
+    MachineModel m = hostCalibrated(measured_gemm_gflops);
+    if (measured_bw_gbs > 0) {
+        m.dram_bw_gbs = measured_bw_gbs;
+        m.per_core_bw_gbs = measured_bw_gbs;
+    }
+    return m;
+}
+
 } // namespace spg

@@ -37,6 +37,7 @@ simulate(const MachineModel &machine,
         serial_s += taskSeconds(task, machine.effectivePeakPerCore(1),
                                 machine.bandwidthPerCore(1));
         result.total_flops += task.flops;
+        result.total_bytes += task.bytes;
     }
 
     // Parallel region: every core advances through its stream; the
@@ -49,6 +50,7 @@ simulate(const MachineModel &machine,
         for (const auto &task : stream) {
             t += taskSeconds(task, peak, bw);
             result.total_flops += task.flops;
+            result.total_bytes += task.bytes;
         }
         slowest = std::max(slowest, t);
     }

@@ -39,6 +39,7 @@ struct SimResult
     double seconds = 0;          ///< wall-clock of the invocation
     double total_flops = 0;      ///< arithmetic across all cores
     double useful_flops = 0;     ///< non-zero flops (goodput numerator)
+    double total_bytes = 0;      ///< modeled DRAM traffic across cores
     int cores = 0;               ///< cores the schedule used
 
     /** @return aggregate GFlops/s (throughput). */

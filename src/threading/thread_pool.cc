@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -49,7 +56,50 @@ nowNs()
             .count());
 }
 
+/** Pin the calling thread to @p cpu; true on success. */
+bool
+pinSelfTo(int cpu)
+{
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
 } // namespace
+
+AffinityPolicy
+affinityFromEnv()
+{
+    const char *env = std::getenv("SPG_AFFINITY");
+    if (env == nullptr)
+        return AffinityPolicy::None;
+    if (std::strcmp(env, "compact") == 0)
+        return AffinityPolicy::Compact;
+    if (std::strcmp(env, "scatter") == 0)
+        return AffinityPolicy::Scatter;
+    return AffinityPolicy::None;
+}
+
+int
+affinityCpuFor(AffinityPolicy policy, int participant,
+               int total_participants, int ncpus)
+{
+    if (policy == AffinityPolicy::None || participant <= 0 || ncpus <= 0)
+        return -1;
+    if (policy == AffinityPolicy::Compact)
+        return participant % ncpus;
+    // Scatter: spread participants across the cpu range with a fixed
+    // stride, so p workers on 2p cpus land on every other cpu.
+    int active = std::min(total_participants, ncpus);
+    int stride = std::max(1, ncpus / std::max(active, 1));
+    return (participant * stride) % ncpus;
+}
 
 PoolStats
 PoolStats::delta(const PoolStats &earlier) const
@@ -108,6 +158,7 @@ ThreadPool::ThreadPool(int num_threads)
         num_threads = hw ? static_cast<int>(hw) : 1;
     }
     total_threads = num_threads;
+    affinity_ = affinityFromEnv();
     slots = std::make_unique<Slot[]>(num_threads);
     // The calling thread participates, so spawn one fewer worker.
     int spawn = num_threads - 1;
@@ -130,7 +181,20 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(int index)
 {
-    obs::setCurrentThreadName("pool worker " + std::to_string(index));
+    // Self-pin before naming the lane so the trace metadata carries
+    // the placement. A failed sched_setaffinity (cpuset restrictions,
+    // offline cpu) leaves cpu at -1 — pinning is best-effort.
+    int cpu = affinityCpuFor(affinity_, index, total_threads,
+                             static_cast<int>(
+                                 std::thread::hardware_concurrency()));
+    if (cpu >= 0 && pinSelfTo(cpu))
+        slots[index].cpu.store(cpu, std::memory_order_relaxed);
+    else
+        cpu = -1;
+    std::string lane = "pool worker " + std::to_string(index);
+    if (cpu >= 0)
+        lane += " @cpu" + std::to_string(cpu);
+    obs::setCurrentThreadName(lane);
     std::uint64_t seen = 0;
     for (;;) {
         // Fast wait: spin on the epoch so back-to-back regions never
@@ -205,6 +269,15 @@ ThreadPool::participate(int self)
     tl_worker = self;
     ++tl_depth;
     std::uint64_t tts0 = obs::traceEnabled() ? obs::traceNowNs() : 0;
+    // Spawned workers sample their counter session around the whole
+    // participation and fold the delta into their slot; the caller
+    // (self == 0) is skipped — its work is already inside the
+    // dispatching thread's own session delta, and counting it here
+    // too would double-attribute it (see perfTotals()).
+    const bool perf_on = self != 0 && obs::perfEnabled();
+    obs::PerfSample perf0;
+    if (perf_on)
+        perf0 = obs::perfReadThread();
     std::uint64_t t0 = nowNs();
     for (int v = 0; v < total_threads; ++v) {
         int victim = self + v;
@@ -244,6 +317,8 @@ ThreadPool::participate(int self)
                            "steals",
                            static_cast<std::int64_t>(nsteals));
     }
+    if (perf_on)
+        mine.perf.add(obs::perfReadThread().delta(perf0));
     mine.busy_ns += busy;
     mine.chunks += nchunks;
     mine.steals += nsteals;
@@ -433,8 +508,18 @@ ThreadPool::stats() const
         w.items = slot.items;
         w.last_items = slot.last_items;
         w.last_busy_ns = slot.last_busy_ns;
+        w.cpu = slot.cpu.load(std::memory_order_relaxed);
     }
     return s;
+}
+
+obs::PerfSample
+ThreadPool::perfTotals() const
+{
+    obs::PerfSample total;
+    for (int i = 0; i < total_threads; ++i)
+        total.accumulate(slots[i].perf.snapshot());
+    return total;
 }
 
 ThreadPool &

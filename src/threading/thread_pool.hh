@@ -54,7 +54,30 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perfcnt.hh"
+
 namespace spg {
+
+/**
+ * Optional per-worker CPU pinning (SPG_AFFINITY=compact|scatter|none,
+ * default none). Compact packs worker p onto cpu p — adjacent workers
+ * share caches, the layout the paper's per-core traffic analysis
+ * assumes. Scatter spreads workers across the cpu range (one per
+ * cache domain first on clustered parts). The calling thread
+ * (participant 0) is never pinned — it belongs to the application.
+ */
+enum class AffinityPolicy { None, Compact, Scatter };
+
+/** Parse SPG_AFFINITY; unset or unrecognized means None. */
+AffinityPolicy affinityFromEnv();
+
+/**
+ * The cpu a participant should be pinned to, or -1 for "leave alone"
+ * (policy None, participant 0, or no cpu information). Pure function
+ * of its arguments so the placement is unit-testable without threads.
+ */
+int affinityCpuFor(AffinityPolicy policy, int participant,
+                   int total_participants, int ncpus);
 
 /**
  * Non-owning view of a callable: one object pointer plus one thunk.
@@ -117,6 +140,7 @@ struct PoolStats
         std::int64_t items = 0;     ///< iteration-space items executed
         std::int64_t last_items = 0;      ///< items in the last region
         std::uint64_t last_busy_ns = 0;   ///< busy time in the last region
+        int cpu = -1;  ///< pinned cpu, -1 when unpinned / pin failed
     };
 
     std::vector<Worker> workers;
@@ -190,6 +214,20 @@ class ThreadPool
      */
     PoolStats stats() const;
 
+    /**
+     * Summed hardware-counter deltas accumulated by spawned workers
+     * across their participations (the calling thread's share is NOT
+     * included — phase-level readers capture it from their own
+     * thread's session, so own-delta + this snapshot-delta is the
+     * whole-phase total with nothing counted twice). Empty sample
+     * when counters are disabled or unavailable. Snapshot between
+     * regions, like stats().
+     */
+    obs::PerfSample perfTotals() const;
+
+    /** The pinning policy this pool was constructed under. */
+    AffinityPolicy affinity() const { return affinity_; }
+
     /** Process-wide pool sized to the hardware concurrency. */
     static ThreadPool &global();
 
@@ -207,6 +245,11 @@ class ThreadPool
         std::int64_t items = 0;
         std::int64_t last_items = 0;
         std::uint64_t last_busy_ns = 0;
+        /** Pinned cpu; written once by the worker at startup, read by
+         *  stats() — atomic so the handoff needs no lock. */
+        std::atomic<int> cpu{-1};
+        /** Counter deltas folded in at participation boundaries. */
+        obs::PerfTotals perf;
     };
 
     enum class Kind { Range, Index, Index2D };
@@ -219,6 +262,7 @@ class ThreadPool
     void joinRegion(std::int64_t n);
 
     int total_threads;
+    AffinityPolicy affinity_ = AffinityPolicy::None;
     std::vector<std::thread> workers;
     std::unique_ptr<Slot[]> slots;
 

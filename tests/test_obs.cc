@@ -312,13 +312,37 @@ TEST(Metrics, JsonDumpParses)
     ASSERT_TRUE(obs::parseJson(m.toJson(), root, &error)) << error;
     const JsonValue *counters = root.find("counters");
     ASSERT_NE(counters, nullptr);
-    EXPECT_EQ(counters->find("test.json_counter")->number, 5);
-    EXPECT_EQ(root.find("gauges")->find("test.json_gauge")->number,
-              0.25);
+    const JsonValue *c = counters->find("test.json_counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("value")->number, 5);
+    EXPECT_EQ(c->find("unit")->string, "count");
+    const JsonValue *g = root.find("gauges")->find("test.json_gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->find("value")->number, 0.25);
+    ASSERT_NE(g->find("unit"), nullptr);
     const JsonValue *hist =
         root.find("histograms")->find("test.json_hist");
     ASSERT_NE(hist, nullptr);
     EXPECT_EQ(hist->find("count")->number, 1);
+    ASSERT_NE(hist->find("unit"), nullptr);
+}
+
+TEST(Metrics, UnitInference)
+{
+    EXPECT_EQ(obs::Metrics::unitFor("trainer.epoch_joules"), "joules");
+    EXPECT_EQ(obs::Metrics::unitFor("conv.fp.seconds"), "seconds");
+    EXPECT_EQ(obs::Metrics::unitFor("perf.llc_miss_bytes"), "bytes");
+    EXPECT_EQ(obs::Metrics::unitFor("perf.instructions"),
+              "instructions");
+    EXPECT_EQ(obs::Metrics::unitFor("sched.imbalance"), "ratio");
+    EXPECT_EQ(obs::Metrics::unitFor("perf.available"), "ratio");
+    EXPECT_EQ(obs::Metrics::unitFor("pool.steals"), "count");
+
+    obs::Metrics &m = obs::Metrics::global();
+    m.gauge("test.unit_override").set(1.0);
+    EXPECT_EQ(m.unitOf("test.unit_override"), "count");
+    m.setUnit("test.unit_override", "widgets");
+    EXPECT_EQ(m.unitOf("test.unit_override"), "widgets");
 }
 
 TEST(Drift, PercentilesAreNearestRank)

@@ -13,6 +13,12 @@
  *  - "*bytes*", "*ratio*": higher is worse (arena growth); compared
  *                          with the tighter --bytes-tol, since these
  *                          are deterministic for fixed flags.
+ *  - energy / traffic ("*joule*", "*energy*", "*watt*", "*traffic*",
+ *    "*measured_bytes*", "*llc*"): hardware-measured, so compared
+ *                          under the wide --energy-tol-pct; higher is
+ *                          worse, except the "*per_joule*" /
+ *                          "*per_watt*" efficiency ratios where lower
+ *                          is worse.
  *  - anything else:        configuration echo (reps, batch, ids) —
  *                          reported informationally, never a failure.
  *
@@ -40,11 +46,36 @@ namespace {
 
 enum class Direction { HigherWorse, LowerWorse, Info };
 
+/**
+ * Hardware-measured quantities — package energy, power, and counter-
+ * derived traffic. Direction-aware like timings (more joules / more
+ * measured bytes is worse; more per-joule efficiency is better) but
+ * compared under their own --energy-tol-pct: counters and RAPL track
+ * whatever else the host is doing, so they jitter more than even the
+ * timed metrics do.
+ */
+bool
+isEnergyMetric(const std::string &path)
+{
+    return path.find("joule") != std::string::npos ||
+           path.find("energy") != std::string::npos ||
+           path.find("watt") != std::string::npos ||
+           path.find("traffic") != std::string::npos ||
+           path.find("measured_bytes") != std::string::npos ||
+           path.find("llc") != std::string::npos;
+}
+
 Direction
 classify(const std::string &path)
 {
+    // Efficiency ratios: higher is better.
+    if (path.find("per_joule") != std::string::npos ||
+        path.find("per_watt") != std::string::npos)
+        return Direction::LowerWorse;
     if (path.find("speedup") != std::string::npos)
         return Direction::LowerWorse;
+    if (isEnergyMetric(path))
+        return Direction::HigherWorse;
     if (path.find("seconds") != std::string::npos ||
         path.find("bytes") != std::string::npos ||
         path.find("ratio") != std::string::npos) {
@@ -68,6 +99,7 @@ struct Comparison
     double tol = 0.5;
     double speedup_tol = 0.5;
     double bytes_tol = 0.0;
+    double energy_tol = 1.0;
     bool verbose = false;
 };
 
@@ -90,9 +122,12 @@ compare(const std::string &path, const JsonValue &fresh,
             return;
         }
         ++c.compared;
-        double tol = dir == Direction::LowerWorse
-                         ? c.speedup_tol
-                         : isSizeMetric(path) ? c.bytes_tol : c.tol;
+        double tol =
+            isEnergyMetric(path)
+                ? c.energy_tol
+                : dir == Direction::LowerWorse
+                      ? c.speedup_tol
+                      : isSizeMetric(path) ? c.bytes_tol : c.tol;
         bool bad =
             dir == Direction::LowerWorse
                 ? fresh.number < base.number * (1.0 - tol)
@@ -180,6 +215,10 @@ main(int argc, char **argv)
     cli.addInt("bytes-tol-pct", 0,
                "tolerance for bytes/ratio metrics in percent "
                "(deterministic for fixed flags)");
+    cli.addInt("energy-tol-pct", 100,
+               "tolerance in percent for hardware-measured energy / "
+               "power / counter-traffic metrics (RAPL and PMU "
+               "readings include whatever else the host ran)");
     cli.addBool("verbose", false, "also print passing metrics");
     cli.addBool("fail-on-structure", false,
                 "treat structural mismatches as failures");
@@ -199,6 +238,8 @@ main(int argc, char **argv)
         static_cast<double>(cli.getInt("speedup-tol-pct")) / 100.0;
     c.bytes_tol =
         static_cast<double>(cli.getInt("bytes-tol-pct")) / 100.0;
+    c.energy_tol =
+        static_cast<double>(cli.getInt("energy-tol-pct")) / 100.0;
     c.verbose = cli.getBool("verbose");
 
     std::printf("bench_compare: %s vs %s\n", fresh_path.c_str(),

@@ -26,7 +26,16 @@ fi
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 cd "$build_dir"
-ctest --output-on-failure -j "$(nproc)" "$@"
+if [[ $# -eq 0 ]]; then
+    # Two full passes: one with hardware counters force-disabled
+    # (SPG_PERF=off), proving every instrumentation site degrades
+    # gracefully, and one auto-detected (counters live where the host
+    # grants perf_event / RAPL access, the same fallback otherwise).
+    SPG_PERF=off ctest --output-on-failure -j "$(nproc)"
+    ctest --output-on-failure -j "$(nproc)"
+else
+    ctest --output-on-failure -j "$(nproc)" "$@"
+fi
 
 # Trace smoke: a 1-epoch traced training run must emit a valid Chrome
 # trace + metrics + drift document set. SPG_TRACE exercises the env-var
@@ -117,11 +126,15 @@ fi
 # The serving suites join both runs: the request queue, the
 # done-publication handshake and the per-instance pools are exactly
 # what TSan must prove race-free, and the ragged-batch arena views are
-# what ASan must prove in-bounds. Skipped inside a sanitized run (the
-# outer invocation already is one) or when a test filter was passed.
+# what ASan must prove in-bounds. The perfcnt suites (Perf*, Affinity*,
+# Rapl*) ride along: the per-worker counter accumulators are lock-free
+# shared state for TSan, and the group-read buffer parsing is exactly
+# the sort of pointer arithmetic ASan checks. Skipped inside a
+# sanitized run (the outer invocation already is one) or when a test
+# filter was passed.
 if [[ $# -eq 0 && -z "${SPG_SANITIZE:-}" ]]; then
     for san in address thread; do
         SPG_SANITIZE="$san" "$(cd .. && pwd)/tools/check.sh" \
-            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint|Serve'
+            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint|Serve|Perf|Affinity|Rapl'
     done
 fi

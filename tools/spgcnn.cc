@@ -38,6 +38,11 @@
  *       dynamic batching, per-bucket serving engine plans, latency
  *       percentiles, QPS and goodput against the SLO.
  *
+ *   spgcnn counters [--batch N] [--reps N] [--threads N]
+ *       Measure one Table-1 layer per engine family with hardware
+ *       counters and print measured vs modeled DRAM traffic and AIT.
+ *       Measured columns are "n/a" without perf_event access.
+ *
  *   spgcnn engines
  *       List the available execution engines.
  */
@@ -53,6 +58,7 @@
 #include "nn/checkpoint.hh"
 #include "nn/trainer.hh"
 #include "obs/drift.hh"
+#include "obs/perfcnt.hh"
 #include "obs/trace.hh"
 #include "perf/region.hh"
 #include "serve/loadgen.hh"
@@ -475,10 +481,17 @@ cmdServe(int argc, char **argv)
     lopts.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     lopts.slo_ms = cli.getDouble("slo-ms");
 
+    obs::RaplReader &meter = obs::energyMeter();
+    double joules_before =
+        meter.available() ? meter.totalJoules() : 0.0;
+    Stopwatch load_watch;
     server.start();
     serve::LoadGenResult res =
         serve::runOpenLoop(server, dataset, lopts);
     server.stop();
+    double load_seconds = load_watch.seconds();
+    double joules =
+        meter.available() ? meter.totalJoules() - joules_before : -1.0;
 
     std::printf("\nopen-loop: offered %.1f qps for %.1fs "
                 "(%lld requests)\n",
@@ -496,8 +509,142 @@ cmdServe(int argc, char **argv)
     std::printf("  batches %lld  mean occupancy %.2f\n",
                 static_cast<long long>(counters.batches),
                 res.mean_batch);
+    // Goodput per watt — the energy-aware figure of merit; "n/a"
+    // columns on machines without RAPL access.
+    if (joules >= 0 && load_seconds > 0) {
+        double watts = joules / load_seconds;
+        std::printf("  energy %.1f J  %.1f W  goodput/W %s\n", joules,
+                    watts,
+                    watts > 0
+                        ? TablePrinter::fmt(res.goodput_qps / watts, 2)
+                              .c_str()
+                        : "n/a");
+    } else {
+        std::printf("  energy n/a  goodput/W n/a (RAPL unavailable)\n");
+    }
 
     obs::finalize();
+    return 0;
+}
+
+/**
+ * One Table-1 layer per engine family: hardware-counter DRAM traffic
+ * (LLC misses x cache line) next to the simcpu traffic model, and the
+ * arithmetic intensities both imply. The standalone view of the drift
+ * report's measured-vs-modeled traffic join; measured columns print
+ * "n/a" on machines without perf_event access, and the command
+ * succeeds either way.
+ */
+int
+cmdCounters(int argc, char **argv)
+{
+    CliParser cli("spgcnn counters");
+    cli.addInt("batch", 2, "measurement minibatch");
+    cli.addInt("reps", 2, "timed reps per engine");
+    cli.addInt("threads", 0, "worker threads (0 = hardware)");
+    cli.parse(argc, argv);
+
+    obs::perfInitFromEnv();
+    std::printf("hardware counters: %s | RAPL energy: %s\n\n",
+                obs::perfEnabled() ? "available" : "n/a",
+                obs::energyMeter().available() ? "available" : "n/a");
+
+    // One representative per engine family, on a Table 1 layer where
+    // the family is at home: the small compute-bound ID 0 for the
+    // GEMM / direct / CSR-weights families, the large-kernel ID 5 for
+    // stencil. CSR-weights is measured at a post-pruning sparsity.
+    struct Probe
+    {
+        const char *family;
+        int table1_id;
+        const char *engine;
+        double weight_sparsity;
+    };
+    static const Probe kProbes[] = {
+        {"gemm (data-parallel)", 0, "parallel-gemm", 0.0},
+        {"gemm (model-parallel)", 0, "gemm-in-parallel", 0.0},
+        {"stencil", 5, "stencil", 0.0},
+        {"direct (NCHWc)", 0, "direct", 0.0},
+        {"sparse-weights (CSR)", 0, "sparse-weights", 0.9},
+    };
+
+    ThreadPool pool(static_cast<int>(cli.getInt("threads")));
+    const std::int64_t batch = cli.getInt("batch");
+    const int reps = static_cast<int>(cli.getInt("reps"));
+    // Any machine works here: the traffic model's byte counts (and so
+    // both AIT columns) do not depend on the machine constants.
+    MachineModel machine = MachineModel::xeonE5_2650();
+
+    TablePrinter table(
+        "measured vs modeled FP traffic (batch " +
+            std::to_string(batch) + ", " +
+            std::to_string(pool.threads()) + " thread(s))",
+        {"family", "T1", "engine", "ms", "model MB", "meas MB",
+         "model AIT", "meas AIT", "meas/model"});
+    for (const Probe &probe : kProbes) {
+        const Table1Entry &entry =
+            table1Convolutions()[static_cast<std::size_t>(
+                probe.table1_id)];
+        const ConvSpec &spec = entry.spec;
+        auto engine = makeEngine(probe.engine);
+        if (!engine || !engine->supports(Phase::Forward) ||
+            !engine->supportsGeometry(spec))
+            continue;
+
+        Rng rng(0xC0147E5);
+        Tensor in(Shape{batch, spec.nc, spec.ny, spec.nx});
+        Tensor weights(Shape{spec.nf, spec.nc, spec.fy, spec.fx});
+        Tensor out(Shape{batch, spec.nf, spec.outY(), spec.outX()});
+        in.fillUniform(rng);
+        weights.fillUniform(rng, -0.5f, 0.5f);
+        if (probe.weight_sparsity > 0)
+            weights.sparsify(rng, probe.weight_sparsity);
+
+        const bool perf_on = obs::perfEnabled();
+        obs::PerfSample own0, pool0;
+        if (perf_on) {
+            own0 = obs::perfReadThread();
+            pool0 = pool.perfTotals();
+        }
+        double seconds = bestTimeSeconds(reps, [&] {
+            engine->forward(spec, in, weights, out, pool);
+        });
+        double measured_mb = -1;
+        if (perf_on) {
+            obs::PerfSample d = obs::perfReadThread().delta(own0);
+            d.accumulate(pool.perfTotals().delta(pool0));
+            double bytes = d.llcMissBytes();
+            if (bytes >= 0)
+                measured_mb = bytes / (reps + 1) / 1e6;
+        }
+
+        SimResult modeled = modelConvPhase(
+            machine, spec, Phase::Forward, probe.engine, batch,
+            pool.threads(), /*sparsity=*/0.0, nullptr,
+            /*fused_relu=*/false, probe.weight_sparsity);
+        double model_mb = modeled.total_bytes / 1e6;
+        double flops = modeled.total_flops;
+        table.addRow(
+            {probe.family, std::to_string(probe.table1_id),
+             probe.engine, TablePrinter::fmt(seconds * 1e3, 3),
+             TablePrinter::fmt(model_mb, 2),
+             measured_mb >= 0 ? TablePrinter::fmt(measured_mb, 2)
+                              : "n/a",
+             model_mb > 0 ? TablePrinter::fmt(flops / (model_mb * 1e6),
+                                              1)
+                          : "n/a",
+             measured_mb > 0
+                 ? TablePrinter::fmt(flops / (measured_mb * 1e6), 1)
+                 : "n/a",
+             measured_mb > 0 && model_mb > 0
+                 ? TablePrinter::fmt(measured_mb / model_mb, 2)
+                 : "n/a"});
+    }
+    table.print();
+    std::printf("\nmodel MB: simcpu modelConvPhase traffic; meas MB: "
+                "LLC misses x %.0f bytes over warmup + %d reps "
+                "(per-execution average)\n",
+                obs::kCacheLineBytes, reps);
     return 0;
 }
 
@@ -517,8 +664,8 @@ void
 usage()
 {
     std::printf(
-        "usage: spgcnn <train|characterize|tune|serve|engines> "
-        "[flags]\n"
+        "usage: spgcnn <train|characterize|tune|serve|counters|"
+        "engines> [flags]\n"
         "run 'spgcnn <subcommand> --help' for the flag list\n");
 }
 
@@ -544,6 +691,8 @@ main(int argc, char **argv)
         return cmdTune(argc - 1, argv + 1);
     if (cmd == "serve")
         return cmdServe(argc - 1, argv + 1);
+    if (cmd == "counters")
+        return cmdCounters(argc - 1, argv + 1);
     if (cmd == "engines")
         return cmdEngines();
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {

@@ -15,8 +15,10 @@
  *  - each required category contributed at least one span;
  *  - spans span at least --min-lanes distinct lanes (worker lanes are
  *    populated when training ran with >= 2 threads);
- *  - the .metrics.json sidecar parses and has the counters/gauges/
- *    histograms sections; with --expect-drift the .drift.json sidecar
+ *  - the .metrics.json sidecar parses, has the counters/gauges/
+ *    histograms sections, and every entry follows schema v2: a string
+ *    "unit" plus a numeric "value" (counters/gauges) or "count"
+ *    (histograms); with --expect-drift the .drift.json sidecar
  *    parses and reports >= 1 sample.
  *
  * Used by tools/check.sh (and ctest) to smoke-validate the trace a
@@ -170,10 +172,30 @@ main(int argc, char **argv)
         obs::sidecarPath(trace_path, ".metrics.json");
     JsonValue metrics = parseFile(metrics_path);
     for (const char *section : {"counters", "gauges", "histograms"}) {
-        if (member(metrics, section, metrics_path.c_str()).kind !=
-            JsonValue::Kind::Object)
+        const JsonValue &sec =
+            member(metrics, section, metrics_path.c_str());
+        if (sec.kind != JsonValue::Kind::Object)
             fatal("%s: \"%s\" is not an object", metrics_path.c_str(),
                   section);
+        // Schema v2 (DESIGN.md "Metrics sidecar schema"): every entry
+        // is an object carrying a string "unit"; counters and gauges
+        // additionally carry a numeric "value", histograms a numeric
+        // "count".
+        bool is_hist = std::string(section) == "histograms";
+        for (const auto &[mname, entry] : sec.object) {
+            char context[160];
+            std::snprintf(context, sizeof(context), "%s %s \"%s\"",
+                          metrics_path.c_str(), section, mname.c_str());
+            if (entry.kind != JsonValue::Kind::Object)
+                fatal("%s: entry is not an object", context);
+            if (member(entry, "unit", context).kind !=
+                JsonValue::Kind::String)
+                fatal("%s: \"unit\" is not a string", context);
+            const char *num_key = is_hist ? "count" : "value";
+            if (member(entry, num_key, context).kind !=
+                JsonValue::Kind::Number)
+                fatal("%s: \"%s\" is not a number", context, num_key);
+        }
     }
 
     if (cli.getBool("expect-drift")) {
