@@ -1,0 +1,140 @@
+#include "distrib/allreduce.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+const char *
+allreduceAlgoName(AllreduceAlgo algo)
+{
+    return algo == AllreduceAlgo::Ring ? "ring" : "tree";
+}
+
+AllreduceAlgo
+parseAllreduceAlgo(const std::string &name)
+{
+    if (name == "ring")
+        return AllreduceAlgo::Ring;
+    if (name == "tree")
+        return AllreduceAlgo::Tree;
+    fatal("unknown allreduce algorithm '%s' (want ring|tree)",
+          name.c_str());
+}
+
+double
+AllreduceSchedule::seconds() const
+{
+    double total = 0;
+    for (const AllreduceStep &step : steps)
+        total += step.seconds;
+    return total;
+}
+
+double
+AllreduceSchedule::linkBytes() const
+{
+    double total = 0;
+    for (const AllreduceStep &step : steps)
+        total += step.link_bytes;
+    return total;
+}
+
+AllreduceSchedule
+buildAllreduce(AllreduceAlgo algo, int workers, double payload_bytes,
+               const ClusterLink &link)
+{
+    AllreduceSchedule sched;
+    sched.algo = algo;
+    sched.workers = workers;
+    sched.payload_bytes = payload_bytes;
+    if (workers <= 1)
+        return sched;
+
+    if (algo == AllreduceAlgo::Ring) {
+        // Reduce-scatter then allgather: 2(K-1) steps, each shifting
+        // one payload/K chunk around the ring on every link at once.
+        double chunk = payload_bytes / workers;
+        int nsteps = 2 * (workers - 1);
+        sched.steps.reserve((size_t)nsteps);
+        for (int s = 0; s < nsteps; ++s)
+            sched.steps.push_back(
+                AllreduceStep{link.transferSeconds(chunk), chunk});
+    } else {
+        // Binomial reduce-to-root then broadcast: ceil(log2 K) rounds
+        // each way, every active link carrying the full payload.
+        int rounds = 0;
+        for (int span = 1; span < workers; span *= 2)
+            ++rounds;
+        sched.steps.reserve((size_t)(2 * rounds));
+        for (int s = 0; s < 2 * rounds; ++s)
+            sched.steps.push_back(AllreduceStep{
+                link.transferSeconds(payload_bytes), payload_bytes});
+    }
+    return sched;
+}
+
+double
+allreduceSeconds(AllreduceAlgo algo, int workers, double payload_bytes,
+                 const ClusterLink &link)
+{
+    return buildAllreduce(algo, workers, payload_bytes, link).seconds();
+}
+
+double
+ExchangeTimeline::commSeconds() const
+{
+    double total = 0;
+    for (const Row &row : rows)
+        total += row.finish_s - row.start_s;
+    return total;
+}
+
+double
+ExchangeTimeline::overlapFrac() const
+{
+    double comm = commSeconds();
+    if (comm <= 0)
+        return 1.0;
+    double exposed = exposedSeconds();
+    if (exposed < 0)
+        exposed = 0;
+    if (exposed > comm)
+        exposed = comm;
+    return (comm - exposed) / comm;
+}
+
+ExchangeTimeline
+simulateExchange(std::vector<BucketTiming> buckets, double compute_end_s,
+                 AllreduceAlgo algo, int workers, const ClusterLink &link,
+                 bool overlap)
+{
+    ExchangeTimeline tl;
+    tl.compute_end_s = compute_end_s;
+    tl.finish_s = compute_end_s;
+
+    std::stable_sort(buckets.begin(), buckets.end(),
+                     [](const BucketTiming &a, const BucketTiming &b) {
+                         return a.ready_s < b.ready_s;
+                     });
+
+    double link_free_s = 0;
+    for (const BucketTiming &bucket : buckets) {
+        ExchangeTimeline::Row row;
+        row.label = bucket.label;
+        row.ready_s = bucket.ready_s;
+        row.bytes = bucket.bytes;
+        double earliest = overlap ? bucket.ready_s : compute_end_s;
+        row.start_s = std::max(earliest, link_free_s);
+        row.finish_s =
+            row.start_s +
+            allreduceSeconds(algo, workers, bucket.bytes, link);
+        link_free_s = row.finish_s;
+        tl.finish_s = std::max(tl.finish_s, row.finish_s);
+        tl.rows.push_back(std::move(row));
+    }
+    return tl;
+}
+
+} // namespace spg

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Step-by-step allreduce schedules over a modeled interconnect.
+ *
+ * The cluster is modeled the way simcpu models the multicore: a
+ * machine description (ClusterLink — per-link bandwidth plus a fixed
+ * per-step latency) and an execution schedule whose serialized wire
+ * steps are priced one by one. Two schedules are provided:
+ *
+ *  - Ring (bandwidth-optimal): 2(K-1) steps, each moving payload/K
+ *    bytes per link — reduce-scatter then allgather.
+ *  - Tree (latency-optimal): 2*ceil(log2 K) steps, each moving the
+ *    full payload over one link — binomial reduce then broadcast.
+ *
+ * On top of a single allreduce, simulateExchange() prices a whole
+ * backward pass worth of per-layer gradient buckets: each bucket
+ * becomes eligible when its BP-weights completes (its ready time) and
+ * the buckets share one serialized link, so exchange of layer L+1's
+ * bucket hides under layer L's backprop — the LBANN-style overlap —
+ * and only the tail past the compute end is exposed.
+ */
+
+#ifndef SPG_DISTRIB_ALLREDUCE_HH
+#define SPG_DISTRIB_ALLREDUCE_HH
+
+#include <string>
+#include <vector>
+
+#include "simcpu/machine.hh"
+
+namespace spg {
+
+/** Allreduce schedule family. */
+enum class AllreduceAlgo
+{
+    Ring,  ///< bandwidth-optimal: 2(K-1) steps of payload/K bytes
+    Tree   ///< latency-optimal: 2 ceil(log2 K) steps of full payload
+};
+
+/** @return "ring" / "tree". */
+const char *allreduceAlgoName(AllreduceAlgo algo);
+
+/** Parse "ring" / "tree"; fatal() on anything else. */
+AllreduceAlgo parseAllreduceAlgo(const std::string &name);
+
+/** One serialized wire step of an allreduce schedule. */
+struct AllreduceStep
+{
+    double seconds = 0;     ///< latency + link_bytes / bandwidth
+    double link_bytes = 0;  ///< bytes each participating link carries
+};
+
+/** A fully laid-out allreduce of one payload across K workers. */
+struct AllreduceSchedule
+{
+    AllreduceAlgo algo = AllreduceAlgo::Ring;
+    int workers = 1;
+    double payload_bytes = 0;  ///< per-worker gradient bytes reduced
+    std::vector<AllreduceStep> steps;
+
+    /** Wall-clock of the whole schedule (steps are serialized). */
+    double seconds() const;
+
+    /** Total bytes the busiest link carries across all steps. */
+    double linkBytes() const;
+};
+
+/**
+ * Lay out one allreduce step by step.
+ *
+ * @param algo Schedule family.
+ * @param workers K; K <= 1 yields an empty (zero-cost) schedule.
+ * @param payload_bytes Bytes of the per-worker buffer being reduced.
+ * @param link Interconnect description.
+ */
+AllreduceSchedule buildAllreduce(AllreduceAlgo algo, int workers,
+                                 double payload_bytes,
+                                 const ClusterLink &link);
+
+/** Shorthand: buildAllreduce(...).seconds(). */
+double allreduceSeconds(AllreduceAlgo algo, int workers,
+                        double payload_bytes, const ClusterLink &link);
+
+/** One gradient bucket awaiting exchange. */
+struct BucketTiming
+{
+    std::string label;
+    /** When the bucket's gradient is complete, measured from the
+     *  training step's start (seconds). */
+    double ready_s = 0;
+    /** Bytes of the per-worker payload this bucket reduces (dense or
+     *  compressed wire bytes). */
+    double bytes = 0;
+};
+
+/** The priced timeline of one step's bucketed gradient exchange. */
+struct ExchangeTimeline
+{
+    struct Row
+    {
+        std::string label;
+        double ready_s = 0;
+        double start_s = 0;   ///< link acquired
+        double finish_s = 0;  ///< allreduce complete
+        double bytes = 0;
+    };
+    std::vector<Row> rows;
+
+    /** When the slowest worker's backward pass ends. */
+    double compute_end_s = 0;
+    /** When the last bucket's allreduce completes (>= compute_end_s
+     *  even with zero comm: the step cannot end before compute). */
+    double finish_s = 0;
+
+    /** Total wire time across buckets (the serialized link's busy
+     *  time). */
+    double commSeconds() const;
+
+    /** Comm not hidden under compute: finish - compute end. */
+    double
+    exposedSeconds() const
+    {
+        return finish_s - compute_end_s;
+    }
+
+    /** Fraction of comm hidden under compute (1 = fully overlapped,
+     *  0 = fully exposed blocking exchange; 1 when there is no comm). */
+    double overlapFrac() const;
+
+    /** Modeled wall-clock of the whole training step. */
+    double
+    stepSeconds() const
+    {
+        return finish_s;
+    }
+};
+
+/**
+ * Price one training step's gradient exchange.
+ *
+ * Buckets are served in ready order over one serialized link: each
+ * allreduce starts at max(bucket ready, previous finish) — or, with
+ * @p overlap off, not before @p compute_end_s (the blocking
+ * full-backward-then-exchange baseline).
+ *
+ * @param buckets Per-layer gradient buckets with ready times.
+ * @param compute_end_s When the backward pass ends (step start = 0).
+ * @param algo Allreduce schedule family per bucket.
+ * @param workers K; K <= 1 yields a comm-free timeline.
+ * @param link Interconnect description.
+ * @param overlap Start each bucket at its ready time instead of after
+ *        the full backward pass.
+ */
+ExchangeTimeline simulateExchange(std::vector<BucketTiming> buckets,
+                                  double compute_end_s,
+                                  AllreduceAlgo algo, int workers,
+                                  const ClusterLink &link, bool overlap);
+
+} // namespace spg
+
+#endif // SPG_DISTRIB_ALLREDUCE_HH

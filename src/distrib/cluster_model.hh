@@ -4,22 +4,27 @@
  *
  * The paper's §6 argument: DistBelief/Adam-style clusters train with
  * data parallelism, so the time per global step is a function of the
- * per-worker throughput (which spg-CNN improves) and the parameter
+ * per-worker throughput (which spg-CNN improves) and the gradient
  * synchronization latency. This model composes the two:
  *
  *     t_step = shard_images / worker_ips  +  t_sync(K, params)
  *
- * with a ring all-reduce synchronization cost
- * 2 (K-1)/K * param_bytes / link_bandwidth, plus a fixed per-step
- * latency. It exposes the classic behaviour: accelerating workers
- * shifts the knee where communication dominates to smaller shard
- * sizes.
+ * where t_sync is no longer a closed-form scalar but the wall-clock
+ * of an actual allreduce SCHEDULE (ring or tree) laid out step by
+ * step over a ClusterLink — the same machinery the exchange scheduler
+ * uses to price bucketed, overlapped, compressed exchange
+ * (allreduce.hh). It exposes the classic behaviour: accelerating
+ * workers shifts the knee where communication dominates to smaller
+ * shard sizes.
  */
 
 #ifndef SPG_DISTRIB_CLUSTER_MODEL_HH
 #define SPG_DISTRIB_CLUSTER_MODEL_HH
 
 #include <cstdint>
+
+#include "distrib/allreduce.hh"
+#include "simcpu/machine.hh"
 
 namespace spg {
 
@@ -30,19 +35,23 @@ struct ClusterModel
     double worker_images_per_s = 250.0;
     /** Model size in bytes (4 x parameter count). */
     double param_bytes = 4.0 * 1e6;
-    /** Per-link network bandwidth (GB/s). */
-    double link_bw_gbs = 1.25;  // 10 GbE
-    /** Fixed per-step synchronization latency (seconds). */
+    /** The interconnect every worker hangs off. */
+    ClusterLink link;
+    /** Allreduce schedule family used for synchronization. */
+    AllreduceAlgo algo = AllreduceAlgo::Ring;
+    /** Fixed per-step software overhead on top of the wire schedule
+     *  (framework bookkeeping, not per-message latency — that lives
+     *  in ClusterLink::latency_s). */
     double sync_latency_s = 500e-6;
 
-    /** Ring all-reduce time for K workers (seconds). */
+    /** Allreduce schedule wall-clock for K workers (seconds). */
     double
     syncSeconds(int workers) const
     {
         if (workers <= 1)
             return 0.0;
-        double frac = 2.0 * (workers - 1) / workers;
-        return sync_latency_s + frac * param_bytes / (link_bw_gbs * 1e9);
+        return sync_latency_s +
+               allreduceSeconds(algo, workers, param_bytes, link);
     }
 
     /** Wall-clock of one global step (seconds). */

@@ -3,29 +3,35 @@
  * Synchronous data-parallel training (the Project Adam / DistBelief
  * setting the paper targets: clusters of multicore CPU workers, §6).
  *
- * K model replicas process disjoint shards of every global minibatch;
- * their weight gradients are averaged (the parameter-server reduce)
- * and the averaged update is applied to all replicas, keeping them
- * bit-identical. Because the loss gradient is normalized per shard
- * and all parameter gradients are linear in the output errors,
- * synchronous data-parallel SGD is MATHEMATICALLY EQUIVALENT to
- * single-worker SGD on the full batch — a property the test suite
- * checks exactly.
+ * K model replicas process disjoint shards of every global minibatch.
+ * After each replica's backward pass, the per-layer GRADIENT buckets
+ * are handed to the ExchangeScheduler (exchange_sched.hh), which
+ * averages them across replicas — optionally through the CT-CSR
+ * sparse wire encoding — and prices the exchange on the modeled
+ * interconnect (ring/tree allreduce, overlapped with backprop or
+ * blocking). The averaged gradient is applied by every replica, so
+ * replicas stay bit-identical. Because the loss gradient is
+ * normalized per shard and all parameter gradients are linear in the
+ * output errors, synchronous data-parallel SGD is MATHEMATICALLY
+ * EQUIVALENT to single-worker SGD on the full batch — a property the
+ * test suite checks.
  *
  * On this single-core host the replicas execute sequentially; the
- * ClusterModel (cluster_model.hh) supplies the simulated multi-worker
- * wall-clock, with per-worker compute improved by the spg-CNN engine
- * choices (the paper's point: faster workers accelerate the whole
- * cluster).
+ * modeled timeline supplies the simulated multi-worker wall-clock,
+ * with per-worker compute improved by the spg-CNN engine choices (the
+ * paper's point: faster workers accelerate the whole cluster).
  */
 
 #ifndef SPG_DISTRIB_DATA_PARALLEL_HH
 #define SPG_DISTRIB_DATA_PARALLEL_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/tuner.hh"
 #include "data/synthetic.hh"
+#include "distrib/exchange_sched.hh"
 #include "nn/network.hh"
 
 namespace spg {
@@ -40,8 +46,22 @@ struct DataParallelOptions
     bool shuffle = true;
     std::uint64_t shuffle_seed = 7;
 
-    /** Engines deployed on every replica's conv layers. */
-    EngineAssignment engines;
+    /**
+     * Per-conv-layer engine plans deployed on every replica, in
+     * network conv order — the same per-layer shape the tuner
+     * produces for single-node training. A single entry broadcasts to
+     * all conv layers; empty keeps layer defaults.
+     */
+    std::vector<EngineAssignment> conv_engines;
+
+    /** Run the tuner once on replica 0's layer geometry and deploy
+     *  the chosen per-layer plans on every replica (overrides
+     *  conv_engines). */
+    bool tune = false;
+    TunerOptions tuner;
+
+    /** Exchange policy; `exchange.workers` is forced to `workers`. */
+    ExchangeOptions exchange;
 };
 
 /** Per-epoch record of a data-parallel run. */
@@ -51,10 +71,74 @@ struct DataParallelEpoch
     double mean_loss = 0;       ///< averaged over workers and steps
     double accuracy = 0;
     double compute_seconds = 0; ///< summed replica compute (host time)
+
+    // Exchange accounting, summed (bytes) / averaged (ratios, modeled
+    // seconds) over the epoch's steps.
+    double wire_bytes = 0;      ///< modeled per-link payload shipped
+    double dense_bytes = 0;     ///< uncompressed equivalent (4B/param)
+    double compression_ratio = 1.0;
+    double overlap_frac = 0;
+    double modeled_step_seconds = 0;   ///< mean per-step, modeled
+    double modeled_comm_seconds = 0;   ///< mean per-step wire time
+    double modeled_exposed_seconds = 0;
+};
+
+/** Mean per-bucket timing/size profile of a measured run — the input
+ *  the scaling model extrapolates from. */
+struct StepProfile
+{
+    struct Bucket
+    {
+        std::string label;
+        double ready_s = 0;      ///< mean BP-completion offset
+        double wire_bytes = 0;   ///< mean compressed payload
+        double dense_bytes = 0;  ///< 4B/param
+    };
+    std::vector<Bucket> buckets;
+    double compute_end_s = 0;  ///< mean backward-pass wall-clock
+    int measured_workers = 1;
+    std::int64_t measured_global_batch = 0;
+};
+
+/** One modeled cluster configuration's predicted step economics. */
+struct ScalingPoint
+{
+    int workers = 1;
+    double step_s = 0;
+    double comm_s = 0;
+    double exposed_s = 0;
+    double overlap_frac = 1.0;
+    /** vs the same global batch on one worker (pure compute). */
+    double speedup = 1.0;
+    double
+    efficiency() const
+    {
+        return workers > 0 ? speedup / workers : 0;
+    }
 };
 
 /**
- * K-replica synchronous SGD with gradient averaging.
+ * Extrapolate a measured profile to K workers on the modeled
+ * interconnect. Compute (and every bucket ready time) scales by the
+ * shard-size ratio — perfect compute scaling, so the prediction is an
+ * upper bound on compute and honest only about communication.
+ *
+ * @param prof Measured per-bucket profile.
+ * @param workers Modeled K.
+ * @param algo Allreduce schedule family.
+ * @param link Modeled interconnect.
+ * @param overlap Overlap exchange with backprop.
+ * @param sparse Charge measured compressed wire bytes instead of
+ *        dense bytes.
+ * @param batch_scale Modeled global batch / measured global batch.
+ */
+ScalingPoint modelScaling(const StepProfile &prof, int workers,
+                          AllreduceAlgo algo, const ClusterLink &link,
+                          bool overlap, bool sparse,
+                          double batch_scale = 1.0);
+
+/**
+ * K-replica synchronous SGD with bucketed gradient exchange.
  */
 class DataParallelTrainer
 {
@@ -80,18 +164,39 @@ class DataParallelTrainer
     /** @return total parameter count of one replica. */
     std::int64_t paramCount() { return replicas[0]->paramCount(); }
 
+    /** Engine plans actually deployed on each replica's conv layers
+     *  (post-tuning), in network conv order. */
+    const std::vector<EngineAssignment> &deployedEngines() const
+    {
+        return deployed_engines_;
+    }
+
+    /** Mean measured per-bucket profile of the whole run (valid after
+     *  run()); feeds modelScaling(). */
+    const StepProfile &profile() const { return profile_; }
+
   private:
-    /** Average the replicas' parameters (they drift only by fp
-     *  non-associativity; averaging re-synchronizes exactly). */
-    void averageGradientsAndStep(ThreadPool &pool,
-                                 const std::vector<Tensor> &shards,
-                                 const std::vector<std::vector<int>>
-                                     &shard_labels,
-                                 double &loss, double &acc);
+    /** One global step: every replica's forwardBackward on its shard
+     *  (bucket ready times recorded), gradient exchange, then every
+     *  replica's update from the averaged gradient. */
+    void exchangeAndStep(ThreadPool &pool,
+                         const std::vector<Tensor> &shards,
+                         const std::vector<std::vector<int>>
+                             &shard_labels,
+                         double &loss, double &acc,
+                         ExchangeStats &stats);
+
+    void deployEngines(ThreadPool &pool);
 
     const Dataset &dataset;
     DataParallelOptions opts;
     std::vector<std::unique_ptr<Network>> replicas;
+    std::unique_ptr<ExchangeScheduler> exchanger_;
+    std::vector<EngineAssignment> deployed_engines_;
+
+    // Per-bucket running sums across steps, folded into profile_.
+    StepProfile profile_;
+    std::int64_t profiled_steps_ = 0;
 };
 
 } // namespace spg

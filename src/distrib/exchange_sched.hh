@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The bucketed gradient exchange scheduler.
+ *
+ * One ExchangeScheduler sits between K replica networks and the
+ * modeled interconnect. Each training step the trainer hands it the
+ * per-layer gradient buckets (one bucket per parameter tensor, tagged
+ * with the wall-clock offset at which its BP-weights completed) and
+ * the scheduler does two jobs:
+ *
+ *  1. NUMBERS — average each bucket across workers in place. Every
+ *     worker's gradient passes through the GradCompressor (so the
+ *     wire encoding is the thing being averaged, residuals and all)
+ *     and the decoded messages are summed in ascending worker order
+ *     through one shared code path, which is what makes the lossless
+ *     sparse exchange reproduce the dense exchange exactly.
+ *
+ *  2. TIME — price the step on the modeled cluster: each bucket's
+ *     measured ready time and wire bytes feed the step-by-step
+ *     allreduce simulator, yielding the step's modeled comm time,
+ *     exposed tail and overlap fraction.
+ *
+ * Emits distrib.* metrics and "distrib" trace spans per bucket.
+ */
+
+#ifndef SPG_DISTRIB_EXCHANGE_SCHED_HH
+#define SPG_DISTRIB_EXCHANGE_SCHED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distrib/allreduce.hh"
+#include "distrib/grad_compress.hh"
+#include "simcpu/machine.hh"
+
+namespace spg {
+
+/** One parameter tensor's gradient, replicated across K workers. */
+struct GradBucket
+{
+    std::string label;
+    /** Per-worker flat gradient spans, all @ref params long; averaged
+     *  in place by the exchange. */
+    std::vector<float *> worker_grads;
+    std::int64_t params = 0;
+    /** Seconds from step start at which the slowest worker finished
+     *  producing this gradient (bucket ready time). */
+    double ready_s = 0;
+};
+
+/** Cluster + exchange policy for one training run. */
+struct ExchangeOptions
+{
+    int workers = 1;
+    AllreduceAlgo algo = AllreduceAlgo::Ring;
+    /** Start each bucket's allreduce at its ready time instead of
+     *  after the full backward pass. */
+    bool overlap = true;
+    ClusterLink link;
+    GradCompressOptions compress;
+};
+
+/** What one step's exchange did and what it would have cost. */
+struct ExchangeStats
+{
+    /** Modeled per-link payload actually shipped (sum over buckets of
+     *  the largest worker message). */
+    double wire_bytes = 0;
+    /** What the same buckets cost uncompressed (4B/param). */
+    double dense_bytes = 0;
+    std::int64_t nnz = 0;
+    std::int64_t params = 0;
+
+    /** The priced timeline (comm, exposed tail, overlap fraction). */
+    ExchangeTimeline timeline;
+
+    double
+    compressionRatio() const
+    {
+        return wire_bytes > 0 ? dense_bytes / wire_bytes : 1.0;
+    }
+};
+
+class ExchangeScheduler
+{
+  public:
+    explicit ExchangeScheduler(ExchangeOptions opts)
+        : opts_(opts), compressor_(opts.compress)
+    {
+    }
+
+    const ExchangeOptions &options() const { return opts_; }
+
+    /**
+     * Average every bucket across workers in place and price the
+     * step's exchange on the modeled interconnect.
+     *
+     * @param buckets Per-tensor gradients; worker_grads are
+     *        overwritten with the K-way average.
+     * @param compute_end_s Seconds from step start at which the
+     *        backward pass completed (timeline anchor).
+     */
+    ExchangeStats exchange(std::vector<GradBucket> &buckets,
+                           double compute_end_s);
+
+  private:
+    ExchangeOptions opts_;
+    GradCompressor compressor_;
+    std::vector<float> sum_;
+    std::vector<float> scratch_;
+};
+
+} // namespace spg
+
+#endif // SPG_DISTRIB_EXCHANGE_SCHED_HH

@@ -1,0 +1,202 @@
+#include "distrib/grad_compress.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace spg {
+
+GradCompressOptions
+parseGradCompress(const std::string &spec)
+{
+    GradCompressOptions opts;
+    if (spec.empty() || spec == "dense" || spec == "none") {
+        opts.mode = GradCompressOptions::Mode::Dense;
+        return opts;
+    }
+    auto colon = spec.find(':');
+    std::string head = spec.substr(0, colon);
+    std::string arg =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (head == "threshold") {
+        opts.mode = GradCompressOptions::Mode::Threshold;
+        if (!arg.empty())
+            opts.threshold = std::strtof(arg.c_str(), nullptr);
+        if (opts.threshold < 0)
+            fatal("grad-compress threshold must be >= 0, got '%s'",
+                  spec.c_str());
+        return opts;
+    }
+    if (head == "topk") {
+        opts.mode = GradCompressOptions::Mode::TopK;
+        if (!arg.empty())
+            opts.topk_frac = std::strtod(arg.c_str(), nullptr);
+        if (opts.topk_frac <= 0 || opts.topk_frac > 1)
+            fatal("grad-compress topk fraction must be in (0, 1], "
+                  "got '%s'",
+                  spec.c_str());
+        return opts;
+    }
+    fatal("unknown grad-compress spec '%s' "
+          "(want dense|threshold:<t>|topk:<frac>)",
+          spec.c_str());
+}
+
+std::string
+gradCompressName(const GradCompressOptions &opts)
+{
+    char buf[64];
+    switch (opts.mode) {
+    case GradCompressOptions::Mode::Dense:
+        return "dense";
+    case GradCompressOptions::Mode::Threshold:
+        std::snprintf(buf, sizeof(buf), "threshold:%g",
+                      (double)opts.threshold);
+        return buf;
+    case GradCompressOptions::Mode::TopK:
+        std::snprintf(buf, sizeof(buf), "topk:%g", opts.topk_frac);
+        return buf;
+    }
+    return "dense";
+}
+
+std::int64_t
+GradMessage::nnz() const
+{
+    return sparse ? csr.nnz() : params;
+}
+
+double
+GradMessage::wireBytes() const
+{
+    if (!sparse)
+        return denseBytes();
+    // 4B fp32 value + 2B tile-local column per stored element, plus a
+    // 2B per-row count header for every tile (the rowPtr deltas fit in
+    // 16 bits at our tile widths).
+    double bytes = (double)csr.nnz() * (4.0 + 2.0);
+    bytes += (double)csr.tileCount() * (double)(rows + 1) * 2.0;
+    return bytes;
+}
+
+void
+GradMessage::decodeInto(float *out) const
+{
+    if (!sparse) {
+        std::memcpy(out, dense.data(), (size_t)params * sizeof(float));
+        return;
+    }
+    if (rows * cols == params) {
+        std::memset(out, 0, (size_t)params * sizeof(float));
+        csr.toDense(out);
+        return;
+    }
+    // Padded final row: decode into scratch, copy the live prefix.
+    std::vector<float> scratch((size_t)(rows * cols), 0.0f);
+    csr.toDense(scratch.data());
+    std::memcpy(out, scratch.data(), (size_t)params * sizeof(float));
+}
+
+std::vector<float> &
+GradCompressor::residualFor(int worker, int bucket, std::int64_t n)
+{
+    std::vector<float> &res = residuals_[{worker, bucket}];
+    if ((std::int64_t)res.size() != n)
+        res.assign((size_t)n, 0.0f);
+    return res;
+}
+
+double
+GradCompressor::residualAbsSum(int worker, int bucket) const
+{
+    auto it = residuals_.find({worker, bucket});
+    if (it == residuals_.end())
+        return 0;
+    double sum = 0;
+    for (float v : it->second)
+        sum += std::fabs((double)v);
+    return sum;
+}
+
+GradMessage
+GradCompressor::compress(int worker, int bucket, const float *grad,
+                         std::int64_t n)
+{
+    GradMessage msg;
+    msg.params = n;
+
+    if (opts_.mode == GradCompressOptions::Mode::Dense) {
+        msg.sparse = false;
+        msg.dense.assign(grad, grad + n);
+        return msg;
+    }
+
+    // Error feedback: compress grad + residual; the dropped part
+    // becomes the next step's residual. At threshold 0 nothing is
+    // dropped and acc == grad (residual stays identically zero).
+    std::vector<float> &res = residualFor(worker, bucket, n);
+    std::vector<float> kept((size_t)n);
+    for (std::int64_t i = 0; i < n; ++i)
+        kept[(size_t)i] = grad[i] + res[(size_t)i];
+
+    if (opts_.mode == GradCompressOptions::Mode::Threshold) {
+        float tau = opts_.threshold;
+        for (std::int64_t i = 0; i < n; ++i) {
+            float v = kept[(size_t)i];
+            if (std::fabs(v) <= tau && v != 0.0f) {
+                res[(size_t)i] = v;
+                kept[(size_t)i] = 0.0f;
+            } else {
+                res[(size_t)i] = 0.0f;
+            }
+        }
+    } else {
+        // TopK: keep the k largest |acc|; everything else feeds the
+        // residual.
+        std::int64_t k =
+            (std::int64_t)std::llround(opts_.topk_frac * (double)n);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        std::vector<std::int64_t> order((size_t)n);
+        for (std::int64_t i = 0; i < n; ++i)
+            order[(size_t)i] = i;
+        std::nth_element(order.begin(), order.begin() + (k - 1),
+                         order.end(),
+                         [&](std::int64_t a, std::int64_t b) {
+                             return std::fabs(kept[(size_t)a]) >
+                                    std::fabs(kept[(size_t)b]);
+                         });
+        std::vector<std::uint8_t> keep_mask((size_t)n, 0);
+        for (std::int64_t i = 0; i < k; ++i)
+            keep_mask[(size_t)order[(size_t)i]] = 1;
+        for (std::int64_t i = 0; i < n; ++i) {
+            if (keep_mask[(size_t)i]) {
+                res[(size_t)i] = 0.0f;
+            } else {
+                res[(size_t)i] = kept[(size_t)i];
+                kept[(size_t)i] = 0.0f;
+            }
+        }
+    }
+
+    // Wrap the flat bucket to tile-width-aligned columns and encode.
+    // The final row's zero padding is never stored, so it costs no
+    // wire bytes.
+    msg.sparse = true;
+    msg.cols = std::min<std::int64_t>(n, 4 * opts_.tile_width);
+    if (msg.cols < 1)
+        msg.cols = 1;
+    msg.rows = (n + msg.cols - 1) / msg.cols;
+    if (msg.rows * msg.cols != n)
+        kept.resize((size_t)(msg.rows * msg.cols), 0.0f);
+    msg.csr = CtCsrMatrix::fromDense(kept.data(), msg.rows, msg.cols,
+                                     opts_.tile_width);
+    return msg;
+}
+
+} // namespace spg

@@ -82,6 +82,7 @@ class ConvLayer : public Layer
         return spec_.weightElems();
     }
     std::vector<Tensor *> params() override { return {&weights_}; }
+    std::vector<Tensor *> grads() override { return {&dweights}; }
     void paramsUpdated() override;
 
     bool prunable() const override { return true; }

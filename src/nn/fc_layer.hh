@@ -63,6 +63,10 @@ class FcLayer : public Layer
     {
         return {&weights, &bias};
     }
+    std::vector<Tensor *> grads() override
+    {
+        return {&dweights, &dbias};
+    }
 
     bool prunable() const override { return true; }
     void pruneToSparsity(double sparsity) override;

@@ -109,6 +109,16 @@ class Layer
     virtual std::vector<Tensor *> params() { return {}; }
 
     /**
+     * @return pointers to the layer's gradient tensors, matching
+     * params() in order and shape. backward() OVERWRITES these with
+     * the current minibatch's gradient, so between backward() and
+     * update() an external agent (the distrib gradient exchange) may
+     * read and replace them — update() then applies whatever they
+     * hold. Empty for parameterless layers.
+     */
+    virtual std::vector<Tensor *> grads() { return {}; }
+
+    /**
      * Notify the layer that its parameter tensors were just mutated
      * through params() (checkpoint restore, parameter averaging) so it
      * can drop caches derived from them (e.g. packed weight panels).

@@ -1,6 +1,7 @@
 #include "nn/network.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "conv/engine_direct.hh"
 #include "obs/metrics.hh"
@@ -379,9 +380,20 @@ StepStats
 Network::trainStep(const Tensor &images, const std::vector<int> &labels,
                    float learning_rate, ThreadPool &pool)
 {
-    if (inference_only_)
-        fatal("trainStep() on a forward-only network");
     SPG_TRACE_SCOPE_N("train", "step", "batch", images.shape()[0]);
+    StepStats stats = forwardBackward(images, labels, pool);
+    applyUpdate(learning_rate);
+    return stats;
+}
+
+StepStats
+Network::forwardBackward(const Tensor &images,
+                         const std::vector<int> &labels, ThreadPool &pool,
+                         const BackwardHook &hook)
+{
+    if (inference_only_)
+        fatal("forwardBackward() on a forward-only network");
+    auto step_start = std::chrono::steady_clock::now();
     head->setLabels(labels);
     forward(images, pool);
 
@@ -392,15 +404,22 @@ Network::trainStep(const Tensor &images, const std::vector<int> &labels,
         for (std::size_t i = layers.size(); i-- > 0;) {
             const Tensor &in = i == 0 ? images : acts[i - 1];
             layers[i]->backward(in, acts[i], errs[i + 1], errs[i], pool);
+            if (hook) {
+                std::chrono::duration<double> ready =
+                    std::chrono::steady_clock::now() - step_start;
+                hook(i, *layers[i], ready.count());
+            }
         }
     }
-    {
-        SPG_TRACE_SCOPE("train", "update");
-        for (auto &layer : layers)
-            layer->update(learning_rate);
-    }
-
     return StepStats{head->loss(), head->accuracy()};
+}
+
+void
+Network::applyUpdate(float learning_rate)
+{
+    SPG_TRACE_SCOPE("train", "update");
+    for (auto &layer : layers)
+        layer->update(learning_rate);
 }
 
 double

@@ -11,6 +11,7 @@
 #ifndef SPG_NN_NETWORK_HH
 #define SPG_NN_NETWORK_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -64,6 +65,36 @@ class Network
     StepStats trainStep(const Tensor &images,
                         const std::vector<int> &labels,
                         float learning_rate, ThreadPool &pool);
+
+    /**
+     * Called right after a layer's backward() completes, while its
+     * gradient tensors hold this minibatch's gradient.
+     *
+     * @param layer_idx Index of the layer that just finished BP.
+     * @param layer The layer (grads() is live).
+     * @param ready_s Seconds since the step's forward() began — the
+     *        gradient bucket's ready time for exchange scheduling.
+     */
+    using BackwardHook =
+        std::function<void(std::size_t layer_idx, Layer &layer,
+                           double ready_s)>;
+
+    /**
+     * FP + loss + BP without the parameter update — the first half of
+     * trainStep(), split out so a gradient-exchange agent can average
+     * grads() across replicas before applyUpdate(). With a null hook,
+     * forwardBackward + applyUpdate is bit-for-bit trainStep.
+     *
+     * @param hook Optional per-layer BP completion callback.
+     */
+    StepStats forwardBackward(const Tensor &images,
+                              const std::vector<int> &labels,
+                              ThreadPool &pool,
+                              const BackwardHook &hook = nullptr);
+
+    /** The second half of trainStep(): SGD update from the gradients
+     *  currently held in every layer's grads(). */
+    void applyUpdate(float learning_rate);
 
     /** FP-only accuracy over a labeled batch. */
     double evalAccuracy(const Tensor &images,

@@ -125,6 +125,12 @@ DriftReport::addEpochEnergy(int epoch, double joules)
     energy.push_back(EpochEnergy{epoch, joules});
 }
 
+void
+DriftReport::addScaling(ScalingRow row)
+{
+    scaling_.push_back(std::move(row));
+}
+
 std::vector<DriftStats>
 DriftReport::byRegion() const
 {
@@ -200,6 +206,21 @@ DriftReport::toJson() const
                       e.joules);
         out += buf;
     }
+    out += "\n  ],\n  \"modeled_scaling\": [";
+    first = true;
+    for (const ScalingRow &s : scaling_) {
+        char buf[192];
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        out += "{\"config\": \"" + s.config + "\"";
+        std::snprintf(buf, sizeof(buf),
+                      ", \"workers\": %d, \"step_ms\": %.6g, "
+                      "\"comm_ms\": %.6g, \"overlap_frac\": %.6g, "
+                      "\"speedup\": %.6g, \"efficiency\": %.6g}",
+                      s.workers, s.step_ms, s.comm_ms, s.overlap_frac,
+                      s.speedup, s.efficiency);
+        out += buf;
+    }
     out += "\n  ]\n}\n";
     return out;
 }
@@ -233,13 +254,16 @@ DriftReport::print(std::FILE *stream) const
         }
         return cells;
     };
-    TablePrinter table("Model drift (|measured-modeled|/measured)",
-                       {"region", "samples", "p50", "p90", "max",
-                        "bias", "tr-n", "tr-p50", "tr-p90", "tr-max"});
-    for (const DriftStats &stats : byRegion())
-        table.addRow(row(stats));
-    table.addRow(row(overall()));
-    table.print(stream);
+    if (!rows.empty()) {
+        TablePrinter table("Model drift (|measured-modeled|/measured)",
+                           {"region", "samples", "p50", "p90", "max",
+                            "bias", "tr-n", "tr-p50", "tr-p90",
+                            "tr-max"});
+        for (const DriftStats &stats : byRegion())
+            table.addRow(row(stats));
+        table.addRow(row(overall()));
+        table.print(stream);
+    }
 
     if (!energy.empty()) {
         TablePrinter etable("Epoch energy (RAPL package)",
@@ -249,6 +273,26 @@ DriftReport::print(std::FILE *stream) const
                                static_cast<long long>(e.epoch)),
                            TablePrinter::fmt(e.joules, 1)});
         etable.print(stream);
+    }
+
+    if (!scaling_.empty()) {
+        // Modeled extrapolation printed NEXT TO the measured numbers
+        // above — the measured tables are this host; these rows are
+        // the schedule simulator's prediction for K workers.
+        TablePrinter stable("Modeled cluster scaling (simulated "
+                            "interconnect; compute scaled perfectly)",
+                            {"config", "K", "step ms", "comm ms",
+                             "ovl", "speedup", "eff"});
+        for (const ScalingRow &s : scaling_)
+            stable.addRow(
+                {s.config,
+                 TablePrinter::fmt(static_cast<long long>(s.workers)),
+                 TablePrinter::fmt(s.step_ms, 3),
+                 TablePrinter::fmt(s.comm_ms, 3),
+                 TablePrinter::fmt(s.overlap_frac, 2),
+                 TablePrinter::fmt(s.speedup, 2) + "x",
+                 TablePrinter::fmt(s.efficiency, 2)});
+        stable.print(stream);
     }
 }
 

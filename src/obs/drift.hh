@@ -79,6 +79,23 @@ struct EpochEnergy
     double joules = 0;
 };
 
+/**
+ * One modeled cluster-scaling point (the distrib schedule simulator
+ * extrapolating a measured single-node profile to K workers). Plain
+ * numbers handed over by the caller — obs stays at the bottom of the
+ * library graph, below distrib.
+ */
+struct ScalingRow
+{
+    std::string config;  ///< "sparse+ring+overlap" etc.
+    int workers = 1;
+    double step_ms = 0;     ///< modeled global-step wall-clock
+    double comm_ms = 0;     ///< modeled wire time
+    double overlap_frac = 1.0;
+    double speedup = 1.0;   ///< vs one worker on the same global batch
+    double efficiency = 1.0;
+};
+
 /** Accumulates samples and summarizes model error per region. */
 class DriftReport
 {
@@ -89,8 +106,13 @@ class DriftReport
      *  unavailable — absent rows render as "n/a", not zero). */
     void addEpochEnergy(int epoch, double joules);
 
+    /** Record one modeled cluster-scaling point; printed as its own
+     *  table next to the measured single-node numbers. */
+    void addScaling(ScalingRow row);
+
     const std::vector<DriftSample> &samples() const { return rows; }
     const std::vector<EpochEnergy> &epochEnergy() const { return energy; }
+    const std::vector<ScalingRow> &scaling() const { return scaling_; }
     bool empty() const { return rows.empty(); }
 
     /** Per-region stats, region name order (R0..R5 sorts naturally). */
@@ -111,6 +133,7 @@ class DriftReport
   private:
     std::vector<DriftSample> rows;
     std::vector<EpochEnergy> energy;
+    std::vector<ScalingRow> scaling_;
 };
 
 } // namespace obs

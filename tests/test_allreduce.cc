@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Tests for the allreduce schedule simulator, the CT-CSR gradient
+ * wire compressor and the bucketed exchange scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "distrib/allreduce.hh"
+#include "distrib/exchange_sched.hh"
+#include "distrib/grad_compress.hh"
+
+namespace spg {
+namespace {
+
+ClusterLink
+testLink()
+{
+    ClusterLink link;
+    link.bandwidth_gbs = 1.0;  // 1 GB/s: bytes -> ns in the head
+    link.latency_s = 10e-6;
+    return link;
+}
+
+TEST(Allreduce, RingStepCountAndPerStepBytes)
+{
+    ClusterLink link = testLink();
+    for (int k : {2, 3, 4, 8}) {
+        AllreduceSchedule s =
+            buildAllreduce(AllreduceAlgo::Ring, k, 4096.0, link);
+        // Reduce-scatter + allgather: 2(K-1) serialized steps of
+        // payload/K bytes each.
+        ASSERT_EQ(s.steps.size(), static_cast<std::size_t>(2 * (k - 1)))
+            << k;
+        for (const AllreduceStep &st : s.steps) {
+            EXPECT_DOUBLE_EQ(st.link_bytes, 4096.0 / k);
+            EXPECT_DOUBLE_EQ(st.seconds,
+                             link.transferSeconds(4096.0 / k));
+        }
+    }
+}
+
+TEST(Allreduce, TreeStepCountAndPerStepBytes)
+{
+    ClusterLink link = testLink();
+    struct Case
+    {
+        int workers;
+        int rounds;  // ceil(log2 K)
+    } cases[] = {{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {16, 4}};
+    for (const Case &c : cases) {
+        AllreduceSchedule s =
+            buildAllreduce(AllreduceAlgo::Tree, c.workers, 4096.0, link);
+        // Binomial reduce + broadcast: 2 ceil(log2 K) steps moving
+        // the FULL payload each.
+        ASSERT_EQ(s.steps.size(),
+                  static_cast<std::size_t>(2 * c.rounds))
+            << c.workers;
+        for (const AllreduceStep &st : s.steps)
+            EXPECT_DOUBLE_EQ(st.link_bytes, 4096.0);
+    }
+}
+
+TEST(Allreduce, SingleWorkerIsFree)
+{
+    ClusterLink link = testLink();
+    for (AllreduceAlgo algo :
+         {AllreduceAlgo::Ring, AllreduceAlgo::Tree}) {
+        AllreduceSchedule s = buildAllreduce(algo, 1, 1e9, link);
+        EXPECT_TRUE(s.steps.empty());
+        EXPECT_DOUBLE_EQ(s.seconds(), 0.0);
+        EXPECT_DOUBLE_EQ(s.linkBytes(), 0.0);
+        EXPECT_DOUBLE_EQ(allreduceSeconds(algo, 1, 1e9, link), 0.0);
+    }
+}
+
+TEST(Allreduce, RingWinsOnBandwidthTreeWinsOnLatency)
+{
+    ClusterLink link = testLink();
+    // Large payload, many workers: ring ships 2(K-1)/K ~ 2x the
+    // payload per link; tree ships 2 log2(K) times the payload.
+    EXPECT_LT(allreduceSeconds(AllreduceAlgo::Ring, 16, 64e6, link),
+              allreduceSeconds(AllreduceAlgo::Tree, 16, 64e6, link));
+    // Tiny payload: latency dominates and tree's 2 log2(K) steps beat
+    // ring's 2(K-1).
+    EXPECT_LT(allreduceSeconds(AllreduceAlgo::Tree, 16, 16.0, link),
+              allreduceSeconds(AllreduceAlgo::Ring, 16, 16.0, link));
+}
+
+TEST(Allreduce, ScheduleSecondsIsTheSerializedSum)
+{
+    ClusterLink link = testLink();
+    AllreduceSchedule s =
+        buildAllreduce(AllreduceAlgo::Ring, 4, 1 << 20, link);
+    double sum = 0, bytes = 0;
+    for (const AllreduceStep &st : s.steps) {
+        sum += st.seconds;
+        bytes += st.link_bytes;
+    }
+    EXPECT_DOUBLE_EQ(s.seconds(), sum);
+    EXPECT_DOUBLE_EQ(s.linkBytes(), bytes);
+}
+
+TEST(Allreduce, NameParseRoundTrip)
+{
+    EXPECT_STREQ(allreduceAlgoName(AllreduceAlgo::Ring), "ring");
+    EXPECT_STREQ(allreduceAlgoName(AllreduceAlgo::Tree), "tree");
+    EXPECT_EQ(parseAllreduceAlgo("ring"), AllreduceAlgo::Ring);
+    EXPECT_EQ(parseAllreduceAlgo("tree"), AllreduceAlgo::Tree);
+}
+
+TEST(AllreduceDeath, RejectsUnknownAlgo)
+{
+    EXPECT_DEATH(parseAllreduceAlgo("butterfly"), "allreduce");
+}
+
+std::vector<BucketTiming>
+twoBuckets(double b0_bytes, double b1_bytes)
+{
+    // Bucket "late" is READY first (backprop visits the last layer
+    // first); bucket "early" arrives at compute end.
+    return {{"late", 1e-3, b0_bytes}, {"early", 4e-3, b1_bytes}};
+}
+
+TEST(Allreduce, OverlapHidesCommUnderCompute)
+{
+    ClusterLink link = testLink();
+    double compute_end = 4e-3;
+    ExchangeTimeline ovl = simulateExchange(
+        twoBuckets(1e6, 1e4), compute_end, AllreduceAlgo::Ring, 4,
+        link, /*overlap=*/true);
+    ExchangeTimeline blk = simulateExchange(
+        twoBuckets(1e6, 1e4), compute_end, AllreduceAlgo::Ring, 4,
+        link, /*overlap=*/false);
+
+    // Same wire time either way; overlap only moves it earlier.
+    EXPECT_NEAR(ovl.commSeconds(), blk.commSeconds(), 1e-12);
+    // Blocking serializes compute then comm.
+    EXPECT_NEAR(blk.finish_s, compute_end + blk.commSeconds(), 1e-12);
+    EXPECT_DOUBLE_EQ(blk.overlapFrac(), 0.0);
+    // Overlap starts the early-ready bucket during backprop, so less
+    // of the comm is exposed past compute end.
+    EXPECT_LT(ovl.finish_s, blk.finish_s);
+    EXPECT_GT(ovl.overlapFrac(), 0.0);
+    EXPECT_LE(ovl.overlapFrac(), 1.0);
+    EXPECT_GE(ovl.finish_s, compute_end);
+}
+
+TEST(Allreduce, SerializedLinkQueuesBuckets)
+{
+    ClusterLink link = testLink();
+    std::vector<BucketTiming> buckets = {{"a", 0.0, 1e6},
+                                         {"b", 0.0, 1e6}};
+    ExchangeTimeline tl = simulateExchange(
+        buckets, 5e-3, AllreduceAlgo::Ring, 4, link, true);
+    ASSERT_EQ(tl.rows.size(), 2u);
+    // Both ready at t=0, but one link: the second allreduce cannot
+    // start before the first finishes.
+    EXPECT_DOUBLE_EQ(tl.rows[0].start_s, 0.0);
+    EXPECT_DOUBLE_EQ(tl.rows[1].start_s, tl.rows[0].finish_s);
+}
+
+TEST(Allreduce, NoCommTimelineIsPureCompute)
+{
+    ClusterLink link = testLink();
+    ExchangeTimeline tl = simulateExchange(
+        twoBuckets(1e6, 1e4), 4e-3, AllreduceAlgo::Ring, /*workers=*/1,
+        link, true);
+    EXPECT_DOUBLE_EQ(tl.commSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(tl.stepSeconds(), 4e-3);
+    EXPECT_DOUBLE_EQ(tl.exposedSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(tl.overlapFrac(), 1.0);
+}
+
+TEST(GradCompress, ThresholdZeroRoundTripsExactly)
+{
+    GradCompressOptions opts;
+    opts.mode = GradCompressOptions::Mode::Threshold;
+    opts.threshold = 0;
+    GradCompressor comp(opts);
+
+    // Negative values, denormals, exact zeros and a padded tail (151
+    // is not a multiple of any tile width).
+    std::vector<float> grad(151);
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] = (i % 7 == 0) ? 0.0f
+                               : (i % 2 ? -1.0f : 1.0f) *
+                                     (0.25f * static_cast<float>(i));
+    grad[3] = 1e-42f;    // positive denormal
+    grad[5] = -1e-42f;   // negative denormal
+    grad[9] = -3.75e-9f;
+
+    GradMessage msg = comp.compress(0, 0, grad.data(), 151);
+    EXPECT_TRUE(msg.sparse);
+    std::vector<float> out(151, -7.0f);
+    msg.decodeInto(out.data());
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        EXPECT_EQ(out[i], grad[i]) << i;
+    // Lossless: nothing dropped, so no residual accumulates.
+    EXPECT_DOUBLE_EQ(comp.residualAbsSum(0, 0), 0.0);
+}
+
+TEST(GradCompress, DenseModeShipsEverything)
+{
+    GradCompressor comp(GradCompressOptions{});
+    std::vector<float> grad = {1.0f, -2.0f, 0.0f, 0.5f};
+    GradMessage msg = comp.compress(0, 0, grad.data(), 4);
+    EXPECT_FALSE(msg.sparse);
+    EXPECT_EQ(msg.nnz(), 4);
+    EXPECT_DOUBLE_EQ(msg.wireBytes(), 16.0);
+    EXPECT_DOUBLE_EQ(msg.denseBytes(), 16.0);
+    std::vector<float> out(4);
+    msg.decodeInto(out.data());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i], grad[i]);
+}
+
+TEST(GradCompress, ErrorFeedbackResidualConverges)
+{
+    // Aggressive threshold on a constant gradient: each step ships
+    // whatever cleared the bar and banks the rest. The decoded stream
+    // must track T*g with per-element error bounded by the residual
+    // bound (tau + |g_i|), i.e. dropped mass is deferred, never lost.
+    GradCompressOptions opts;
+    opts.mode = GradCompressOptions::Mode::Threshold;
+    opts.threshold = 0.1f;
+    GradCompressor comp(opts);
+
+    std::vector<float> grad = {0.004f, -0.03f, 0.5f, -0.0007f, 0.02f};
+    const int kSteps = 200;
+    std::vector<double> shipped(grad.size(), 0.0);
+    std::vector<float> out(grad.size());
+    for (int t = 0; t < kSteps; ++t) {
+        GradMessage msg =
+            comp.compress(0, 0, grad.data(),
+                          static_cast<std::int64_t>(grad.size()));
+        msg.decodeInto(out.data());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            shipped[i] += out[i];
+    }
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        double want = static_cast<double>(kSteps) * grad[i];
+        EXPECT_NEAR(shipped[i], want,
+                    opts.threshold + std::fabs(grad[i]) + 1e-4)
+            << i;
+    }
+    // The bank itself stays bounded — it is a deferral, not a leak.
+    EXPECT_LE(comp.residualAbsSum(0, 0),
+              grad.size() * (opts.threshold + 0.5) + 1e-6);
+}
+
+TEST(GradCompress, TopKKeepsTheLargestMagnitudes)
+{
+    GradCompressOptions opts;
+    opts.mode = GradCompressOptions::Mode::TopK;
+    opts.topk_frac = 0.25;
+    GradCompressor comp(opts);
+
+    std::vector<float> grad(64, 0.001f);
+    grad[5] = 9.0f;
+    grad[17] = -8.0f;
+    grad[40] = 7.0f;
+    grad[63] = -6.0f;
+    // ... and everything else is noise well below the top quartile.
+    GradMessage msg = comp.compress(0, 0, grad.data(), 64);
+    EXPECT_TRUE(msg.sparse);
+    EXPECT_EQ(msg.nnz(), 16);  // ceil(0.25 * 64)
+    std::vector<float> out(64);
+    msg.decodeInto(out.data());
+    EXPECT_EQ(out[5], 9.0f);
+    EXPECT_EQ(out[17], -8.0f);
+    EXPECT_EQ(out[40], 7.0f);
+    EXPECT_EQ(out[63], -6.0f);
+    // Dropped mass went to the residual, not the floor.
+    EXPECT_GT(comp.residualAbsSum(0, 0), 0.0);
+}
+
+TEST(GradCompress, SparseWireUndercutsDenseAtHighSparsity)
+{
+    GradCompressOptions opts;
+    opts.mode = GradCompressOptions::Mode::Threshold;
+    opts.threshold = 0;
+    GradCompressor comp(opts);
+
+    // 95% exact zeros: 6B/nnz + headers must beat 4B/param.
+    std::vector<float> grad(4096, 0.0f);
+    for (std::size_t i = 0; i < grad.size(); i += 20)
+        grad[i] = 1.0f + static_cast<float>(i);
+    GradMessage msg = comp.compress(0, 0, grad.data(), 4096);
+    EXPECT_LT(msg.wireBytes(), msg.denseBytes());
+    EXPECT_LT(msg.wireBytes(), 0.25 * msg.denseBytes());
+}
+
+TEST(GradCompress, ResidualStreamsAreIndependent)
+{
+    GradCompressOptions opts;
+    opts.mode = GradCompressOptions::Mode::Threshold;
+    opts.threshold = 1.0f;
+    GradCompressor comp(opts);
+    std::vector<float> small = {0.3f, -0.3f};
+    comp.compress(/*worker=*/0, /*bucket=*/0, small.data(), 2);
+    comp.compress(/*worker=*/1, /*bucket=*/0, small.data(), 2);
+    comp.compress(/*worker=*/0, /*bucket=*/1, small.data(), 2);
+    EXPECT_NEAR(comp.residualAbsSum(0, 0), 0.6, 1e-6);
+    EXPECT_NEAR(comp.residualAbsSum(1, 0), 0.6, 1e-6);
+    EXPECT_NEAR(comp.residualAbsSum(0, 1), 0.6, 1e-6);
+    EXPECT_DOUBLE_EQ(comp.residualAbsSum(1, 1), 0.0);
+}
+
+TEST(GradCompress, SpecParseNameRoundTrip)
+{
+    GradCompressOptions d = parseGradCompress("dense");
+    EXPECT_FALSE(d.sparse());
+    EXPECT_EQ(gradCompressName(d), "dense");
+
+    GradCompressOptions t = parseGradCompress("threshold:0.001");
+    EXPECT_EQ(t.mode, GradCompressOptions::Mode::Threshold);
+    EXPECT_FLOAT_EQ(t.threshold, 0.001f);
+    EXPECT_EQ(gradCompressName(t), "threshold:0.001");
+
+    GradCompressOptions k = parseGradCompress("topk:0.05");
+    EXPECT_EQ(k.mode, GradCompressOptions::Mode::TopK);
+    EXPECT_DOUBLE_EQ(k.topk_frac, 0.05);
+    EXPECT_EQ(gradCompressName(k), "topk:0.05");
+}
+
+TEST(GradCompressDeath, RejectsMalformedSpec)
+{
+    EXPECT_DEATH(parseGradCompress("quantize:8"), "grad-compress");
+}
+
+/** K disjoint per-worker gradient buffers for one bucket. */
+struct FakeBucketData
+{
+    std::vector<std::vector<float>> per_worker;
+
+    FakeBucketData(int workers, std::int64_t n, float scale)
+    {
+        per_worker.resize(workers);
+        for (int w = 0; w < workers; ++w) {
+            per_worker[w].resize(n);
+            for (std::int64_t i = 0; i < n; ++i)
+                per_worker[w][i] =
+                    scale * static_cast<float>((w + 1) * (i % 13) -
+                                               6 * (i % 5));
+        }
+    }
+
+    GradBucket
+    bucket(const std::string &label, double ready_s)
+    {
+        GradBucket b;
+        b.label = label;
+        b.params = static_cast<std::int64_t>(per_worker[0].size());
+        b.ready_s = ready_s;
+        for (auto &v : per_worker)
+            b.worker_grads.push_back(v.data());
+        return b;
+    }
+};
+
+TEST(ExchangeSched, LosslessSparseMatchesDenseBitForBit)
+{
+    const int kWorkers = 4;
+    ExchangeOptions dense_opts;
+    dense_opts.workers = kWorkers;
+    ExchangeOptions sparse_opts = dense_opts;
+    sparse_opts.compress.mode = GradCompressOptions::Mode::Threshold;
+    sparse_opts.compress.threshold = 0;
+
+    FakeBucketData d0(kWorkers, 301, 0.125f), d1(kWorkers, 77, -0.5f);
+    FakeBucketData s0 = d0, s1 = d1;  // identical starting gradients
+
+    std::vector<GradBucket> db = {d0.bucket("conv1.g0", 1e-3),
+                                  d1.bucket("fc1.g0", 2e-3)};
+    std::vector<GradBucket> sb = {s0.bucket("conv1.g0", 1e-3),
+                                  s1.bucket("fc1.g0", 2e-3)};
+    ExchangeScheduler dense(dense_opts);
+    ExchangeScheduler sparse(sparse_opts);
+    ExchangeStats dstats = dense.exchange(db, 3e-3);
+    ExchangeStats sstats = sparse.exchange(sb, 3e-3);
+
+    // The averaged gradients must agree exactly, on every worker.
+    for (int w = 0; w < kWorkers; ++w) {
+        for (std::size_t i = 0; i < d0.per_worker[w].size(); ++i)
+            EXPECT_EQ(d0.per_worker[w][i], s0.per_worker[w][i]);
+        for (std::size_t i = 0; i < d1.per_worker[w].size(); ++i)
+            EXPECT_EQ(d1.per_worker[w][i], s1.per_worker[w][i]);
+    }
+    // And every worker holds the same average.
+    for (int w = 1; w < kWorkers; ++w)
+        for (std::size_t i = 0; i < d0.per_worker[w].size(); ++i)
+            EXPECT_EQ(d0.per_worker[0][i], d0.per_worker[w][i]);
+    EXPECT_DOUBLE_EQ(dstats.dense_bytes, sstats.dense_bytes);
+    EXPECT_EQ(dstats.params, sstats.params);
+}
+
+TEST(ExchangeSched, AveragesAcrossWorkers)
+{
+    ExchangeOptions opts;
+    opts.workers = 2;
+    FakeBucketData data(2, 8, 1.0f);
+    std::vector<float> want(8);
+    for (int i = 0; i < 8; ++i)
+        want[i] = 0.5f * (data.per_worker[0][i] +
+                          data.per_worker[1][i]);
+    std::vector<GradBucket> buckets = {data.bucket("b", 0.0)};
+    ExchangeScheduler sched(opts);
+    sched.exchange(buckets, 1e-3);
+    for (int w = 0; w < 2; ++w)
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(data.per_worker[w][i], want[i]) << w;
+}
+
+TEST(ExchangeSched, StatsPriceTheTimeline)
+{
+    ExchangeOptions opts;
+    opts.workers = 4;
+    opts.overlap = true;
+    FakeBucketData data(4, 512, 0.25f);
+    std::vector<GradBucket> buckets = {data.bucket("conv1.g0", 1e-3)};
+    ExchangeScheduler sched(opts);
+    ExchangeStats stats = sched.exchange(buckets, 2e-3);
+    EXPECT_DOUBLE_EQ(stats.dense_bytes, 4.0 * 512);
+    EXPECT_DOUBLE_EQ(stats.wire_bytes, 4.0 * 512);  // dense mode
+    EXPECT_DOUBLE_EQ(stats.compressionRatio(), 1.0);
+    EXPECT_EQ(stats.params, 512);
+    EXPECT_GT(stats.timeline.commSeconds(), 0.0);
+    EXPECT_GE(stats.timeline.stepSeconds(), 2e-3);
+    EXPECT_GE(stats.timeline.overlapFrac(), 0.0);
+    EXPECT_LE(stats.timeline.overlapFrac(), 1.0);
+}
+
+} // namespace
+} // namespace spg

@@ -112,6 +112,23 @@ if [[ $# -eq 0 ]]; then
         --tol-pct=250 --speedup-tol-pct=60
 fi
 
+# Cluster scaling gate: regenerate the data-parallel scaling bench
+# (smaller measured run so the gate stays fast) and diff it against
+# the committed baseline. The gated metrics are the modeled speedups —
+# sparse+overlap vs dense blocking at the gate worker count, and the
+# per-point scaling curve. They derive from one measured profile, so
+# compute jitter moves every arm together and the ratios are stable;
+# the tolerance is still wide because a short run's per-bucket ready
+# times wander. The wire-byte/compression/knee columns are
+# informational trajectory. Skipped when a test filter was passed.
+if [[ $# -eq 0 ]]; then
+    ./bench/bench_ext_cluster --dataset-size=32 \
+        --json-file="$PWD/BENCH_cluster_fresh.json" > /dev/null
+    ./tools/bench_compare --fresh="$PWD/BENCH_cluster_fresh.json" \
+        --baseline=../bench/baselines/BENCH_cluster.json \
+        --tol-pct=250 --speedup-tol-pct=70
+fi
+
 # Layout/direct-engine sanitizer gate: the NCHWc conversion kernels and
 # the direct engine's register tiles live and die by tail-block and
 # edge-tile indexing, and the pool-parallel converters by their
@@ -121,7 +138,11 @@ fi
 # the pruning/mask/checkpoint machinery are exactly the sort of
 # off-by-one indexing ASan catches, and the PackedWeightCache is shared
 # mutable state the TSan run must prove race-free under the
-# plane-parallel engines. Recursing with a filter reuses the
+# plane-parallel engines. The distrib suites (DataParallel,
+# Allreduce, GradCompress, Exchange) join both runs: the exchange
+# scheduler's in-place K-way averaging walks raw gradient spans ASan
+# must prove in-bounds, and the replica fan-out over the shared pool
+# is state TSan must prove race-free. Recursing with a filter reuses the
 # per-sanitizer build trees and skips the smoke/bench gates above.
 # The serving suites join both runs: the request queue, the
 # done-publication handshake and the per-instance pools are exactly
@@ -135,6 +156,6 @@ fi
 if [[ $# -eq 0 && -z "${SPG_SANITIZE:-}" ]]; then
     for san in address thread; do
         SPG_SANITIZE="$san" "$(cd .. && pwd)/tools/check.sh" \
-            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint|Serve|Perf|Affinity|Rapl'
+            -R 'Direct|Blocked|Nchwc|SparseWeight|SparseDirect|Pruning|WeightPlanCache|Checkpoint|Serve|Perf|Affinity|Rapl|DataParallel|Allreduce|GradCompress|Exchange'
     done
 fi

@@ -43,6 +43,19 @@
  *       counters and print measured vs modeled DRAM traffic and AIT.
  *       Measured columns are "n/a" without perf_event access.
  *
+ *   spgcnn cluster --net mnist|cifar10|imagenet100|<path>
+ *                [--workers K] [--global-batch N] [--epochs N]
+ *                [--grad-compress dense|threshold:T|topk:F]
+ *                [--allreduce ring|tree] [--no-overlap]
+ *                [--link-gbs F] [--latency-us F] [--tune]
+ *                [--sweep 1,2,4,..] [--json-file out.json]
+ *       Sharded data-parallel training with bucketed gradient
+ *       exchange: K replicas run sequentially on this host, exchange
+ *       CT-CSR-compressed gradients through the allreduce schedule
+ *       simulator, and the measured per-bucket profile is
+ *       extrapolated into a modeled scaling table (speedup vs K for
+ *       dense/sparse x ring/tree x overlap on/off).
+ *
  *   spgcnn engines
  *       List the available execution engines.
  */
@@ -55,6 +68,7 @@
 #include "core/tuner.hh"
 #include "data/suites.hh"
 #include "data/synthetic.hh"
+#include "distrib/data_parallel.hh"
 #include "nn/checkpoint.hh"
 #include "nn/trainer.hh"
 #include "obs/drift.hh"
@@ -648,6 +662,194 @@ cmdCounters(int argc, char **argv)
     return 0;
 }
 
+/**
+ * The scaling sweep behind both the printed table and the JSON: the
+ * measured profile extrapolated to every K in `workers` under all
+ * eight exchange policies (dense/sparse x ring/tree x overlap
+ * on/off). "sparse" charges the wire bytes the run actually measured,
+ * so it only differs from dense when a sparse --grad-compress ran.
+ */
+void
+clusterScalingRows(const StepProfile &prof,
+                   const std::vector<int> &workers,
+                   const ClusterLink &link, const std::string &comp,
+                   obs::DriftReport &drift)
+{
+    for (bool sparse : {false, true}) {
+        for (AllreduceAlgo algo :
+             {AllreduceAlgo::Ring, AllreduceAlgo::Tree}) {
+            for (bool overlap : {false, true}) {
+                std::string config =
+                    std::string(sparse ? comp.c_str() : "dense") + "+" +
+                    allreduceAlgoName(algo) +
+                    (overlap ? "+ovl" : "+block");
+                for (int k : workers) {
+                    ScalingPoint pt = modelScaling(prof, k, algo, link,
+                                                   overlap, sparse);
+                    obs::ScalingRow row;
+                    row.config = config;
+                    row.workers = k;
+                    row.step_ms = pt.step_s * 1e3;
+                    row.comm_ms = pt.comm_s * 1e3;
+                    row.overlap_frac = pt.overlap_frac;
+                    row.speedup = pt.speedup;
+                    row.efficiency = pt.efficiency();
+                    drift.addScaling(row);
+                }
+            }
+        }
+    }
+}
+
+int
+cmdCluster(int argc, char **argv)
+{
+    CliParser cli("spgcnn cluster");
+    cli.addString("net", "mnist",
+                  "mnist | cifar10 | imagenet100 | config file path");
+    cli.addInt("dataset-size", 128, "synthetic examples");
+    cli.addInt("workers", 4, "model replicas (K)");
+    cli.addInt("global-batch", 32,
+               "global minibatch, split evenly across workers");
+    cli.addInt("epochs", 1, "training epochs");
+    cli.addDouble("lr", 0.05, "learning rate");
+    cli.addString("grad-compress", "dense",
+                  "wire encoding: dense | threshold:<t> "
+                  "(threshold:0 = lossless sparse) | topk:<frac>");
+    cli.addString("allreduce", "ring", "schedule family: ring | tree");
+    cli.addBool("no-overlap", false,
+                "block the exchange until the full backward pass ends");
+    cli.addDouble("link-gbs", 1.25,
+                  "modeled per-link bandwidth, GB/s (1.25 = 10 GbE)");
+    cli.addDouble("latency-us", 25.0,
+                  "modeled per-message link latency, microseconds");
+    cli.addBool("tune", false,
+                "deploy tuner-chosen per-layer engine plans on every "
+                "replica");
+    cli.addBool("extensions", false,
+                "let the tuner consider extension engines");
+    cli.addInt("threads", 0, "worker threads (0 = hardware)");
+    cli.addString("sweep", "1,2,4,8,16",
+                  "modeled worker counts for the scaling table");
+    cli.addString("json-file", "",
+                  "write the modeled scaling JSON to this path");
+    cli.parse(argc, argv);
+
+    NetConfig config = resolveNet(cli.getString("net"));
+    Dataset dataset = datasetFor(config, cli.getInt("dataset-size"));
+
+    DataParallelOptions opts;
+    opts.workers = static_cast<int>(cli.getInt("workers"));
+    opts.global_batch = cli.getInt("global-batch");
+    opts.epochs = static_cast<int>(cli.getInt("epochs"));
+    opts.learning_rate = static_cast<float>(cli.getDouble("lr"));
+    opts.tune = cli.getBool("tune");
+    opts.tuner.use_extensions = cli.getBool("extensions");
+    opts.exchange.compress =
+        parseGradCompress(cli.getString("grad-compress"));
+    opts.exchange.algo = parseAllreduceAlgo(cli.getString("allreduce"));
+    opts.exchange.overlap = !cli.getBool("no-overlap");
+    opts.exchange.link.bandwidth_gbs = cli.getDouble("link-gbs");
+    opts.exchange.link.latency_s = cli.getDouble("latency-us") * 1e-6;
+
+    DataParallelTrainer trainer(config, 1, dataset, opts);
+    ThreadPool pool(static_cast<int>(cli.getInt("threads")));
+    auto history = trainer.run(pool);
+
+    TablePrinter table(
+        "data-parallel training (K=" + std::to_string(opts.workers) +
+            ", " + gradCompressName(opts.exchange.compress) + ", " +
+            allreduceAlgoName(opts.exchange.algo) +
+            (opts.exchange.overlap ? ", overlapped" : ", blocking") +
+            ")",
+        {"epoch", "loss", "acc", "host s", "wire MB", "ratio", "ovl",
+         "model step ms"});
+    for (const DataParallelEpoch &e : history)
+        table.addRow({TablePrinter::fmt(
+                          static_cast<long long>(e.epoch)),
+                      TablePrinter::fmt(e.mean_loss, 4),
+                      TablePrinter::fmt(e.accuracy, 3),
+                      TablePrinter::fmt(e.compute_seconds, 2),
+                      TablePrinter::fmt(e.wire_bytes / 1e6, 2),
+                      TablePrinter::fmt(e.compression_ratio, 2) + "x",
+                      TablePrinter::fmt(e.overlap_frac, 2),
+                      TablePrinter::fmt(e.modeled_step_seconds * 1e3,
+                                        3)});
+    table.print();
+
+    const auto &deployed = trainer.deployedEngines();
+    auto convs = trainer.replica(0).convLayers();
+    for (std::size_t i = 0; i < deployed.size(); ++i)
+        std::printf("  conv%zu (%s): FP=%s BP=%s/%s\n", i,
+                    convs[i]->spec().str().c_str(),
+                    deployed[i].fp.c_str(), deployed[i].bp_data.c_str(),
+                    deployed[i].bp_weights.c_str());
+
+    std::vector<int> sweep;
+    {
+        std::string spec = cli.getString("sweep");
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            int k = std::atoi(spec.substr(pos, comma - pos).c_str());
+            if (k < 1)
+                fatal("bad --sweep entry in '%s'", spec.c_str());
+            sweep.push_back(k);
+            pos = comma + 1;
+        }
+    }
+
+    obs::DriftReport drift;
+    clusterScalingRows(trainer.profile(), sweep, opts.exchange.link,
+                       gradCompressName(opts.exchange.compress),
+                       drift);
+    std::printf("\n");
+    drift.print();
+    std::printf("(measured single-node profile on this host; modeled "
+                "rows assume perfect compute scaling — see "
+                "EXPERIMENTS.md for the caveat)\n");
+
+    if (!cli.getString("json-file").empty()) {
+        std::string out = "{\n  \"bench\": \"cluster\",\n";
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"workers\": %d,\n  \"global_batch\": %lld,\n"
+                      "  \"wire_mb\": %.4f,\n"
+                      "  \"compression_x\": %.4f,\n  \"points\": [",
+                      opts.workers,
+                      static_cast<long long>(opts.global_batch),
+                      history.back().wire_bytes / 1e6,
+                      history.back().compression_ratio);
+        out += buf;
+        bool first = true;
+        for (const obs::ScalingRow &row : drift.scaling()) {
+            out += first ? "\n    " : ",\n    ";
+            first = false;
+            std::snprintf(buf, sizeof(buf),
+                          "{\"config\": \"%s\", \"workers\": %d, "
+                          "\"step_ms\": %.4f, \"comm_ms\": %.4f, "
+                          "\"overlap_frac\": %.4f, "
+                          "\"modeled_speedup\": %.4f}",
+                          row.config.c_str(), row.workers, row.step_ms,
+                          row.comm_ms, row.overlap_frac, row.speedup);
+            out += buf;
+        }
+        out += "\n  ]\n}\n";
+        std::FILE *f =
+            std::fopen(cli.getString("json-file").c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write '%s'",
+                  cli.getString("json-file").c_str());
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fclose(f);
+        inform("scaling JSON written to %s",
+               cli.getString("json-file").c_str());
+    }
+    return 0;
+}
+
 int
 cmdEngines()
 {
@@ -665,7 +867,7 @@ usage()
 {
     std::printf(
         "usage: spgcnn <train|characterize|tune|serve|counters|"
-        "engines> [flags]\n"
+        "cluster|engines> [flags]\n"
         "run 'spgcnn <subcommand> --help' for the flag list\n");
 }
 
@@ -693,6 +895,8 @@ main(int argc, char **argv)
         return cmdServe(argc - 1, argv + 1);
     if (cmd == "counters")
         return cmdCounters(argc - 1, argv + 1);
+    if (cmd == "cluster")
+        return cmdCluster(argc - 1, argv + 1);
     if (cmd == "engines")
         return cmdEngines();
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
